@@ -1,0 +1,149 @@
+//! The competitor algorithms measured by the experiments.
+
+use pref_assign::{
+    brute_force, chain, sb, sb_alt, AssignmentResult, Problem, SbOptions,
+};
+use pref_rtree::RTree;
+
+/// The algorithms compared in the paper's evaluation, plus the SB ablation
+/// variants of Figure 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Brute Force (Section 4.1): one resumable top-1 search per function.
+    BruteForce,
+    /// Chain: the adaptation of the spatial ECP algorithm.
+    Chain,
+    /// SB, fully optimized (UpdateSkyline + resumable TA + multi-pair).
+    Sb,
+    /// SB with UpdateSkyline but without the CPU optimizations (Figure 8).
+    SbUpdateSkyline,
+    /// SB with DeltaSky-style maintenance (Figure 8).
+    SbDeltaSky,
+    /// SB restricted to one pair per loop (ablation of Section 5.3).
+    SbSinglePair,
+    /// The two-skyline SB variant for prioritized functions (Section 6.2).
+    SbTwoSkylines,
+    /// SB-alt: batch best-pair search over disk-resident function lists
+    /// (Section 7.6).
+    SbAlt {
+        /// LRU buffer (in 4 KiB blocks) in front of the coefficient lists.
+        list_buffer_frames: usize,
+    },
+}
+
+impl AlgorithmKind {
+    /// Label used in the report tables (matching the paper's series names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AlgorithmKind::BruteForce => "Brute Force",
+            AlgorithmKind::Chain => "Chain",
+            AlgorithmKind::Sb => "SB",
+            AlgorithmKind::SbUpdateSkyline => "SB-UpdateSkyline",
+            AlgorithmKind::SbDeltaSky => "SB-DeltaSky",
+            AlgorithmKind::SbSinglePair => "SB-SinglePair",
+            AlgorithmKind::SbTwoSkylines => "SB-TwoSkylines",
+            AlgorithmKind::SbAlt { .. } => "SB-alt",
+        }
+    }
+
+    /// The standard competitor set of Section 7.2 (Figures 9–14, 16).
+    pub fn standard_set() -> Vec<AlgorithmKind> {
+        vec![
+            AlgorithmKind::BruteForce,
+            AlgorithmKind::Chain,
+            AlgorithmKind::Sb,
+        ]
+    }
+
+    /// The ablation set of Figure 8.
+    pub fn ablation_set() -> Vec<AlgorithmKind> {
+        vec![
+            AlgorithmKind::SbDeltaSky,
+            AlgorithmKind::SbUpdateSkyline,
+            AlgorithmKind::Sb,
+        ]
+    }
+
+    /// Runs the algorithm on a problem and its object R-tree.
+    pub fn run(&self, problem: &Problem, tree: &mut RTree, omega_fraction: f64) -> AssignmentResult {
+        match self {
+            AlgorithmKind::BruteForce => brute_force(problem, tree),
+            AlgorithmKind::Chain => chain(problem, tree),
+            AlgorithmKind::Sb => sb(
+                problem,
+                tree,
+                &SbOptions {
+                    best_pair: pref_assign::BestPairStrategy::ResumableTa {
+                        omega_fraction,
+                    },
+                    ..SbOptions::default()
+                },
+            ),
+            AlgorithmKind::SbUpdateSkyline => sb(problem, tree, &SbOptions::update_skyline_only()),
+            AlgorithmKind::SbDeltaSky => sb(problem, tree, &SbOptions::delta_sky()),
+            AlgorithmKind::SbSinglePair => sb(
+                problem,
+                tree,
+                &SbOptions {
+                    multiple_pairs_per_loop: false,
+                    ..SbOptions::default()
+                },
+            ),
+            AlgorithmKind::SbTwoSkylines => sb(problem, tree, &SbOptions::two_skylines()),
+            AlgorithmKind::SbAlt { list_buffer_frames } => {
+                sb_alt(problem, tree, *list_buffer_frames)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_datagen::{independent_objects, uniform_weight_functions};
+
+    #[test]
+    fn labels_are_distinct() {
+        let all = [
+            AlgorithmKind::BruteForce,
+            AlgorithmKind::Chain,
+            AlgorithmKind::Sb,
+            AlgorithmKind::SbUpdateSkyline,
+            AlgorithmKind::SbDeltaSky,
+            AlgorithmKind::SbSinglePair,
+            AlgorithmKind::SbTwoSkylines,
+            AlgorithmKind::SbAlt {
+                list_buffer_frames: 4,
+            },
+        ];
+        let mut labels: Vec<&str> = all.iter().map(AlgorithmKind::label).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn every_algorithm_produces_the_same_matching() {
+        let functions = uniform_weight_functions(40, 3, 1);
+        let objects = independent_objects(200, 3, 2);
+        let problem = Problem::from_parts(functions, objects).unwrap();
+        let reference = {
+            let mut tree = problem.build_tree(Some(8), 0.02);
+            AlgorithmKind::Sb.run(&problem, &mut tree, 0.025).assignment.canonical()
+        };
+        for algo in [
+            AlgorithmKind::BruteForce,
+            AlgorithmKind::Chain,
+            AlgorithmKind::SbUpdateSkyline,
+            AlgorithmKind::SbDeltaSky,
+            AlgorithmKind::SbSinglePair,
+            AlgorithmKind::SbAlt {
+                list_buffer_frames: 4,
+            },
+        ] {
+            let mut tree = problem.build_tree(Some(8), 0.02);
+            let result = algo.run(&problem, &mut tree, 0.025);
+            assert_eq!(result.assignment.canonical(), reference, "{}", algo.label());
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Ablation of the Ω (candidate-queue) knob of SB's resumable TA search.
+use pref_bench::{experiments, CliOptions};
+
+fn main() {
+    let cli = CliOptions::from_args();
+    let report = experiments::by_name("omega", cli.scale).expect("known experiment");
+    report.print();
+    match report.write_json(&cli.output_dir, "ablation_omega") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write JSON results: {err}"),
+    }
+}

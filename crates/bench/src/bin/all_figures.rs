@@ -1,0 +1,18 @@
+//! Runs every figure experiment in sequence and writes all JSON reports.
+use pref_bench::{experiments, CliOptions};
+
+fn main() {
+    let cli = CliOptions::from_args();
+    for name in [
+        "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+        "omega",
+    ] {
+        eprintln!("=== running {name} ({}) ===", cli.scale.label());
+        let report = experiments::by_name(name, cli.scale).expect("known experiment");
+        report.print();
+        match report.write_json(&cli.output_dir, name) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(err) => eprintln!("could not write JSON results: {err}"),
+        }
+    }
+}

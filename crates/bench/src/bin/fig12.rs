@@ -1,0 +1,12 @@
+//! Regenerates Figure 12 of the paper's evaluation (see DESIGN.md §4).
+use pref_bench::{experiments, CliOptions};
+
+fn main() {
+    let cli = CliOptions::from_args();
+    let report = experiments::by_name("fig12", cli.scale).expect("known experiment");
+    report.print();
+    match report.write_json(&cli.output_dir, "fig12") {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write JSON results: {err}"),
+    }
+}

@@ -1,0 +1,73 @@
+//! Experiment harness reproducing the evaluation of the VLDB 2009 paper.
+//!
+//! Every figure of Section 7 has a corresponding binary (`fig08` … `fig17`)
+//! that sweeps the same parameter, runs the same competitor algorithms, and
+//! prints the same series (I/O accesses, CPU time, memory usage) as the paper.
+//! The binaries share the building blocks in this library:
+//!
+//! * [`Params`] / [`Scale`] — the workload parameters of Table 2, at three
+//!   scales (`quick` for smoke runs, `default` for laptop-sized runs, `paper`
+//!   for the original parameter values),
+//! * [`AlgorithmKind`] — the competitors (Brute Force, Chain, SB and its
+//!   ablation variants, SB-alt),
+//! * [`run_cell`] — generate a workload, build the index, run one algorithm
+//!   and produce a [`Row`] of measurements,
+//! * [`Report`] — collects rows, prints an aligned text table and writes
+//!   machine-readable JSON next to it.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod algorithms;
+mod params;
+mod report;
+mod runner;
+
+pub mod experiments;
+
+pub use algorithms::AlgorithmKind;
+pub use params::{Params, Scale};
+pub use report::{Report, Row};
+pub use runner::{build_problem, run_cell};
+
+use std::path::PathBuf;
+
+/// Command-line options shared by every figure binary.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Where to write the JSON results (defaults to `results/`).
+    pub output_dir: PathBuf,
+}
+
+impl CliOptions {
+    /// Parses the common flags: `--quick`, `--paper-scale`, `--out <dir>`.
+    pub fn from_args() -> Self {
+        let mut scale = Scale::Default;
+        let mut output_dir = PathBuf::from("results");
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => scale = Scale::Quick,
+                "--paper-scale" => scale = Scale::Paper,
+                "--out" => {
+                    if let Some(dir) = args.next() {
+                        output_dir = PathBuf::from(dir);
+                    }
+                }
+                "--help" | "-h" => {
+                    eprintln!(
+                        "options: --quick | --paper-scale   workload scale (default: laptop scale)\n         --out <dir>              directory for JSON results (default: results/)"
+                    );
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown option {other}; try --help");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self { scale, output_dir }
+    }
+}

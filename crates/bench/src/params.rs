@@ -1,0 +1,197 @@
+//! Workload parameters (Table 2 of the paper) at three scales.
+
+use pref_datagen::ObjectDistribution;
+
+/// Workload scale for the experiment binaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Seconds-per-figure smoke scale (used by CI and the integration tests).
+    Quick,
+    /// Minutes-per-figure laptop scale; the scale used to fill EXPERIMENTS.md.
+    Default,
+    /// The paper's original parameter values (|O| up to 400k, |F| up to 20k).
+    Paper,
+}
+
+impl Scale {
+    /// Human-readable label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Quick => "quick",
+            Scale::Default => "default",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Default function-set cardinality |F| (Table 2 default: 5,000).
+    pub fn default_functions(self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Default => 1_000,
+            Scale::Paper => 5_000,
+        }
+    }
+
+    /// Default object-set cardinality |O| (Table 2 default: 100,000).
+    pub fn default_objects(self) -> usize {
+        match self {
+            Scale::Quick => 3_000,
+            Scale::Default => 20_000,
+            Scale::Paper => 100_000,
+        }
+    }
+
+    /// Sweep values for the dimensionality experiment (Table 2: 3–6).
+    pub fn dims_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![3, 4],
+            Scale::Default => vec![3, 4, 5, 6],
+            Scale::Paper => vec![3, 4, 5, 6],
+        }
+    }
+
+    /// Sweep values for |F| (Table 2: 1k, 2.5k, 5k, 10k, 20k).
+    pub fn functions_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![100, 200, 400],
+            Scale::Default => vec![250, 500, 1_000, 2_000, 4_000],
+            Scale::Paper => vec![1_000, 2_500, 5_000, 10_000, 20_000],
+        }
+    }
+
+    /// Sweep values for |O| (Table 2: 10k, 50k, 100k, 200k, 400k).
+    pub fn objects_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1_000, 2_000, 4_000],
+            Scale::Default => vec![5_000, 10_000, 20_000, 40_000, 80_000],
+            Scale::Paper => vec![10_000, 50_000, 100_000, 200_000, 400_000],
+        }
+    }
+
+    /// Sweep values for capacities (Table 2: 1, 2, 4, 8, 16).
+    pub fn capacity_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![2, 4],
+            _ => vec![2, 4, 8, 16],
+        }
+    }
+
+    /// Sweep values for the maximum priority γ (Table 2: 1–16).
+    pub fn priority_sweep(self) -> Vec<u32> {
+        match self {
+            Scale::Quick => vec![2, 4],
+            _ => vec![2, 4, 8, 16],
+        }
+    }
+
+    /// Sweep values for the LRU buffer fraction (Table 2: 0%–10%).
+    pub fn buffer_sweep(self) -> Vec<f64> {
+        vec![0.0, 0.01, 0.02, 0.05, 0.10]
+    }
+
+    /// Sweep values for the number of weight clusters (Figure 12: 1–9).
+    pub fn cluster_sweep(self) -> Vec<usize> {
+        match self {
+            Scale::Quick => vec![1, 5, 9],
+            _ => vec![1, 3, 5, 7, 9],
+        }
+    }
+}
+
+/// One workload configuration: everything needed to generate a problem
+/// instance deterministically.
+#[derive(Debug, Clone)]
+pub struct Params {
+    /// Number of preference functions |F|.
+    pub num_functions: usize,
+    /// Number of objects |O|.
+    pub num_objects: usize,
+    /// Dimensionality D.
+    pub dims: usize,
+    /// Object distribution.
+    pub distribution: ObjectDistribution,
+    /// LRU buffer size as a fraction of the object R-tree (default 2%).
+    pub buffer_fraction: f64,
+    /// Capacity of every function (1 = plain assignment).
+    pub function_capacity: u32,
+    /// Capacity of every object (1 = plain assignment).
+    pub object_capacity: u32,
+    /// Maximum priority γ; 1 disables priorities.
+    pub max_priority: u32,
+    /// If set, function weights are clustered around this many centers
+    /// (Gaussian, σ = 0.05); otherwise they are drawn independently.
+    pub weight_clusters: Option<usize>,
+    /// Ω as a fraction of |F| for SB's resumable search (paper: 2.5%).
+    pub omega_fraction: f64,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl Params {
+    /// The Table 2 default configuration at a given scale: anti-correlated
+    /// objects, D = 4, unit capacities, no priorities, 2% buffer.
+    pub fn defaults(scale: Scale) -> Self {
+        Self {
+            num_functions: scale.default_functions(),
+            num_objects: scale.default_objects(),
+            dims: 4,
+            distribution: ObjectDistribution::AntiCorrelated,
+            buffer_fraction: 0.02,
+            function_capacity: 1,
+            object_capacity: 1,
+            max_priority: 1,
+            weight_clusters: None,
+            omega_fraction: 0.025,
+            seed: 0x5eed_2009,
+        }
+    }
+
+    /// A short description of the non-default parameters, for table headers.
+    pub fn describe(&self) -> String {
+        format!(
+            "|F|={} |O|={} D={} dist={} buffer={:.0}% fcap={} ocap={} gamma={}",
+            self.num_functions,
+            self.num_objects,
+            self.dims,
+            self.distribution.label(),
+            self.buffer_fraction * 100.0,
+            self.function_capacity,
+            self.object_capacity,
+            self.max_priority
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_follow_table2_shape() {
+        let p = Params::defaults(Scale::Paper);
+        assert_eq!(p.num_functions, 5_000);
+        assert_eq!(p.num_objects, 100_000);
+        assert_eq!(p.dims, 4);
+        assert_eq!(p.distribution, ObjectDistribution::AntiCorrelated);
+        assert!((p.buffer_fraction - 0.02).abs() < 1e-12);
+        assert_eq!(p.function_capacity, 1);
+        assert_eq!(p.max_priority, 1);
+    }
+
+    #[test]
+    fn scales_are_ordered() {
+        assert!(Scale::Quick.default_objects() < Scale::Default.default_objects());
+        assert!(Scale::Default.default_objects() < Scale::Paper.default_objects());
+        assert_eq!(Scale::Paper.functions_sweep(), vec![1_000, 2_500, 5_000, 10_000, 20_000]);
+        assert_eq!(Scale::Paper.objects_sweep().last(), Some(&400_000));
+        assert_eq!(Scale::Quick.label(), "quick");
+    }
+
+    #[test]
+    fn describe_mentions_key_parameters() {
+        let p = Params::defaults(Scale::Quick);
+        let d = p.describe();
+        assert!(d.contains("|F|=200"));
+        assert!(d.contains("anti-correlated"));
+    }
+}

@@ -1,0 +1,142 @@
+//! Workload construction and single-cell execution.
+
+use crate::algorithms::AlgorithmKind;
+use crate::params::Params;
+use crate::report::Row;
+use pref_assign::{ObjectRecord, PreferenceFunction, Problem};
+use pref_datagen::{
+    clustered_weight_functions, random_priorities, uniform_weight_functions, ObjectDistribution,
+};
+use pref_rtree::RTree;
+
+/// Generates the problem instance described by `params` (deterministic in the
+/// seed).
+pub fn build_problem(params: &Params) -> Problem {
+    let dims = match params.distribution {
+        ObjectDistribution::ZillowLike | ObjectDistribution::NbaLike => 5,
+        _ => params.dims,
+    };
+    let mut functions = match params.weight_clusters {
+        Some(clusters) => clustered_weight_functions(
+            params.num_functions,
+            dims,
+            clusters,
+            0.05,
+            params.seed ^ 0x00f1,
+        ),
+        None => uniform_weight_functions(params.num_functions, dims, params.seed ^ 0x00f1),
+    };
+    if params.max_priority > 1 {
+        functions = random_priorities(&functions, params.max_priority, params.seed ^ 0x0b0b);
+    }
+    let objects = params
+        .distribution
+        .generate(params.num_objects, dims, params.seed ^ 0x0bad);
+
+    let functions: Vec<PreferenceFunction> = functions
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| PreferenceFunction::new(i, f).with_capacity(params.function_capacity))
+        .collect();
+    let objects: Vec<ObjectRecord> = objects
+        .into_iter()
+        .map(|(id, p)| ObjectRecord {
+            id,
+            point: p,
+            capacity: params.object_capacity,
+        })
+        .collect();
+    Problem::new(functions, objects).expect("generated workloads are valid")
+}
+
+/// Builds the object index for a problem according to the parameters.
+pub fn build_index(problem: &Problem, params: &Params) -> RTree {
+    problem.build_tree(None, params.buffer_fraction)
+}
+
+/// Runs one algorithm on one workload and returns the measurement row.
+///
+/// `x` is the value of the swept parameter (used as the row's abscissa).
+pub fn run_cell(experiment: &str, x: &str, params: &Params, algo: AlgorithmKind) -> Row {
+    let problem = build_problem(params);
+    let mut tree = build_index(&problem, params);
+    let result = algo.run(&problem, &mut tree, params.omega_fraction);
+    Row {
+        experiment: experiment.to_string(),
+        series: algo.label().to_string(),
+        x: x.to_string(),
+        io: result.metrics.object_io.io_accesses(),
+        aux_io: result.metrics.aux_io.io_accesses(),
+        cpu_s: result.metrics.cpu_seconds(),
+        mem_mib: result.metrics.peak_memory_mib(),
+        pairs: result.assignment.len(),
+        loops: result.metrics.loops,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Scale;
+
+    fn tiny_params() -> Params {
+        Params {
+            num_functions: 30,
+            num_objects: 200,
+            dims: 3,
+            ..Params::defaults(Scale::Quick)
+        }
+    }
+
+    #[test]
+    fn build_problem_respects_params() {
+        let mut params = tiny_params();
+        params.function_capacity = 3;
+        params.object_capacity = 2;
+        params.max_priority = 4;
+        let p = build_problem(&params);
+        assert_eq!(p.num_functions(), 30);
+        assert_eq!(p.num_objects(), 200);
+        assert_eq!(p.dims(), 3);
+        assert!(p.functions().iter().all(|f| f.capacity == 3));
+        assert!(p.objects().iter().all(|o| o.capacity == 2));
+        assert!(p.has_priorities());
+    }
+
+    #[test]
+    fn real_like_distributions_force_five_dims() {
+        let mut params = tiny_params();
+        params.distribution = ObjectDistribution::NbaLike;
+        params.dims = 3; // ignored
+        let p = build_problem(&params);
+        assert_eq!(p.dims(), 5);
+    }
+
+    #[test]
+    fn run_cell_produces_consistent_rows() {
+        let params = tiny_params();
+        let row_sb = run_cell("test", "x1", &params, AlgorithmKind::Sb);
+        let row_bf = run_cell("test", "x1", &params, AlgorithmKind::BruteForce);
+        assert_eq!(row_sb.pairs, row_bf.pairs);
+        assert_eq!(row_sb.pairs, 30);
+        assert_eq!(row_sb.experiment, "test");
+        assert_eq!(row_sb.series, "SB");
+        assert!(row_bf.io >= row_sb.io);
+        assert!(row_sb.cpu_s >= 0.0);
+    }
+
+    #[test]
+    fn clustered_weights_are_wired_through() {
+        let mut params = tiny_params();
+        params.weight_clusters = Some(1);
+        let p = build_problem(&params);
+        // with one tight cluster all weight vectors are nearly identical
+        let w0 = p.functions()[0].function.weights()[0];
+        let spread = p
+            .functions()
+            .iter()
+            .map(|f| (f.function.weights()[0] - w0).abs())
+            .fold(0.0f64, f64::max);
+        assert!(spread < 0.5);
+    }
+}

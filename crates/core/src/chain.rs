@@ -1,0 +1,364 @@
+//! The Chain competitor: the spatial ECP/Chain algorithm of Wong et al.,
+//! adapted to preference functions as described in Section 7 of the paper.
+//!
+//! The functions are indexed by a main-memory R-tree built over their
+//! (effective) weight vectors; top-1 searches in either direction are fresh
+//! BRS queries — Chain performs even more top-1 searches than Brute Force and
+//! cannot resume them, which is why it is the slowest competitor.
+
+use crate::matching::Assignment;
+use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
+use crate::problem::Problem;
+use pref_geom::LinearFunction;
+use pref_rtree::{RTree, RTreeConfig, RecordId};
+use pref_topk::RankedSearch;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Work items flowing through the Chain queue: either a preference function
+/// (by index) or an object (by record id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Item {
+    Function(usize),
+    Object(RecordId),
+}
+
+/// Runs the Chain assignment algorithm.
+pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
+    let start = Instant::now();
+    let stats_before = tree.stats();
+    let n = problem.num_functions();
+
+    // main-memory R-tree over the functions' effective weight vectors
+    let weight_records: Vec<(RecordId, pref_geom::Point)> = problem
+        .functions()
+        .iter()
+        .enumerate()
+        .map(|(i, f)| (RecordId(i as u64), f.function.effective_weights_as_point()))
+        .collect();
+    let mut ftree = RTree::bulk_load(
+        RTreeConfig::for_dims(problem.dims()),
+        weight_records,
+    )
+    .expect("function weights share the problem dimensionality");
+    // "main memory" index: a buffer large enough to hold the whole tree
+    ftree.set_buffer_frames(ftree.num_pages().max(1));
+
+    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
+    let mut o_remaining: HashMap<RecordId, u32> = problem
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.capacity))
+        .collect();
+    let object_points: HashMap<RecordId, pref_geom::Point> = problem
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.point.clone()))
+        .collect();
+    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+
+    let mut assignment = Assignment::new();
+    let mut gauge = MemoryGauge::new();
+    let mut queue: VecDeque<Item> = VecDeque::new();
+    let mut next_seed = 0usize;
+    let mut searches: u64 = 0;
+    let mut loops: u64 = 0;
+    let mut since_progress: u64 = 0;
+    let stall_limit = 4 * (problem.num_functions() + problem.num_objects()) as u64 + 16;
+
+    // fresh top-1 object for a function (skipping exhausted objects)
+    let top1_object = |tree: &mut RTree,
+                       fi: usize,
+                       o_remaining: &HashMap<RecordId, u32>,
+                       searches: &mut u64|
+     -> Option<(RecordId, f64)> {
+        *searches += 1;
+        let mut s = RankedSearch::new(problem.functions()[fi].function.clone());
+        s.next_accepted(tree, |r| o_remaining.get(&r).is_some_and(|&c| c > 0))
+            .map(|(d, score)| (d.record, score))
+    };
+    // fresh top-1 function for an object (skipping exhausted functions)
+    let top1_function = |ftree: &mut RTree,
+                         object: RecordId,
+                         f_remaining: &[u32],
+                         searches: &mut u64|
+     -> Option<usize> {
+        *searches += 1;
+        let point = &object_points[&object];
+        // the best function for an object is a top-1 query in weight space
+        // whose scoring direction is the object itself; an all-zero object
+        // degenerates to a uniform direction (every function scores it 0)
+        let query = LinearFunction::new(point.coords().to_vec())
+            .unwrap_or_else(|_| LinearFunction::new(vec![1.0; point.dims()]).unwrap());
+        let mut s = RankedSearch::new(query);
+        s.next_accepted(ftree, |r| f_remaining[r.0 as usize] > 0)
+            .map(|(d, _)| d.record.0 as usize)
+    };
+
+    while demand > 0 && supply > 0 {
+        loops += 1;
+        since_progress += 1;
+        if since_progress > stall_limit {
+            // Tie-cycle safety net: fall back to a direct scan for the global
+            // best remaining pair, which is stable by Property 2.
+            if let Some((fi, obj, score)) =
+                global_best_pair(problem, &f_remaining, &o_remaining)
+            {
+                assign(
+                    problem,
+                    &mut assignment,
+                    &mut f_remaining,
+                    &mut o_remaining,
+                    &mut demand,
+                    &mut supply,
+                    fi,
+                    obj,
+                    score,
+                );
+                since_progress = 0;
+                continue;
+            }
+            break;
+        }
+        let item = match queue.pop_front() {
+            Some(item) => item,
+            None => {
+                // pick the next unassigned function as a fresh chain seed
+                while next_seed < n && f_remaining[next_seed] == 0 {
+                    next_seed += 1;
+                }
+                if next_seed >= n {
+                    // all leading functions done but capacities elsewhere may
+                    // remain; rescan from the beginning
+                    match f_remaining.iter().position(|&c| c > 0) {
+                        Some(i) => Item::Function(i),
+                        None => break,
+                    }
+                } else {
+                    Item::Function(next_seed)
+                }
+            }
+        };
+        match item {
+            Item::Function(fi) => {
+                if f_remaining[fi] == 0 {
+                    continue;
+                }
+                let Some((obj, score)) = top1_object(tree, fi, &o_remaining, &mut searches)
+                else {
+                    break;
+                };
+                let Some(back) = top1_function(&mut ftree, obj, &f_remaining, &mut searches)
+                else {
+                    break;
+                };
+                if back == fi {
+                    assign(
+                        problem,
+                        &mut assignment,
+                        &mut f_remaining,
+                        &mut o_remaining,
+                        &mut demand,
+                        &mut supply,
+                        fi,
+                        obj,
+                        score,
+                    );
+                    since_progress = 0;
+                } else {
+                    queue.push_back(Item::Object(obj));
+                }
+            }
+            Item::Object(obj) => {
+                if o_remaining.get(&obj).copied().unwrap_or(0) == 0 {
+                    continue;
+                }
+                let Some(fi) = top1_function(&mut ftree, obj, &f_remaining, &mut searches) else {
+                    break;
+                };
+                let Some((back_obj, score)) = top1_object(tree, fi, &o_remaining, &mut searches)
+                else {
+                    break;
+                };
+                if back_obj == obj {
+                    assign(
+                        problem,
+                        &mut assignment,
+                        &mut f_remaining,
+                        &mut o_remaining,
+                        &mut demand,
+                        &mut supply,
+                        fi,
+                        obj,
+                        score,
+                    );
+                    since_progress = 0;
+                } else {
+                    queue.push_back(Item::Function(fi));
+                }
+            }
+        }
+        if loops % 64 == 1 {
+            gauge.observe(queue.len() as u64 * 16 + ftree.num_pages() as u64 * 64);
+        }
+    }
+    gauge.observe(queue.len() as u64 * 16 + ftree.num_pages() as u64 * 64);
+
+    let metrics = RunMetrics {
+        object_io: tree.stats().since(&stats_before),
+        aux_io: Default::default(),
+        cpu_time: start.elapsed(),
+        peak_memory_bytes: gauge.peak(),
+        loops,
+        searches,
+    };
+    AssignmentResult {
+        assignment,
+        metrics,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn assign(
+    problem: &Problem,
+    assignment: &mut Assignment,
+    f_remaining: &mut [u32],
+    o_remaining: &mut HashMap<RecordId, u32>,
+    demand: &mut u64,
+    supply: &mut u64,
+    fi: usize,
+    obj: RecordId,
+    score: f64,
+) {
+    assignment.push(problem.functions()[fi].id, obj, score);
+    f_remaining[fi] -= 1;
+    *o_remaining.get_mut(&obj).expect("object exists") -= 1;
+    *demand -= 1;
+    *supply -= 1;
+}
+
+/// Exhaustive search for the best remaining pair; only used by the stall
+/// safety net, which fires on pathological score-tie cycles.
+fn global_best_pair(
+    problem: &Problem,
+    f_remaining: &[u32],
+    o_remaining: &HashMap<RecordId, u32>,
+) -> Option<(usize, RecordId, f64)> {
+    let mut best: Option<(usize, RecordId, f64)> = None;
+    for (fi, f) in problem.functions().iter().enumerate() {
+        if f_remaining[fi] == 0 {
+            continue;
+        }
+        for o in problem.objects() {
+            if o_remaining.get(&o.id).copied().unwrap_or(0) == 0 {
+                continue;
+            }
+            let score = f.function.score(&o.point);
+            if best.is_none_or(|(_, _, s)| score > s) {
+                best = Some((fi, o.id, score));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::verify_stable;
+    use crate::oracle::oracle;
+    use crate::problem::{ObjectRecord, PreferenceFunction};
+    use pref_datagen::{anti_correlated_objects, independent_objects, uniform_weight_functions};
+    use pref_geom::Point;
+
+    #[test]
+    fn solves_the_paper_example() {
+        let p = Problem::new(
+            vec![
+                PreferenceFunction::new(0, LinearFunction::new(vec![0.8, 0.2]).unwrap()),
+                PreferenceFunction::new(1, LinearFunction::new(vec![0.2, 0.8]).unwrap()),
+                PreferenceFunction::new(2, LinearFunction::new(vec![0.5, 0.5]).unwrap()),
+            ],
+            vec![
+                ObjectRecord::new(0, Point::from_slice(&[0.5, 0.6])),
+                ObjectRecord::new(1, Point::from_slice(&[0.2, 0.7])),
+                ObjectRecord::new(2, Point::from_slice(&[0.8, 0.2])),
+                ObjectRecord::new(3, Point::from_slice(&[0.4, 0.4])),
+            ],
+        )
+        .unwrap();
+        let mut tree = p.build_tree(None, 0.0);
+        let result = chain(&p, &mut tree);
+        verify_stable(&p, &result.assignment).unwrap();
+        assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+    }
+
+    #[test]
+    fn matches_oracle_on_random_instances() {
+        for seed in [21u64, 22, 23] {
+            let functions = uniform_weight_functions(50, 3, seed);
+            let objects = independent_objects(250, 3, seed + 100);
+            let p = Problem::from_parts(functions, objects).unwrap();
+            let mut tree = p.build_tree(Some(16), 0.02);
+            let result = chain(&p, &mut tree);
+            verify_stable(&p, &result.assignment).unwrap();
+            assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+        }
+    }
+
+    #[test]
+    fn anti_correlated_instances() {
+        let functions = uniform_weight_functions(40, 3, 31);
+        let objects = anti_correlated_objects(200, 3, 32);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(12), 0.02);
+        let result = chain(&p, &mut tree);
+        verify_stable(&p, &result.assignment).unwrap();
+        assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+    }
+
+    #[test]
+    fn capacitated_assignment() {
+        let functions: Vec<PreferenceFunction> = uniform_weight_functions(15, 2, 41)
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| PreferenceFunction::new(i, f).with_capacity(2))
+            .collect();
+        let objects: Vec<ObjectRecord> = independent_objects(60, 2, 42)
+            .into_iter()
+            .map(|(id, p)| ObjectRecord {
+                id,
+                point: p,
+                capacity: 1 + (id.0 % 2) as u32,
+            })
+            .collect();
+        let p = Problem::new(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(8), 0.0);
+        let result = chain(&p, &mut tree);
+        verify_stable(&p, &result.assignment).unwrap();
+        assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+    }
+
+    #[test]
+    fn more_functions_than_objects() {
+        let functions = uniform_weight_functions(40, 2, 51);
+        let objects = independent_objects(15, 2, 52);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(8), 0.0);
+        let result = chain(&p, &mut tree);
+        assert_eq!(result.assignment.len(), 15);
+        verify_stable(&p, &result.assignment).unwrap();
+    }
+
+    #[test]
+    fn chain_issues_more_searches_than_pairs() {
+        let functions = uniform_weight_functions(30, 3, 61);
+        let objects = independent_objects(300, 3, 62);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(16), 0.02);
+        let result = chain(&p, &mut tree);
+        assert!(result.metrics.searches as usize >= 2 * result.assignment.len());
+        assert!(result.metrics.object_io.logical_reads > 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Exact reference implementation of the stable assignment.
+
+use crate::matching::Assignment;
+use crate::problem::Problem;
+
+/// Computes the stable assignment by brute force: all `|F| · |O|` scores are
+/// materialized, sorted in descending order, and consumed greedily while both
+/// sides still have capacity. This is exactly the definition of the matching
+/// (Section 3) and serves as the oracle that every algorithm is tested
+/// against. Ties are broken deterministically by (function id, object id).
+///
+/// Complexity is `O(|F|·|O|·log(|F|·|O|))` time and `O(|F|·|O|)` memory, so
+/// it is intended for tests and small examples only.
+pub fn oracle(problem: &Problem) -> Assignment {
+    let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(
+        problem.num_functions() * problem.num_objects(),
+    );
+    for (fi, f) in problem.functions().iter().enumerate() {
+        for (oi, o) in problem.objects().iter().enumerate() {
+            scored.push((f.function.score(&o.point), fi, oi));
+        }
+    }
+    scored.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.1.cmp(&b.1))
+            .then_with(|| a.2.cmp(&b.2))
+    });
+    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
+    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
+    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
+    let mut assignment = Assignment::new();
+    for (score, fi, oi) in scored {
+        if demand == 0 || supply == 0 {
+            break;
+        }
+        // a pair with capacity on both sides keeps being the maximum until one
+        // side is exhausted, so the iterative process assigns it repeatedly
+        let take = f_remaining[fi].min(o_remaining[oi]);
+        for _ in 0..take {
+            if demand == 0 || supply == 0 {
+                break;
+            }
+            f_remaining[fi] -= 1;
+            o_remaining[oi] -= 1;
+            demand -= 1;
+            supply -= 1;
+            assignment.push(problem.functions()[fi].id, problem.objects()[oi].id, score);
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::verify_stable;
+    use crate::problem::{FunctionId, ObjectRecord, PreferenceFunction};
+    use pref_geom::{LinearFunction, Point};
+    use pref_rtree::RecordId;
+
+    fn figure1_problem() -> Problem {
+        Problem::new(
+            vec![
+                PreferenceFunction::new(0, LinearFunction::new(vec![0.8, 0.2]).unwrap()),
+                PreferenceFunction::new(1, LinearFunction::new(vec![0.2, 0.8]).unwrap()),
+                PreferenceFunction::new(2, LinearFunction::new(vec![0.5, 0.5]).unwrap()),
+            ],
+            vec![
+                ObjectRecord::new(0, Point::from_slice(&[0.5, 0.6])),
+                ObjectRecord::new(1, Point::from_slice(&[0.2, 0.7])),
+                ObjectRecord::new(2, Point::from_slice(&[0.8, 0.2])),
+                ObjectRecord::new(3, Point::from_slice(&[0.4, 0.4])),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reproduces_the_paper_walkthrough() {
+        // "c is assigned to f1 ... next b is assigned to f2 ... f3 takes a"
+        let p = figure1_problem();
+        let a = oracle(&p);
+        verify_stable(&p, &a).unwrap();
+        assert_eq!(a.pairs().len(), 3);
+        assert_eq!(a.pairs()[0].function, FunctionId(0));
+        assert_eq!(a.pairs()[0].object, RecordId(2));
+        assert_eq!(a.pairs()[1].function, FunctionId(1));
+        assert_eq!(a.pairs()[1].object, RecordId(1));
+        assert_eq!(a.pairs()[2].function, FunctionId(2));
+        assert_eq!(a.pairs()[2].object, RecordId(0));
+        // scores come out in descending order
+        assert!(a.pairs().windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn oracle_output_is_always_stable_on_random_instances() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10 {
+            let dims = rng.gen_range(2..5);
+            let functions: Vec<PreferenceFunction> = (0..rng.gen_range(3..15))
+                .map(|i| {
+                    PreferenceFunction::new(
+                        i,
+                        LinearFunction::new((0..dims).map(|_| rng.gen_range(0.01..1.0)).collect())
+                            .unwrap(),
+                    )
+                })
+                .collect();
+            let objects: Vec<ObjectRecord> = (0..rng.gen_range(3..25))
+                .map(|i| {
+                    ObjectRecord::new(
+                        i,
+                        Point::from_slice(
+                            &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        ),
+                    )
+                })
+                .collect();
+            let p = Problem::new(functions, objects).unwrap();
+            let a = oracle(&p);
+            verify_stable(&p, &a).unwrap();
+        }
+    }
+
+    #[test]
+    fn capacities_expand_the_matching() {
+        let p = Problem::new(
+            vec![
+                PreferenceFunction::new(0, LinearFunction::new(vec![0.9, 0.1]).unwrap())
+                    .with_capacity(2),
+                PreferenceFunction::new(1, LinearFunction::new(vec![0.1, 0.9]).unwrap()),
+            ],
+            vec![
+                ObjectRecord::new(0, Point::from_slice(&[0.9, 0.1])).with_capacity(2),
+                ObjectRecord::new(1, Point::from_slice(&[0.1, 0.9])),
+            ],
+        )
+        .unwrap();
+        let a = oracle(&p);
+        verify_stable(&p, &a).unwrap();
+        assert_eq!(a.len(), 3);
+        // the capacity-2 function takes the capacity-2 object twice? no — each
+        // pair consumes one capacity unit of each side, so f0 gets r0 twice
+        assert_eq!(a.objects_of(FunctionId(0)), vec![RecordId(0), RecordId(0)]);
+        assert_eq!(a.objects_of(FunctionId(1)), vec![RecordId(1)]);
+    }
+
+    #[test]
+    fn more_functions_than_objects_leaves_users_unmatched() {
+        let p = Problem::new(
+            (0..5)
+                .map(|i| {
+                    PreferenceFunction::new(
+                        i,
+                        LinearFunction::new(vec![0.5 + i as f64 * 0.05, 0.5 - i as f64 * 0.05])
+                            .unwrap(),
+                    )
+                })
+                .collect(),
+            vec![
+                ObjectRecord::new(0, Point::from_slice(&[0.8, 0.3])),
+                ObjectRecord::new(1, Point::from_slice(&[0.3, 0.8])),
+            ],
+        )
+        .unwrap();
+        let a = oracle(&p);
+        verify_stable(&p, &a).unwrap();
+        assert_eq!(a.len(), 2);
+    }
+}

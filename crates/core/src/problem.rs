@@ -1,0 +1,380 @@
+//! Problem definition: preference functions, objects, capacities, priorities.
+
+use pref_geom::{LinearFunction, Point};
+use pref_rtree::{RTree, RTreeConfig, RecordId};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a preference function (a user / query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct FunctionId(pub usize);
+
+impl std::fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// A user's preference query: a linear function plus a capacity (how many
+/// identical requests this entry stands for, Section 6.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreferenceFunction {
+    /// Identifier of the function.
+    pub id: FunctionId,
+    /// The scoring function (weights and optional priority γ).
+    pub function: LinearFunction,
+    /// Number of identical requests represented by this entry (≥ 1).
+    pub capacity: u32,
+}
+
+impl PreferenceFunction {
+    /// A unit-capacity preference function.
+    pub fn new(id: usize, function: LinearFunction) -> Self {
+        Self {
+            id: FunctionId(id),
+            function,
+            capacity: 1,
+        }
+    }
+
+    /// Sets the capacity (must be at least 1).
+    pub fn with_capacity(mut self, capacity: u32) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// An object of the searched set `O`: a feature vector plus a capacity (how
+/// many identical objects this entry stands for).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectRecord {
+    /// Identifier of the object (doubles as the R-tree record id).
+    pub id: RecordId,
+    /// Feature vector, larger-is-better, normalized to `[0, 1]`.
+    pub point: Point,
+    /// Number of identical objects represented by this entry (≥ 1).
+    pub capacity: u32,
+}
+
+impl ObjectRecord {
+    /// A unit-capacity object.
+    pub fn new(id: u64, point: Point) -> Self {
+        Self {
+            id: RecordId(id),
+            point,
+            capacity: 1,
+        }
+    }
+
+    /// Sets the capacity (must be at least 1).
+    pub fn with_capacity(mut self, capacity: u32) -> Self {
+        assert!(capacity >= 1, "capacity must be at least 1");
+        self.capacity = capacity;
+        self
+    }
+}
+
+/// Errors raised while constructing a [`Problem`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProblemError {
+    /// There must be at least one function and one object.
+    Empty,
+    /// Functions and objects must share one dimensionality.
+    DimensionMismatch(String),
+    /// Identifiers must be unique within their set.
+    DuplicateId(String),
+}
+
+impl std::fmt::Display for ProblemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProblemError::Empty => write!(f, "problem needs at least one function and one object"),
+            ProblemError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            ProblemError::DuplicateId(msg) => write!(f, "duplicate identifier: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProblemError {}
+
+/// A fair-assignment problem instance: the function set `F` (kept in memory)
+/// and the object set `O` (to be indexed by an R-tree).
+#[derive(Debug, Clone)]
+pub struct Problem {
+    functions: Vec<PreferenceFunction>,
+    objects: Vec<ObjectRecord>,
+    dims: usize,
+}
+
+impl Problem {
+    /// Validates and creates a problem instance.
+    pub fn new(
+        functions: Vec<PreferenceFunction>,
+        objects: Vec<ObjectRecord>,
+    ) -> Result<Self, ProblemError> {
+        if functions.is_empty() || objects.is_empty() {
+            return Err(ProblemError::Empty);
+        }
+        let dims = functions[0].function.dims();
+        for f in &functions {
+            if f.function.dims() != dims {
+                return Err(ProblemError::DimensionMismatch(format!(
+                    "function {} has {} dimensions, expected {dims}",
+                    f.id.0,
+                    f.function.dims()
+                )));
+            }
+        }
+        for o in &objects {
+            if o.point.dims() != dims {
+                return Err(ProblemError::DimensionMismatch(format!(
+                    "object {} has {} dimensions, expected {dims}",
+                    o.id,
+                    o.point.dims()
+                )));
+            }
+        }
+        let mut fids: Vec<usize> = functions.iter().map(|f| f.id.0).collect();
+        fids.sort_unstable();
+        if fids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ProblemError::DuplicateId("function ids".into()));
+        }
+        let mut oids: Vec<u64> = objects.iter().map(|o| o.id.0).collect();
+        oids.sort_unstable();
+        if oids.windows(2).any(|w| w[0] == w[1]) {
+            return Err(ProblemError::DuplicateId("object ids".into()));
+        }
+        Ok(Self {
+            functions,
+            objects,
+            dims,
+        })
+    }
+
+    /// Builds a problem from plain functions and points, assigning sequential
+    /// ids and unit capacities. Convenient for generators and tests.
+    pub fn from_parts(
+        functions: Vec<LinearFunction>,
+        objects: Vec<(RecordId, Point)>,
+    ) -> Result<Self, ProblemError> {
+        let functions = functions
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| PreferenceFunction::new(i, f))
+            .collect();
+        let objects = objects
+            .into_iter()
+            .map(|(id, p)| ObjectRecord {
+                id,
+                point: p,
+                capacity: 1,
+            })
+            .collect();
+        Self::new(functions, objects)
+    }
+
+    /// Dimensionality of the problem.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The preference functions.
+    pub fn functions(&self) -> &[PreferenceFunction] {
+        &self.functions
+    }
+
+    /// The objects.
+    pub fn objects(&self) -> &[ObjectRecord] {
+        &self.objects
+    }
+
+    /// Number of functions (not counting capacities).
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of objects (not counting capacities).
+    pub fn num_objects(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Total demand: the sum of function capacities.
+    pub fn total_function_capacity(&self) -> u64 {
+        self.functions.iter().map(|f| f.capacity as u64).sum()
+    }
+
+    /// Total supply: the sum of object capacities.
+    pub fn total_object_capacity(&self) -> u64 {
+        self.objects.iter().map(|o| o.capacity as u64).sum()
+    }
+
+    /// Number of pairs the stable assignment will contain:
+    /// `min(total demand, total supply)`.
+    pub fn expected_pairs(&self) -> u64 {
+        self.total_function_capacity()
+            .min(self.total_object_capacity())
+    }
+
+    /// `true` if any function carries a priority γ ≠ 1.
+    pub fn has_priorities(&self) -> bool {
+        self.functions
+            .iter()
+            .any(|f| (f.function.priority() - 1.0).abs() > f64::EPSILON)
+    }
+
+    /// Looks up a function by id.
+    pub fn function(&self, id: FunctionId) -> Option<&PreferenceFunction> {
+        self.functions.iter().find(|f| f.id == id)
+    }
+
+    /// Looks up an object by id.
+    pub fn object(&self, id: RecordId) -> Option<&ObjectRecord> {
+        self.objects.iter().find(|o| o.id == id)
+    }
+
+    /// Score of a function applied to an object, by id. `None` if either id is
+    /// unknown.
+    pub fn score(&self, f: FunctionId, o: RecordId) -> Option<f64> {
+        Some(self.function(f)?.function.score(&self.object(o)?.point))
+    }
+
+    /// Bulk-loads the object R-tree with an optional fanout override and an
+    /// LRU buffer sized as a fraction of the built tree (the paper's default
+    /// is 2%). Construction does not charge I/O.
+    pub fn build_tree(&self, fanout: Option<usize>, buffer_fraction: f64) -> RTree {
+        let mut config = RTreeConfig::for_dims(self.dims);
+        if let Some(fanout) = fanout {
+            config = config.with_fanout(fanout);
+        }
+        let records: Vec<(RecordId, Point)> = self
+            .objects
+            .iter()
+            .map(|o| (o.id, o.point.clone()))
+            .collect();
+        let mut tree = RTree::bulk_load(config, records).expect("problem dimensions are validated");
+        tree.set_buffer_fraction(buffer_fraction);
+        tree.reset_stats();
+        tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn figure1_problem() -> Problem {
+        let functions = vec![
+            PreferenceFunction::new(0, LinearFunction::new(vec![0.8, 0.2]).unwrap()),
+            PreferenceFunction::new(1, LinearFunction::new(vec![0.2, 0.8]).unwrap()),
+            PreferenceFunction::new(2, LinearFunction::new(vec![0.5, 0.5]).unwrap()),
+        ];
+        let objects = vec![
+            ObjectRecord::new(0, Point::from_slice(&[0.5, 0.6])),
+            ObjectRecord::new(1, Point::from_slice(&[0.2, 0.7])),
+            ObjectRecord::new(2, Point::from_slice(&[0.8, 0.2])),
+            ObjectRecord::new(3, Point::from_slice(&[0.4, 0.4])),
+        ];
+        Problem::new(functions, objects).unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let p = figure1_problem();
+        assert_eq!(p.dims(), 2);
+        assert_eq!(p.num_functions(), 3);
+        assert_eq!(p.num_objects(), 4);
+        assert_eq!(p.expected_pairs(), 3);
+        assert!(!p.has_priorities());
+        assert!(p.function(FunctionId(1)).is_some());
+        assert!(p.function(FunctionId(9)).is_none());
+        assert!(p.object(RecordId(3)).is_some());
+        let s = p.score(FunctionId(0), RecordId(2)).unwrap();
+        assert!((s - 0.68).abs() < 1e-12);
+        assert!(p.score(FunctionId(0), RecordId(99)).is_none());
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(matches!(Problem::new(vec![], vec![]), Err(ProblemError::Empty)));
+        let f2 = PreferenceFunction::new(0, LinearFunction::new(vec![0.5, 0.5]).unwrap());
+        let f3 = PreferenceFunction::new(1, LinearFunction::new(vec![0.3, 0.3, 0.4]).unwrap());
+        let o = ObjectRecord::new(0, Point::from_slice(&[0.5, 0.5]));
+        assert!(matches!(
+            Problem::new(vec![f2.clone(), f3], vec![o.clone()]),
+            Err(ProblemError::DimensionMismatch(_))
+        ));
+        let o3 = ObjectRecord::new(1, Point::from_slice(&[0.5, 0.5, 0.5]));
+        assert!(matches!(
+            Problem::new(vec![f2.clone()], vec![o.clone(), o3]),
+            Err(ProblemError::DimensionMismatch(_))
+        ));
+        let dup_f = PreferenceFunction::new(0, LinearFunction::new(vec![0.6, 0.4]).unwrap());
+        assert!(matches!(
+            Problem::new(vec![f2.clone(), dup_f], vec![o.clone()]),
+            Err(ProblemError::DuplicateId(_))
+        ));
+        let dup_o = ObjectRecord::new(0, Point::from_slice(&[0.1, 0.1]));
+        assert!(matches!(
+            Problem::new(vec![f2], vec![o, dup_o]),
+            Err(ProblemError::DuplicateId(_))
+        ));
+    }
+
+    #[test]
+    fn capacities_feed_expected_pairs() {
+        let functions = vec![
+            PreferenceFunction::new(0, LinearFunction::new(vec![0.5, 0.5]).unwrap())
+                .with_capacity(3),
+            PreferenceFunction::new(1, LinearFunction::new(vec![0.6, 0.4]).unwrap()),
+        ];
+        let objects = vec![
+            ObjectRecord::new(0, Point::from_slice(&[0.5, 0.5])).with_capacity(2),
+            ObjectRecord::new(1, Point::from_slice(&[0.4, 0.6])),
+        ];
+        let p = Problem::new(functions, objects).unwrap();
+        assert_eq!(p.total_function_capacity(), 4);
+        assert_eq!(p.total_object_capacity(), 3);
+        assert_eq!(p.expected_pairs(), 3);
+    }
+
+    #[test]
+    fn build_tree_indexes_all_objects() {
+        let p = figure1_problem();
+        let mut tree = p.build_tree(None, 0.0);
+        assert_eq!(tree.len(), 4);
+        assert_eq!(tree.stats().logical_reads, 0);
+        assert_eq!(tree.scan().len(), 4);
+    }
+
+    #[test]
+    fn from_parts_assigns_sequential_ids() {
+        let fs = vec![
+            LinearFunction::new(vec![0.5, 0.5]).unwrap(),
+            LinearFunction::new(vec![0.9, 0.1]).unwrap(),
+        ];
+        let os = vec![
+            (RecordId(10), Point::from_slice(&[0.5, 0.5])),
+            (RecordId(11), Point::from_slice(&[0.2, 0.4])),
+        ];
+        let p = Problem::from_parts(fs, os).unwrap();
+        assert_eq!(p.functions()[1].id, FunctionId(1));
+        assert_eq!(p.objects()[0].id, RecordId(10));
+    }
+
+    #[test]
+    fn priorities_detected() {
+        let functions = vec![PreferenceFunction::new(
+            0,
+            LinearFunction::with_priority(vec![0.5, 0.5], 2.0).unwrap(),
+        )];
+        let objects = vec![ObjectRecord::new(0, Point::from_slice(&[0.5, 0.5]))];
+        let p = Problem::new(functions, objects).unwrap();
+        assert!(p.has_priorities());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be at least 1")]
+    fn zero_capacity_rejected() {
+        let _ = ObjectRecord::new(0, Point::from_slice(&[0.5, 0.5])).with_capacity(0);
+    }
+}

@@ -1,0 +1,523 @@
+//! SB — the paper's skyline-based stable assignment algorithm (Sections 4–6).
+//!
+//! The algorithm maintains the skyline `Osky` of the remaining objects; only
+//! skyline objects can participate in a stable pair. Each loop finds, for
+//! every skyline object, its best remaining function (reverse top-1 search)
+//! and, for every such function, its best skyline object; every reciprocal
+//! pair satisfies Property 2 and is output. Removed skyline objects are
+//! handled by the I/O-optimal `UpdateSkyline` module (or, for the ablation
+//! baseline, by a DeltaSky-style re-traversal).
+//!
+//! [`SbOptions`] selects between the fully optimized algorithm and the
+//! stripped-down variants used in the paper's Figure 8 ablation, and enables
+//! the two-skyline technique for prioritized functions (Section 6.2).
+
+use crate::matching::Assignment;
+use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
+use crate::problem::Problem;
+use pref_geom::Point;
+use pref_rtree::{RTree, RecordId};
+use pref_skyline::{compute_skyline_bbs, delta_sky_update, skyline_sfs, update_skyline, Skyline};
+use pref_topk::{FunctionLists, ReverseTopOne};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// How the skyline is maintained after assigned objects are removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintenanceStrategy {
+    /// The paper's I/O-optimal incremental algorithm (Algorithm 2).
+    UpdateSkyline,
+    /// The DeltaSky-style baseline: one constrained root-to-leaf re-traversal
+    /// per removed object. Used by the Figure 8 ablation.
+    DeltaSky,
+}
+
+/// How the best function for each skyline object is located.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BestPairStrategy {
+    /// Resumable TA with biased probing and a candidate queue capped at
+    /// `omega_fraction · |F|` (the fully optimized search of Section 5.1).
+    ResumableTa {
+        /// Fraction ω of `|F|` used as the candidate-queue capacity.
+        omega_fraction: f64,
+    },
+    /// A fresh TA search per object per loop (no state kept between loops);
+    /// the best-pair search used by the unoptimized SB variants of Figure 8.
+    FreshTa,
+    /// Exhaustive scan of all remaining functions per skyline object.
+    ExhaustiveScan,
+    /// The two-skyline technique for prioritized functions (Section 6.2):
+    /// only functions on the skyline of the effective weight vectors are
+    /// considered, by exhaustive scan.
+    TwoSkylines,
+}
+
+/// Configuration of the SB algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SbOptions {
+    /// Skyline maintenance module.
+    pub maintenance: MaintenanceStrategy,
+    /// Best-pair search module.
+    pub best_pair: BestPairStrategy,
+    /// Whether to report every reciprocal pair found in a loop (Section 5.3)
+    /// or only the single best pair.
+    pub multiple_pairs_per_loop: bool,
+}
+
+impl Default for SbOptions {
+    fn default() -> Self {
+        // the fully optimized SB used in the experiments (Ω = 2.5% · |F|)
+        Self {
+            maintenance: MaintenanceStrategy::UpdateSkyline,
+            best_pair: BestPairStrategy::ResumableTa {
+                omega_fraction: 0.025,
+            },
+            multiple_pairs_per_loop: true,
+        }
+    }
+}
+
+impl SbOptions {
+    /// SB-UpdateSkyline of Figure 8: incremental maintenance but no best-pair
+    /// or multi-pair optimizations.
+    pub fn update_skyline_only() -> Self {
+        Self {
+            maintenance: MaintenanceStrategy::UpdateSkyline,
+            best_pair: BestPairStrategy::FreshTa,
+            multiple_pairs_per_loop: false,
+        }
+    }
+
+    /// SB-DeltaSky of Figure 8: Algorithm 1 with DeltaSky maintenance.
+    pub fn delta_sky() -> Self {
+        Self {
+            maintenance: MaintenanceStrategy::DeltaSky,
+            best_pair: BestPairStrategy::FreshTa,
+            multiple_pairs_per_loop: false,
+        }
+    }
+
+    /// The two-skyline variant for prioritized functions (Section 6.2).
+    pub fn two_skylines() -> Self {
+        Self {
+            maintenance: MaintenanceStrategy::UpdateSkyline,
+            best_pair: BestPairStrategy::TwoSkylines,
+            multiple_pairs_per_loop: true,
+        }
+    }
+}
+
+/// Runs the SB assignment algorithm with the given options.
+pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> AssignmentResult {
+    let start = Instant::now();
+    let stats_before = tree.stats();
+
+    let functions: Vec<pref_geom::LinearFunction> = problem
+        .functions()
+        .iter()
+        .map(|f| f.function.clone())
+        .collect();
+    let mut lists = FunctionLists::new(&functions);
+    let omega = match options.best_pair {
+        BestPairStrategy::ResumableTa { omega_fraction } => {
+            ((omega_fraction * problem.num_functions() as f64).ceil() as usize).max(1)
+        }
+        _ => problem.num_functions().max(1),
+    };
+
+    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
+    let mut o_remaining: HashMap<RecordId, u32> = problem
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.capacity))
+        .collect();
+    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+
+    let mut skyline: Skyline = compute_skyline_bbs(tree);
+    let mut ta_states: HashMap<RecordId, ReverseTopOne> = HashMap::new();
+    let mut excluded: HashSet<RecordId> = HashSet::new();
+
+    let mut assignment = Assignment::new();
+    let mut gauge = MemoryGauge::new();
+    let mut loops: u64 = 0;
+    let mut searches: u64 = 0;
+
+    while demand > 0 && supply > 0 && !skyline.is_empty() {
+        loops += 1;
+
+        // --- best function for every skyline object -------------------------
+        let sky_objects: Vec<(RecordId, Point)> = skyline
+            .data_entries()
+            .map(|d| (d.record, d.point.clone()))
+            .collect();
+        // candidate function set for the two-skyline strategy
+        let function_skyline: Option<HashSet<usize>> = match options.best_pair {
+            BestPairStrategy::TwoSkylines => {
+                let alive: Vec<(RecordId, Point)> = lists
+                    .alive_functions()
+                    .into_iter()
+                    .map(|i| {
+                        (
+                            RecordId(i as u64),
+                            Point::from_slice(lists.effective_weights(i)),
+                        )
+                    })
+                    .collect();
+                Some(
+                    skyline_sfs(&alive)
+                        .into_iter()
+                        .map(|r| r.0 as usize)
+                        .collect(),
+                )
+            }
+            _ => None,
+        };
+
+        let mut object_best: HashMap<RecordId, (usize, f64)> = HashMap::new();
+        for (record, point) in &sky_objects {
+            searches += 1;
+            let best = match options.best_pair {
+                BestPairStrategy::ResumableTa { .. } => {
+                    let state = ta_states
+                        .entry(*record)
+                        .or_insert_with(|| ReverseTopOne::new(point.clone(), omega));
+                    state.best(&lists)
+                }
+                BestPairStrategy::FreshTa => {
+                    let mut state = ReverseTopOne::new(point.clone(), problem.num_functions());
+                    state.best(&lists)
+                }
+                BestPairStrategy::ExhaustiveScan => lists.best_by_scan(point),
+                BestPairStrategy::TwoSkylines => {
+                    let candidates = function_skyline.as_ref().expect("computed above");
+                    let mut best: Option<(usize, f64)> = None;
+                    for &fi in candidates {
+                        if !lists.is_alive(fi) {
+                            continue;
+                        }
+                        let s = lists.score(fi, point);
+                        if best.is_none_or(|(_, bs)| s > bs) {
+                            best = Some((fi, s));
+                        }
+                    }
+                    best
+                }
+            };
+            match best {
+                Some(pair) => {
+                    object_best.insert(*record, pair);
+                }
+                None => break, // no functions remain
+            }
+        }
+        if object_best.is_empty() {
+            break;
+        }
+
+        // --- best skyline object for every candidate function ---------------
+        let candidate_functions: HashSet<usize> =
+            object_best.values().map(|&(f, _)| f).collect();
+        let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
+        for &fi in &candidate_functions {
+            let mut best: Option<(RecordId, f64)> = None;
+            for (record, point) in &sky_objects {
+                let s = lists.score(fi, point);
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((*record, s));
+                }
+            }
+            if let Some(b) = best {
+                function_best.insert(fi, b);
+            }
+        }
+
+        // --- reciprocal pairs are stable (Property 2) -----------------------
+        let mut pairs: Vec<(usize, RecordId, f64)> = Vec::new();
+        for (&fi, &(obj, score)) in &function_best {
+            if object_best.get(&obj).map(|&(f, _)| f) == Some(fi) {
+                pairs.push((fi, obj, score));
+            }
+        }
+        if pairs.is_empty() {
+            // Exact score ties can make the argmax choices cyclic, leaving no
+            // reciprocal pair. The highest-scoring (function, its best object)
+            // entry is still stable — no strictly better partner exists for
+            // either side — so emit it to guarantee progress.
+            if let Some((&fi, &(obj, score))) = function_best
+                .iter()
+                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                pairs.push((fi, obj, score));
+            } else {
+                break;
+            }
+        }
+        // report pairs in descending score order (the order in which the
+        // iterative definition of Section 3 would establish them)
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        if !options.multiple_pairs_per_loop {
+            pairs.truncate(1);
+        }
+
+        // --- assign and update capacities -----------------------------------
+        let mut removed_objects = Vec::new();
+        for (fi, obj, score) in pairs {
+            if demand == 0 || supply == 0 {
+                break;
+            }
+            assignment.push(problem.functions()[fi].id, obj, score);
+            demand -= 1;
+            supply -= 1;
+            f_remaining[fi] -= 1;
+            if f_remaining[fi] == 0 {
+                lists.remove(fi);
+            }
+            let oc = o_remaining.get_mut(&obj).expect("object exists");
+            *oc -= 1;
+            if *oc == 0 {
+                excluded.insert(obj);
+                ta_states.remove(&obj);
+                if let Some(sky_obj) = skyline.remove(obj) {
+                    removed_objects.push(sky_obj);
+                }
+            }
+        }
+
+        // --- skyline maintenance ---------------------------------------------
+        if !removed_objects.is_empty() {
+            match options.maintenance {
+                MaintenanceStrategy::UpdateSkyline => {
+                    update_skyline(tree, &mut skyline, removed_objects)
+                }
+                MaintenanceStrategy::DeltaSky => {
+                    delta_sky_update(tree, &mut skyline, removed_objects, &excluded)
+                }
+            }
+        }
+
+        // --- memory accounting ----------------------------------------------
+        let ta_mem: u64 = ta_states.values().map(ReverseTopOne::memory_bytes).sum();
+        gauge.observe(skyline.memory_bytes() + ta_mem);
+    }
+
+    let metrics = RunMetrics {
+        object_io: tree.stats().since(&stats_before),
+        aux_io: Default::default(),
+        cpu_time: start.elapsed(),
+        peak_memory_bytes: gauge.peak(),
+        loops,
+        searches,
+    };
+    AssignmentResult {
+        assignment,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::verify_stable;
+    use crate::oracle::oracle;
+    use crate::problem::{ObjectRecord, PreferenceFunction};
+    use pref_datagen::{
+        anti_correlated_objects, correlated_objects, independent_objects, random_priorities,
+        uniform_weight_functions,
+    };
+    use pref_geom::LinearFunction;
+
+    fn figure1_problem() -> Problem {
+        Problem::new(
+            vec![
+                PreferenceFunction::new(0, LinearFunction::new(vec![0.8, 0.2]).unwrap()),
+                PreferenceFunction::new(1, LinearFunction::new(vec![0.2, 0.8]).unwrap()),
+                PreferenceFunction::new(2, LinearFunction::new(vec![0.5, 0.5]).unwrap()),
+            ],
+            vec![
+                ObjectRecord::new(0, Point::from_slice(&[0.5, 0.6])),
+                ObjectRecord::new(1, Point::from_slice(&[0.2, 0.7])),
+                ObjectRecord::new(2, Point::from_slice(&[0.8, 0.2])),
+                ObjectRecord::new(3, Point::from_slice(&[0.4, 0.4])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn all_option_sets() -> Vec<SbOptions> {
+        vec![
+            SbOptions::default(),
+            SbOptions::update_skyline_only(),
+            SbOptions::delta_sky(),
+            SbOptions {
+                maintenance: MaintenanceStrategy::UpdateSkyline,
+                best_pair: BestPairStrategy::ExhaustiveScan,
+                multiple_pairs_per_loop: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn solves_the_paper_example_with_every_variant() {
+        let p = figure1_problem();
+        for opts in all_option_sets() {
+            let mut tree = p.build_tree(None, 0.0);
+            let result = sb(&p, &mut tree, &opts);
+            verify_stable(&p, &result.assignment).unwrap();
+            assert_eq!(
+                result.assignment.canonical(),
+                oracle(&p).canonical(),
+                "variant {opts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_random_instances_all_variants() {
+        for seed in [71u64, 72] {
+            let functions = uniform_weight_functions(60, 3, seed);
+            let objects = independent_objects(300, 3, seed + 100);
+            let p = Problem::from_parts(functions, objects).unwrap();
+            let want = oracle(&p).canonical();
+            for opts in all_option_sets() {
+                let mut tree = p.build_tree(Some(16), 0.02);
+                let result = sb(&p, &mut tree, &opts);
+                verify_stable(&p, &result.assignment).unwrap();
+                assert_eq!(result.assignment.canonical(), want, "variant {opts:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_on_correlated_and_anti_correlated_data() {
+        let functions = uniform_weight_functions(50, 4, 81);
+        for objects in [
+            correlated_objects(250, 4, 82),
+            anti_correlated_objects(250, 4, 83),
+        ] {
+            let p = Problem::from_parts(functions.clone(), objects).unwrap();
+            let mut tree = p.build_tree(Some(16), 0.02);
+            let result = sb(&p, &mut tree, &SbOptions::default());
+            verify_stable(&p, &result.assignment).unwrap();
+            assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+        }
+    }
+
+    #[test]
+    fn more_functions_than_objects() {
+        let functions = uniform_weight_functions(80, 3, 91);
+        let objects = independent_objects(25, 3, 92);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(8), 0.0);
+        let result = sb(&p, &mut tree, &SbOptions::default());
+        assert_eq!(result.assignment.len(), 25);
+        verify_stable(&p, &result.assignment).unwrap();
+    }
+
+    #[test]
+    fn capacitated_functions_and_objects() {
+        let functions: Vec<PreferenceFunction> = uniform_weight_functions(25, 3, 93)
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| PreferenceFunction::new(i, f).with_capacity(1 + (i as u32 % 4)))
+            .collect();
+        let objects: Vec<ObjectRecord> = independent_objects(120, 3, 94)
+            .into_iter()
+            .map(|(id, p)| ObjectRecord {
+                id,
+                point: p,
+                capacity: 1 + (id.0 as u32 % 3),
+            })
+            .collect();
+        let p = Problem::new(functions, objects).unwrap();
+        let want = oracle(&p).canonical();
+        let mut tree = p.build_tree(Some(8), 0.0);
+        let result = sb(&p, &mut tree, &SbOptions::default());
+        verify_stable(&p, &result.assignment).unwrap();
+        assert_eq!(result.assignment.canonical(), want);
+    }
+
+    #[test]
+    fn prioritized_assignment_standard_and_two_skyline_agree() {
+        let base = uniform_weight_functions(40, 3, 95);
+        let prioritized = random_priorities(&base, 4, 96);
+        let objects = independent_objects(200, 3, 97);
+        let functions: Vec<PreferenceFunction> = prioritized
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| PreferenceFunction::new(i, f))
+            .collect();
+        let objects: Vec<ObjectRecord> = objects
+            .into_iter()
+            .map(|(id, p)| ObjectRecord {
+                id,
+                point: p,
+                capacity: 1,
+            })
+            .collect();
+        let p = Problem::new(functions, objects).unwrap();
+        assert!(p.has_priorities());
+        let want = oracle(&p).canonical();
+        for opts in [SbOptions::default(), SbOptions::two_skylines()] {
+            let mut tree = p.build_tree(Some(12), 0.02);
+            let result = sb(&p, &mut tree, &opts);
+            verify_stable(&p, &result.assignment).unwrap();
+            assert_eq!(result.assignment.canonical(), want, "variant {opts:?}");
+        }
+    }
+
+    #[test]
+    fn sb_uses_less_io_than_brute_force() {
+        let functions = uniform_weight_functions(100, 3, 98);
+        let objects = anti_correlated_objects(2000, 3, 99);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree_sb = p.build_tree(Some(32), 0.02);
+        let mut tree_bf = p.build_tree(Some(32), 0.02);
+        let sb_result = sb(&p, &mut tree_sb, &SbOptions::default());
+        let bf_result = crate::brute::brute_force(&p, &mut tree_bf);
+        assert_eq!(
+            sb_result.assignment.canonical(),
+            bf_result.assignment.canonical()
+        );
+        assert!(
+            sb_result.metrics.object_io.io_accesses() * 3
+                < bf_result.metrics.object_io.io_accesses(),
+            "SB {} vs Brute Force {}",
+            sb_result.metrics.object_io.io_accesses(),
+            bf_result.metrics.object_io.io_accesses()
+        );
+    }
+
+    #[test]
+    fn multiple_pairs_per_loop_reduces_loop_count() {
+        let functions = uniform_weight_functions(80, 3, 101);
+        let objects = independent_objects(500, 3, 102);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree_multi = p.build_tree(Some(16), 0.02);
+        let mut tree_single = p.build_tree(Some(16), 0.02);
+        let multi = sb(&p, &mut tree_multi, &SbOptions::default());
+        let single = sb(
+            &p,
+            &mut tree_single,
+            &SbOptions {
+                multiple_pairs_per_loop: false,
+                ..SbOptions::default()
+            },
+        );
+        assert_eq!(multi.assignment.canonical(), single.assignment.canonical());
+        assert!(multi.metrics.loops <= single.metrics.loops);
+    }
+
+    #[test]
+    fn metrics_are_populated() {
+        let functions = uniform_weight_functions(30, 3, 103);
+        let objects = independent_objects(400, 3, 104);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(16), 0.02);
+        let result = sb(&p, &mut tree, &SbOptions::default());
+        assert!(result.metrics.object_io.logical_reads > 0);
+        assert!(result.metrics.loops > 0);
+        assert!(result.metrics.searches > 0);
+        assert!(result.metrics.peak_memory_bytes > 0);
+    }
+}

@@ -1,0 +1,220 @@
+//! SB-alt: the storage variant for disk-resident function sets (Section 7.6).
+//!
+//! When `F` is larger than `O` (and does not fit in memory), the `D` sorted
+//! coefficient lists are materialized on disk and the best function for every
+//! current skyline object is found with one *batched* scan over the lists per
+//! loop, instead of per-object TA searches. List I/O is charged explicitly and
+//! reported in [`RunMetrics::aux_io`].
+
+use crate::matching::Assignment;
+use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
+use crate::problem::Problem;
+use pref_geom::Point;
+use pref_rtree::{RTree, RecordId};
+use pref_skyline::{compute_skyline_bbs, update_skyline, Skyline};
+use pref_topk::{batch_best_functions, DiskFunctionLists};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Runs the SB-alt assignment algorithm. `list_buffer_frames` is the size (in
+/// 4 KiB blocks) of the LRU buffer in front of the on-disk coefficient lists;
+/// the paper uses 2% of `|F|`.
+pub fn sb_alt(
+    problem: &Problem,
+    tree: &mut RTree,
+    list_buffer_frames: usize,
+) -> AssignmentResult {
+    let start = Instant::now();
+    let stats_before = tree.stats();
+
+    let functions: Vec<pref_geom::LinearFunction> = problem
+        .functions()
+        .iter()
+        .map(|f| f.function.clone())
+        .collect();
+    let mut disk = DiskFunctionLists::new(&functions, list_buffer_frames);
+
+    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
+    let mut o_remaining: HashMap<RecordId, u32> = problem
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.capacity))
+        .collect();
+    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+
+    let mut skyline: Skyline = compute_skyline_bbs(tree);
+    let mut excluded: HashSet<RecordId> = HashSet::new();
+    let _ = &excluded;
+
+    let mut assignment = Assignment::new();
+    let mut gauge = MemoryGauge::new();
+    let mut loops: u64 = 0;
+    let mut searches: u64 = 0;
+
+    while demand > 0 && supply > 0 && !skyline.is_empty() {
+        loops += 1;
+        let sky_objects: Vec<(RecordId, Point)> = skyline
+            .data_entries()
+            .map(|d| (d.record, d.point.clone()))
+            .collect();
+        let points: Vec<Point> = sky_objects.iter().map(|(_, p)| p.clone()).collect();
+        searches += 1;
+        let best = batch_best_functions(&mut disk, &points);
+
+        let mut object_best: HashMap<RecordId, (usize, f64)> = HashMap::new();
+        for ((record, _), best) in sky_objects.iter().zip(best) {
+            match best {
+                Some(pair) => {
+                    object_best.insert(*record, pair);
+                }
+                None => break,
+            }
+        }
+        if object_best.is_empty() {
+            break;
+        }
+
+        let candidate_functions: HashSet<usize> =
+            object_best.values().map(|&(f, _)| f).collect();
+        let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
+        for &fi in &candidate_functions {
+            let mut best: Option<(RecordId, f64)> = None;
+            for (record, point) in &sky_objects {
+                let s = disk.inner().score(fi, point);
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((*record, s));
+                }
+            }
+            if let Some(b) = best {
+                function_best.insert(fi, b);
+            }
+        }
+
+        let mut pairs: Vec<(usize, RecordId, f64)> = Vec::new();
+        for (&fi, &(obj, score)) in &function_best {
+            if object_best.get(&obj).map(|&(f, _)| f) == Some(fi) {
+                pairs.push((fi, obj, score));
+            }
+        }
+        if pairs.is_empty() {
+            if let Some((&fi, &(obj, score))) = function_best
+                .iter()
+                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
+            {
+                pairs.push((fi, obj, score));
+            } else {
+                break;
+            }
+        }
+
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut removed_objects = Vec::new();
+        for (fi, obj, score) in pairs {
+            if demand == 0 || supply == 0 {
+                break;
+            }
+            assignment.push(problem.functions()[fi].id, obj, score);
+            demand -= 1;
+            supply -= 1;
+            f_remaining[fi] -= 1;
+            if f_remaining[fi] == 0 {
+                disk.remove(fi);
+            }
+            let oc = o_remaining.get_mut(&obj).expect("object exists");
+            *oc -= 1;
+            if *oc == 0 {
+                excluded.insert(obj);
+                if let Some(sky_obj) = skyline.remove(obj) {
+                    removed_objects.push(sky_obj);
+                }
+            }
+        }
+        if !removed_objects.is_empty() {
+            update_skyline(tree, &mut skyline, removed_objects);
+        }
+        gauge.observe(skyline.memory_bytes());
+    }
+
+    let metrics = RunMetrics {
+        object_io: tree.stats().since(&stats_before),
+        aux_io: disk.stats(),
+        cpu_time: start.elapsed(),
+        peak_memory_bytes: gauge.peak(),
+        loops,
+        searches,
+    };
+    AssignmentResult {
+        assignment,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::verify_stable;
+    use crate::oracle::oracle;
+    use crate::problem::{ObjectRecord, PreferenceFunction};
+    use crate::sb::{sb, SbOptions};
+    use pref_datagen::{anti_correlated_objects, independent_objects, uniform_weight_functions};
+
+    #[test]
+    fn matches_oracle_on_random_instances() {
+        for seed in [201u64, 202] {
+            let functions = uniform_weight_functions(150, 3, seed);
+            let objects = independent_objects(80, 3, seed + 10);
+            let p = Problem::from_parts(functions, objects).unwrap();
+            let mut tree = p.build_tree(Some(8), 0.0);
+            let result = sb_alt(&p, &mut tree, 4);
+            verify_stable(&p, &result.assignment).unwrap();
+            assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+        }
+    }
+
+    #[test]
+    fn agrees_with_standard_sb() {
+        let functions = uniform_weight_functions(200, 4, 211);
+        let objects = anti_correlated_objects(100, 4, 212);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree_a = p.build_tree(Some(8), 0.0);
+        let mut tree_b = p.build_tree(Some(8), 0.0);
+        let alt = sb_alt(&p, &mut tree_a, 8);
+        let std = sb(&p, &mut tree_b, &SbOptions::default());
+        assert_eq!(alt.assignment.canonical(), std.assignment.canonical());
+    }
+
+    #[test]
+    fn charges_list_io_as_aux() {
+        let functions = uniform_weight_functions(3000, 3, 221);
+        let objects = independent_objects(60, 3, 222);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(8), 0.0);
+        let result = sb_alt(&p, &mut tree, 8);
+        assert!(result.metrics.aux_io.logical_reads > 0);
+        assert!(result.metrics.total_io() >= result.metrics.aux_io.io_accesses());
+        verify_stable(&p, &result.assignment).unwrap();
+    }
+
+    #[test]
+    fn capacitated_variant() {
+        let functions: Vec<PreferenceFunction> = uniform_weight_functions(40, 3, 231)
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| PreferenceFunction::new(i, f).with_capacity(1 + (i as u32 % 3)))
+            .collect();
+        let objects: Vec<ObjectRecord> = independent_objects(30, 3, 232)
+            .into_iter()
+            .map(|(id, p)| ObjectRecord {
+                id,
+                point: p,
+                capacity: 2,
+            })
+            .collect();
+        let p = Problem::new(functions, objects).unwrap();
+        let mut tree = p.build_tree(Some(8), 0.0);
+        let result = sb_alt(&p, &mut tree, 4);
+        verify_stable(&p, &result.assignment).unwrap();
+        assert_eq!(result.assignment.canonical(), oracle(&p).canonical());
+    }
+}

@@ -1,0 +1,166 @@
+//! Preference-function workload generators.
+
+use crate::rng_ext::standard_normal;
+use pref_geom::LinearFunction;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Generates `n` preference functions whose weights are drawn independently
+/// and uniformly, then normalized to sum to one (the paper's default function
+/// workload: "linear with weights generated independently").
+pub fn uniform_weight_functions(n: usize, dims: usize, seed: u64) -> Vec<LinearFunction> {
+    assert!(dims > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // rejection-free: at least one weight is kept strictly positive
+            let mut w: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.0..1.0)).collect();
+            if w.iter().sum::<f64>() <= f64::EPSILON {
+                w[0] = 1.0;
+            }
+            LinearFunction::new(w).expect("uniform weights are valid")
+        })
+        .collect()
+}
+
+/// Generates clustered preference weights as in Figure 12: `clusters` random
+/// centers are drawn uniformly; each function picks one of the centers and its
+/// weights are sampled from a Gaussian with standard deviation `sigma`
+/// (0.05 in the paper) around that center, clamped to be non-negative and then
+/// normalized.
+pub fn clustered_weight_functions(
+    n: usize,
+    dims: usize,
+    clusters: usize,
+    sigma: f64,
+    seed: u64,
+) -> Vec<LinearFunction> {
+    assert!(dims > 0);
+    assert!(clusters > 0, "at least one cluster center is required");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..clusters)
+        .map(|_| {
+            let raw: Vec<f64> = (0..dims).map(|_| rng.gen_range(0.05..1.0)).collect();
+            let sum: f64 = raw.iter().sum();
+            raw.into_iter().map(|v| v / sum).collect()
+        })
+        .collect();
+    (0..n)
+        .map(|_| {
+            let center = &centers[rng.gen_range(0..clusters)];
+            let mut w: Vec<f64> = center
+                .iter()
+                .map(|&c| (c + sigma * standard_normal(&mut rng)).max(0.0))
+                .collect();
+            if w.iter().sum::<f64>() <= f64::EPSILON {
+                w.clone_from(center);
+            }
+            LinearFunction::new(w).expect("clustered weights are valid")
+        })
+        .collect()
+}
+
+/// Assigns integer priorities drawn uniformly from `1..=max_priority` to each
+/// function (Section 7.4: "priorities randomly chosen from the range [1..γ]").
+pub fn random_priorities(
+    functions: &[LinearFunction],
+    max_priority: u32,
+    seed: u64,
+) -> Vec<LinearFunction> {
+    assert!(max_priority >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    functions
+        .iter()
+        .map(|f| {
+            let gamma = rng.gen_range(1..=max_priority) as f64;
+            f.prioritized(gamma).expect("integer priorities are valid")
+        })
+        .collect()
+}
+
+/// Draws a capacity for each of `n` entities, uniformly from `1..=max_capacity`
+/// (used for both capacitated functions and capacitated objects).
+pub fn random_capacities(n: usize, max_capacity: u32, seed: u64) -> Vec<u32> {
+    assert!(max_capacity >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(1..=max_capacity)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_functions_are_normalized() {
+        let fs = uniform_weight_functions(200, 4, 1);
+        assert_eq!(fs.len(), 200);
+        for f in &fs {
+            assert_eq!(f.dims(), 4);
+            assert!((f.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            assert_eq!(f.priority(), 1.0);
+        }
+    }
+
+    #[test]
+    fn clustered_functions_concentrate_around_centers() {
+        // With a single cluster the weight variance must be far below the
+        // uniform case.
+        let clustered = clustered_weight_functions(2000, 3, 1, 0.05, 7);
+        let uniform = uniform_weight_functions(2000, 3, 7);
+        let variance = |fs: &[LinearFunction]| {
+            let mean: f64 = fs.iter().map(|f| f.weight(0)).sum::<f64>() / fs.len() as f64;
+            fs.iter()
+                .map(|f| (f.weight(0) - mean).powi(2))
+                .sum::<f64>()
+                / fs.len() as f64
+        };
+        assert!(variance(&clustered) < variance(&uniform) / 2.0);
+        for f in &clustered {
+            assert!((f.weights().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn more_clusters_spread_the_weights_out() {
+        let one = clustered_weight_functions(3000, 4, 1, 0.05, 9);
+        let nine = clustered_weight_functions(3000, 4, 9, 0.05, 9);
+        let spread = |fs: &[LinearFunction]| {
+            let mean: f64 = fs.iter().map(|f| f.weight(0)).sum::<f64>() / fs.len() as f64;
+            fs.iter()
+                .map(|f| (f.weight(0) - mean).powi(2))
+                .sum::<f64>()
+                / fs.len() as f64
+        };
+        assert!(spread(&nine) > spread(&one));
+    }
+
+    #[test]
+    fn priorities_lie_in_range_and_cover_it() {
+        let fs = uniform_weight_functions(1000, 3, 3);
+        let prioritized = random_priorities(&fs, 8, 4);
+        let mut seen = std::collections::HashSet::new();
+        for f in &prioritized {
+            let g = f.priority();
+            assert!((1.0..=8.0).contains(&g));
+            assert_eq!(g.fract(), 0.0);
+            seen.insert(g as u32);
+        }
+        assert!(seen.len() >= 6, "most priority levels should occur");
+        // base weights unchanged
+        assert_eq!(prioritized[0].weights(), fs[0].weights());
+    }
+
+    #[test]
+    fn capacities_lie_in_range() {
+        let caps = random_capacities(500, 16, 5);
+        assert_eq!(caps.len(), 500);
+        assert!(caps.iter().all(|&c| (1..=16).contains(&c)));
+        let ones = random_capacities(10, 1, 6);
+        assert!(ones.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_clusters_rejected() {
+        let _ = clustered_weight_functions(10, 3, 0, 0.05, 1);
+    }
+}

@@ -1,0 +1,136 @@
+//! Synthetic stand-ins for the paper's real datasets (Zillow and NBA).
+//!
+//! The originals are not redistributable; these generators reproduce the
+//! statistical properties the experiments depend on — dimensionality, heavy
+//! skew, and (for Zillow) positive correlation between attributes — so the
+//! relative behaviour of the algorithms in Figure 16 is preserved. See
+//! `DESIGN.md` for the substitution note.
+
+use crate::rng_ext::standard_normal;
+use pref_geom::Point;
+use pref_rtree::RecordId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Number of attributes in the Zillow dataset (bathrooms, bedrooms, living
+/// area, price, lot area).
+pub const ZILLOW_DIMS: usize = 5;
+
+/// Number of attributes selected from NBA (points, rebounds, assists, steals,
+/// blocks).
+pub const NBA_DIMS: usize = 5;
+
+/// Size of the real NBA dataset used in the paper (players since 1973).
+pub const NBA_SIZE: usize = 12_278;
+
+fn clamp01(v: f64) -> f64 {
+    v.clamp(0.0, 1.0)
+}
+
+/// Generates a Zillow-like real-estate dataset: five positively correlated,
+/// heavily right-skewed attributes normalized to `[0, 1]` (a big expensive
+/// house is big in every attribute; most listings are small).
+pub fn zillow_like_objects(n: usize, seed: u64) -> Vec<(RecordId, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // latent "size/quality" factor, log-normally distributed
+            let latent = (0.8 * standard_normal(&mut rng)).exp();
+            let mut coords = Vec::with_capacity(ZILLOW_DIMS);
+            for d in 0..ZILLOW_DIMS {
+                // each attribute follows the latent factor with its own noise
+                // and skew; normalize with a saturating transform
+                let noise = (0.35 * standard_normal(&mut rng)).exp();
+                let raw = latent * noise * (1.0 + 0.15 * d as f64);
+                coords.push(clamp01(raw / (raw + 2.0)));
+            }
+            (RecordId(i as u64), Point::from_slice(&coords))
+        })
+        .collect()
+}
+
+/// Generates an NBA-like per-player-season statistics dataset: five skewed,
+/// moderately correlated attributes normalized to `[0, 1]` (star players score
+/// high across the board; the bulk of the league sits near the bottom).
+pub fn nba_like_objects(n: usize, seed: u64) -> Vec<(RecordId, Point)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // latent "player strength" in [0, 1], skewed towards low values
+            let strength = rng.gen_range(0.0f64..1.0).powf(2.2);
+            // per-category specialisation: a strong rebounder is not
+            // necessarily a strong scorer
+            let coords: Vec<f64> = (0..NBA_DIMS)
+                .map(|_| {
+                    let specialisation = rng.gen_range(0.3..1.0);
+                    let noise = 0.06 * standard_normal(&mut rng);
+                    clamp01(strength * specialisation + noise)
+                })
+                .collect();
+            (RecordId(i as u64), Point::from_slice(&coords))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean(values: &[f64]) -> f64 {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+
+    fn skewness(values: &[f64]) -> f64 {
+        let m = mean(values);
+        let n = values.len() as f64;
+        let var = values.iter().map(|v| (v - m).powi(2)).sum::<f64>() / n;
+        let third = values.iter().map(|v| (v - m).powi(3)).sum::<f64>() / n;
+        third / var.powf(1.5)
+    }
+
+    fn pearson(points: &[(RecordId, Point)], a: usize, b: usize) -> f64 {
+        let xs: Vec<f64> = points.iter().map(|(_, p)| p.coord(a)).collect();
+        let ys: Vec<f64> = points.iter().map(|(_, p)| p.coord(b)).collect();
+        let n = xs.len() as f64;
+        let mx = mean(&xs);
+        let my = mean(&ys);
+        let cov = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let sx = (xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>() / n).sqrt();
+        let sy = (ys.iter().map(|y| (y - my).powi(2)).sum::<f64>() / n).sqrt();
+        cov / (sx * sy)
+    }
+
+    #[test]
+    fn zillow_like_shape() {
+        let objs = zillow_like_objects(8000, 3);
+        assert_eq!(objs.len(), 8000);
+        assert_eq!(objs[0].1.dims(), ZILLOW_DIMS);
+        // positively correlated attributes
+        assert!(pearson(&objs, 0, 3) > 0.4);
+        // right-skewed values
+        let col: Vec<f64> = objs.iter().map(|(_, p)| p.coord(0)).collect();
+        assert!(skewness(&col) > 0.4, "zillow attributes must be right-skewed");
+    }
+
+    #[test]
+    fn nba_like_shape() {
+        let objs = nba_like_objects(NBA_SIZE, 4);
+        assert_eq!(objs.len(), NBA_SIZE);
+        assert_eq!(objs[0].1.dims(), NBA_DIMS);
+        let col: Vec<f64> = objs.iter().map(|(_, p)| p.coord(1)).collect();
+        assert!(skewness(&col) > 0.5, "nba attributes must be right-skewed");
+        // most of the mass sits near the bottom of the range
+        assert!(mean(&col) < 0.45);
+        // attributes of the same player are positively related
+        assert!(pearson(&objs, 0, 1) > 0.2);
+    }
+
+    #[test]
+    fn determinism_and_range() {
+        let a = zillow_like_objects(100, 9);
+        let b = zillow_like_objects(100, 9);
+        assert_eq!(a, b);
+        for (_, p) in zillow_like_objects(500, 10).iter().chain(nba_like_objects(500, 10).iter()) {
+            assert!(p.coords().iter().all(|c| (0.0..=1.0).contains(c)));
+        }
+    }
+}

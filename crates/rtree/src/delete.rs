@@ -1,0 +1,287 @@
+//! Deletion: FindLeaf + CondenseTree with re-insertion of orphaned entries.
+
+use crate::entry::{Node, NodeEntry, RecordId};
+use crate::tree::{RTree, RTreeError};
+use pref_geom::Point;
+use pref_storage::PageId;
+
+/// Entries orphaned while condensing the tree, together with the node level
+/// they must be re-inserted at.
+type Orphans = Vec<(u32, NodeEntry)>;
+
+impl RTree {
+    /// Deletes the record with the given id located at `point`.
+    ///
+    /// Both the descent and the subsequent condense/re-insert work are charged
+    /// to the I/O statistics, mirroring how the paper charges the deletions
+    /// that Brute Force and Chain perform on the object R-tree.
+    pub fn delete(&mut self, record: RecordId, point: &Point) -> Result<(), RTreeError> {
+        self.check_dims(point)?;
+        let Some(root) = self.root else {
+            return Err(RTreeError::RecordNotFound(record));
+        };
+        let mut orphans: Orphans = Vec::new();
+        let found = self.delete_recurse(root, record, point, &mut orphans);
+        if !found {
+            return Err(RTreeError::RecordNotFound(record));
+        }
+        self.len -= 1;
+        // Re-insert orphaned entries at their original level.
+        for (level, entry) in orphans {
+            self.insert_entry(entry, level);
+        }
+        self.shrink_root();
+        Ok(())
+    }
+
+    /// Convenience wrapper: delete a record given as a data entry.
+    pub fn delete_data(&mut self, record: RecordId, point: &Point) -> bool {
+        self.delete(record, point).is_ok()
+    }
+
+    fn delete_recurse(
+        &mut self,
+        page: PageId,
+        record: RecordId,
+        point: &Point,
+        orphans: &mut Orphans,
+    ) -> bool {
+        let (level, mut entries) = {
+            let node = self.store.read(page);
+            (node.level, node.entries.clone())
+        };
+        if level == 0 {
+            let Some(pos) = entries.iter().position(|e| match e {
+                NodeEntry::Data(d) => d.record == record && d.point == *point,
+                NodeEntry::Child { .. } => false,
+            }) else {
+                return false;
+            };
+            entries.remove(pos);
+            self.store.write(page, Node { level, entries });
+            return true;
+        }
+        for idx in 0..entries.len() {
+            let NodeEntry::Child {
+                mbr,
+                page: child_page,
+            } = &entries[idx]
+            else {
+                continue;
+            };
+            if !mbr.contains_point(point) {
+                continue;
+            }
+            let child_page = *child_page;
+            if !self.delete_recurse(child_page, record, point, orphans) {
+                continue;
+            }
+            // The deletion happened somewhere below this child.
+            let child_node = self
+                .store
+                .peek(child_page)
+                .expect("child page is live")
+                .clone();
+            let is_root = Some(page) == self.root;
+            let _ = is_root; // underflow policy depends only on the child
+            if child_node.len() < self.config.min_entries {
+                // orphan the child's remaining entries and drop the child
+                for entry in child_node.entries {
+                    orphans.push((child_node.level, entry));
+                }
+                self.store.free(child_page);
+                entries.remove(idx);
+            } else {
+                entries[idx] = NodeEntry::Child {
+                    mbr: child_node.mbr(),
+                    page: child_page,
+                };
+            }
+            self.store.write(page, Node { level, entries });
+            return true;
+        }
+        false
+    }
+
+    /// Collapses the root while it is a non-leaf with a single child, and
+    /// clears the tree when the root leaf becomes empty.
+    fn shrink_root(&mut self) {
+        loop {
+            let Some(root) = self.root else { return };
+            let root_node = self.store.peek(root).expect("root page is live").clone();
+            if root_node.level > 0 && root_node.len() == 1 {
+                let child = root_node.entries[0]
+                    .child_page()
+                    .expect("non-leaf entries are child pointers");
+                self.store.free(root);
+                self.root = Some(child);
+                self.height -= 1;
+                continue;
+            }
+            if root_node.level == 0 && root_node.is_empty() {
+                self.store.free(root);
+                self.root = None;
+                self.height = 0;
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::DataEntry;
+    use crate::tree::RTreeConfig;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_points(n: u64, dims: usize, seed: u64) -> Vec<(RecordId, Point)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|i| {
+                (
+                    RecordId(i),
+                    Point::from_slice(
+                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                    ),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn delete_single_record() {
+        let mut t = RTree::with_dims(2);
+        let p = Point::from_slice(&[0.3, 0.4]);
+        t.insert(RecordId(1), p.clone()).unwrap();
+        t.delete(RecordId(1), &p).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.num_pages(), 0);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_missing_record_errors() {
+        let mut t = RTree::with_dims(2);
+        let p = Point::from_slice(&[0.3, 0.4]);
+        assert!(matches!(
+            t.delete(RecordId(1), &p),
+            Err(RTreeError::RecordNotFound(_))
+        ));
+        t.insert(RecordId(1), p.clone()).unwrap();
+        // right point, wrong id
+        assert!(t.delete(RecordId(2), &p).is_err());
+        // right id, wrong point
+        assert!(t
+            .delete(RecordId(1), &Point::from_slice(&[0.5, 0.5]))
+            .is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn delete_everything_in_insertion_order() {
+        let pts = random_points(300, 3, 17);
+        let mut t = RTree::new(RTreeConfig::for_dims(3).with_fanout(8));
+        for (r, p) in &pts {
+            t.insert(*r, p.clone()).unwrap();
+        }
+        t.check_invariants().unwrap();
+        for (i, (r, p)) in pts.iter().enumerate() {
+            t.delete(*r, p).unwrap();
+            if i % 50 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn delete_everything_in_random_order() {
+        let mut pts = random_points(300, 2, 23);
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(6));
+        for (r, p) in &pts {
+            t.insert(*r, p.clone()).unwrap();
+        }
+        // shuffle deterministically
+        let mut rng = StdRng::seed_from_u64(99);
+        for i in (1..pts.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            pts.swap(i, j);
+        }
+        for (i, (r, p)) in pts.iter().enumerate() {
+            t.delete(*r, p).unwrap();
+            if i % 37 == 0 {
+                t.check_invariants().unwrap();
+            }
+            assert_eq!(t.len(), pts.len() - i - 1);
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn interleaved_inserts_and_deletes() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(5));
+        let mut live: Vec<(RecordId, Point)> = Vec::new();
+        let mut next_id = 0u64;
+        for step in 0..1200 {
+            let do_insert = live.is_empty() || rng.gen_bool(0.6);
+            if do_insert {
+                let p = Point::from_slice(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+                t.insert(RecordId(next_id), p.clone()).unwrap();
+                live.push((RecordId(next_id), p));
+                next_id += 1;
+            } else {
+                let idx = rng.gen_range(0..live.len());
+                let (r, p) = live.swap_remove(idx);
+                t.delete(r, &p).unwrap();
+            }
+            assert_eq!(t.len(), live.len());
+            if step % 200 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        t.check_invariants().unwrap();
+        // remaining data matches the model
+        let mut got: Vec<u64> = t.all_data_unaccounted().iter().map(|d| d.record.0).collect();
+        let mut want: Vec<u64> = live.iter().map(|(r, _)| r.0).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_points_delete_by_record_id() {
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(4));
+        let p = Point::from_slice(&[0.5, 0.5]);
+        for i in 0..10 {
+            t.insert(RecordId(i), p.clone()).unwrap();
+        }
+        t.delete(RecordId(3), &p).unwrap();
+        assert_eq!(t.len(), 9);
+        let remaining: Vec<u64> = t
+            .all_data_unaccounted()
+            .iter()
+            .map(|d: &DataEntry| d.record.0)
+            .collect();
+        assert!(!remaining.contains(&3));
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn deletion_charges_io() {
+        let pts = random_points(200, 2, 41);
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(8));
+        for (r, p) in &pts {
+            t.insert(*r, p.clone()).unwrap();
+        }
+        t.reset_stats();
+        for (r, p) in pts.iter().take(50) {
+            t.delete(*r, p).unwrap();
+        }
+        assert!(t.stats().logical_reads > 0);
+        assert!(t.stats().physical_writes > 0);
+    }
+}

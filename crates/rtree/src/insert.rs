@@ -1,0 +1,361 @@
+//! Dynamic insertion: ChooseSubtree, quadratic node splitting, root growth.
+
+use crate::entry::{DataEntry, Node, NodeEntry, RecordId};
+use crate::tree::{RTree, RTreeError};
+use pref_geom::{Mbr, Point};
+use pref_storage::PageId;
+
+impl RTree {
+    /// Inserts a record into the tree.
+    ///
+    /// Node accesses performed by the insertion are charged to the I/O
+    /// statistics — the competitors of the paper (Brute Force, Chain) pay for
+    /// their index maintenance, and so does this implementation.
+    pub fn insert(&mut self, record: RecordId, point: Point) -> Result<(), RTreeError> {
+        self.check_dims(&point)?;
+        let entry = NodeEntry::Data(DataEntry::new(record, point));
+        self.insert_entry(entry, 0);
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Inserts an arbitrary entry at the node level `target_level`
+    /// (0 = leaves). Used by [`RTree::insert`] and by the re-insertion phase
+    /// of deletion.
+    pub(crate) fn insert_entry(&mut self, entry: NodeEntry, target_level: u32) {
+        match self.root {
+            None => {
+                debug_assert_eq!(target_level, 0, "first entry must be a data entry");
+                let node = Node {
+                    level: 0,
+                    entries: vec![entry],
+                };
+                let page = self.store.allocate(node);
+                self.root = Some(page);
+                self.height = 1;
+            }
+            Some(root) => {
+                if let Some(sibling) = self.insert_recurse(root, entry, target_level) {
+                    self.grow_root(sibling);
+                }
+            }
+        }
+    }
+
+    /// Grows the tree by one level: the old root and `sibling` become the two
+    /// entries of a new root.
+    fn grow_root(&mut self, sibling: NodeEntry) {
+        let old_root = self.root.expect("grow_root requires a root");
+        let old_mbr = self
+            .store
+            .peek(old_root)
+            .expect("root page is live")
+            .mbr();
+        let new_root = Node {
+            level: self.height,
+            entries: vec![
+                NodeEntry::Child {
+                    mbr: old_mbr,
+                    page: old_root,
+                },
+                sibling,
+            ],
+        };
+        let page = self.store.allocate(new_root);
+        self.root = Some(page);
+        self.height += 1;
+    }
+
+    /// Recursive insertion; returns the entry for a newly created sibling if
+    /// the visited node had to be split.
+    fn insert_recurse(
+        &mut self,
+        page: PageId,
+        entry: NodeEntry,
+        target_level: u32,
+    ) -> Option<NodeEntry> {
+        let (level, mut entries) = {
+            let node = self.store.read(page);
+            (node.level, node.entries.clone())
+        };
+        if level == target_level {
+            entries.push(entry);
+            return self.write_or_split(page, level, entries);
+        }
+        debug_assert!(level > target_level, "descended past the target level");
+        let idx = Self::choose_subtree(&entries, &entry.mbr());
+        let child_page = entries[idx]
+            .child_page()
+            .expect("non-leaf entries are child pointers");
+        let split = self.insert_recurse(child_page, entry, target_level);
+        // Refresh the child's MBR after the subtree changed. The up-to-date
+        // MBR is available in memory (AdjustTree carries it upward), so this
+        // does not charge another node access.
+        let child_mbr = self
+            .store
+            .peek(child_page)
+            .expect("child page is live")
+            .mbr();
+        entries[idx] = NodeEntry::Child {
+            mbr: child_mbr,
+            page: child_page,
+        };
+        if let Some(sibling) = split {
+            entries.push(sibling);
+        }
+        self.write_or_split(page, level, entries)
+    }
+
+    /// Writes `entries` back to `page`, splitting the node if it overflows.
+    /// Returns the new sibling's entry when a split happened.
+    fn write_or_split(
+        &mut self,
+        page: PageId,
+        level: u32,
+        entries: Vec<NodeEntry>,
+    ) -> Option<NodeEntry> {
+        if entries.len() <= self.config.max_entries {
+            self.store.write(page, Node { level, entries });
+            return None;
+        }
+        let (left, right) = self.quadratic_split(entries);
+        let right_node = Node {
+            level,
+            entries: right,
+        };
+        let right_mbr = right_node.mbr();
+        let right_page = self.store.allocate(right_node);
+        self.store.write(
+            page,
+            Node {
+                level,
+                entries: left,
+            },
+        );
+        Some(NodeEntry::Child {
+            mbr: right_mbr,
+            page: right_page,
+        })
+    }
+
+    /// Guttman's ChooseSubtree: the child whose MBR needs the least
+    /// enlargement to cover the new entry; ties are broken by smaller area.
+    fn choose_subtree(entries: &[NodeEntry], new_mbr: &Mbr) -> usize {
+        let mut best = 0usize;
+        let mut best_enlargement = f64::INFINITY;
+        let mut best_area = f64::INFINITY;
+        for (idx, e) in entries.iter().enumerate() {
+            let mbr = e.mbr();
+            let enlargement = mbr.enlargement(new_mbr);
+            let area = mbr.area();
+            if enlargement < best_enlargement
+                || (enlargement == best_enlargement && area < best_area)
+            {
+                best = idx;
+                best_enlargement = enlargement;
+                best_area = area;
+            }
+        }
+        best
+    }
+
+    /// Guttman's quadratic split: pick the pair of entries that would waste
+    /// the most area if placed together as seeds, then greedily assign the
+    /// remaining entries to the group whose MBR grows least, while making
+    /// sure both groups can still reach the minimum fill.
+    pub(crate) fn quadratic_split(
+        &self,
+        entries: Vec<NodeEntry>,
+    ) -> (Vec<NodeEntry>, Vec<NodeEntry>) {
+        let min = self.config.min_entries;
+        let mbrs: Vec<Mbr> = entries.iter().map(NodeEntry::mbr).collect();
+        let n = entries.len();
+        debug_assert!(n >= 2);
+
+        // PickSeeds
+        let (mut seed_a, mut seed_b, mut worst_waste) = (0usize, 1usize, f64::NEG_INFINITY);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let waste = mbrs[i].union(&mbrs[j]).area() - mbrs[i].area() - mbrs[j].area();
+                if waste > worst_waste {
+                    worst_waste = waste;
+                    seed_a = i;
+                    seed_b = j;
+                }
+            }
+        }
+
+        let mut group_a: Vec<usize> = vec![seed_a];
+        let mut group_b: Vec<usize> = vec![seed_b];
+        let mut mbr_a = mbrs[seed_a].clone();
+        let mut mbr_b = mbrs[seed_b].clone();
+        let mut remaining: Vec<usize> = (0..n).filter(|&i| i != seed_a && i != seed_b).collect();
+
+        while let Some(pick_pos) = {
+            if remaining.is_empty() {
+                None
+            } else if group_a.len() + remaining.len() == min {
+                // everything must go to A to satisfy the minimum fill
+                group_a.append(&mut remaining);
+                for &i in &group_a {
+                    mbr_a.expand_to_mbr(&mbrs[i]);
+                }
+                None
+            } else if group_b.len() + remaining.len() == min {
+                group_b.append(&mut remaining);
+                for &i in &group_b {
+                    mbr_b.expand_to_mbr(&mbrs[i]);
+                }
+                None
+            } else {
+                // PickNext: the entry with the greatest preference for one group
+                let mut best_pos = 0usize;
+                let mut best_diff = f64::NEG_INFINITY;
+                for (pos, &i) in remaining.iter().enumerate() {
+                    let d_a = mbr_a.enlargement(&mbrs[i]);
+                    let d_b = mbr_b.enlargement(&mbrs[i]);
+                    let diff = (d_a - d_b).abs();
+                    if diff > best_diff {
+                        best_diff = diff;
+                        best_pos = pos;
+                    }
+                }
+                Some(best_pos)
+            }
+        } {
+            let i = remaining.swap_remove(pick_pos);
+            let d_a = mbr_a.enlargement(&mbrs[i]);
+            let d_b = mbr_b.enlargement(&mbrs[i]);
+            let to_a = match d_a.partial_cmp(&d_b) {
+                Some(std::cmp::Ordering::Less) => true,
+                Some(std::cmp::Ordering::Greater) => false,
+                _ => {
+                    // tie-break: smaller area, then fewer entries
+                    if mbr_a.area() != mbr_b.area() {
+                        mbr_a.area() < mbr_b.area()
+                    } else {
+                        group_a.len() <= group_b.len()
+                    }
+                }
+            };
+            if to_a {
+                mbr_a.expand_to_mbr(&mbrs[i]);
+                group_a.push(i);
+            } else {
+                mbr_b.expand_to_mbr(&mbrs[i]);
+                group_b.push(i);
+            }
+        }
+
+        let mut entries_opt: Vec<Option<NodeEntry>> = entries.into_iter().map(Some).collect();
+        let take = |idx: &usize, slots: &mut Vec<Option<NodeEntry>>| {
+            slots[*idx].take().expect("entry assigned to one group only")
+        };
+        let left = group_a
+            .iter()
+            .map(|i| take(i, &mut entries_opt))
+            .collect::<Vec<_>>();
+        let right = group_b
+            .iter()
+            .map(|i| take(i, &mut entries_opt))
+            .collect::<Vec<_>>();
+        debug_assert!(left.len() >= min && right.len() >= min);
+        (left, right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::RTreeConfig;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn pt(rng: &mut StdRng, dims: usize) -> Point {
+        Point::from_slice(&(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn insert_single_point_creates_leaf_root() {
+        let mut t = RTree::with_dims(2);
+        t.insert(RecordId(1), Point::from_slice(&[0.3, 0.4])).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.num_pages(), 1);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insert_rejects_wrong_dimensionality() {
+        let mut t = RTree::with_dims(2);
+        let err = t.insert(RecordId(1), Point::from_slice(&[0.3, 0.4, 0.5]));
+        assert!(err.is_err());
+        assert_eq!(t.len(), 0);
+    }
+
+    #[test]
+    fn insert_many_keeps_invariants_and_grows_height() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(8));
+        for i in 0..500 {
+            t.insert(RecordId(i), pt(&mut rng, 2)).unwrap();
+        }
+        assert_eq!(t.len(), 500);
+        assert!(t.height() >= 3, "fanout 8 with 500 points must be deep");
+        t.check_invariants().unwrap();
+        // every point must be findable
+        assert_eq!(t.all_data_unaccounted().len(), 500);
+    }
+
+    #[test]
+    fn insert_duplicates_allowed() {
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(4));
+        let p = Point::from_slice(&[0.5, 0.5]);
+        for i in 0..20 {
+            t.insert(RecordId(i), p.clone()).unwrap();
+        }
+        assert_eq!(t.len(), 20);
+        t.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn insertion_charges_io() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut t = RTree::new(RTreeConfig::for_dims(3).with_fanout(8));
+        for i in 0..200 {
+            t.insert(RecordId(i), pt(&mut rng, 3)).unwrap();
+        }
+        let stats = t.stats();
+        assert!(stats.logical_reads > 0);
+        assert!(stats.physical_writes > 0);
+    }
+
+    #[test]
+    fn quadratic_split_respects_min_fill() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = RTree::new(RTreeConfig::for_dims(2).with_fanout(10));
+        let entries: Vec<NodeEntry> = (0..11)
+            .map(|i| NodeEntry::Data(DataEntry::new(RecordId(i), pt(&mut rng, 2))))
+            .collect();
+        let (l, r) = t.quadratic_split(entries);
+        assert_eq!(l.len() + r.len(), 11);
+        assert!(l.len() >= t.min_entries());
+        assert!(r.len() >= t.min_entries());
+    }
+
+    #[test]
+    fn clustered_inserts_are_spatially_separated_after_split() {
+        // two well-separated clusters should mostly end up in different subtrees
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(4));
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..30 {
+            let base = if i % 2 == 0 { 0.1 } else { 0.9 };
+            let p = Point::from_slice(&[
+                base + rng.gen_range(-0.05..0.05),
+                base + rng.gen_range(-0.05..0.05),
+            ]);
+            t.insert(RecordId(i), p).unwrap();
+        }
+        t.check_invariants().unwrap();
+        assert!(t.height() >= 2);
+    }
+}

@@ -1,0 +1,34 @@
+//! A disk-style R-tree over simulated paged storage.
+//!
+//! This crate provides the `RO` index assumed throughout the VLDB 2009 paper:
+//! the object set `O` is "indexed by an R-tree with 4 KBytes page size" and
+//! every algorithm is charged one I/O per node access that misses the LRU
+//! buffer. One tree node occupies exactly one page of a
+//! [`pref_storage::PagedStore`].
+//!
+//! Features:
+//!
+//! * **STR bulk loading** ([`RTree::bulk_load`]) — Sort-Tile-Recursive packing
+//!   used to build the initial index for the experiments,
+//! * **dynamic insertion** ([`RTree::insert`]) — Guttman-style ChooseLeaf with
+//!   quadratic node splitting,
+//! * **deletion** ([`RTree::delete`]) — find-leaf + condense-tree with
+//!   re-insertion of orphaned entries; needed by the Brute Force and Chain
+//!   competitors, which physically remove assigned objects from the index,
+//! * **queries** — range queries and a full scan, plus low-level node access
+//!   ([`RTree::node_entries`], [`RTree::root_entries`]) used by the best-first
+//!   traversals of the skyline (BBS) and ranked-search (BRS) crates,
+//! * **invariant checking** ([`RTree::check_invariants`]) used by tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bulk;
+mod delete;
+mod entry;
+mod insert;
+mod query;
+mod tree;
+
+pub use entry::{DataEntry, Node, NodeEntry, RecordId};
+pub use tree::{RTree, RTreeConfig, RTreeError};

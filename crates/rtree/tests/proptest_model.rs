@@ -1,0 +1,100 @@
+//! Property-based model test: an R-tree under an arbitrary interleaving of
+//! inserts, deletes and range queries behaves exactly like a plain vector of
+//! records, and never violates its structural invariants.
+
+use pref_geom::{Mbr, Point};
+use pref_rtree::{RTree, RTreeConfig, RecordId};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { coords: Vec<f64> },
+    /// Delete the i-th (modulo length) currently live record.
+    DeleteNth(usize),
+    Range { lo: Vec<f64>, ext: Vec<f64> },
+}
+
+fn arb_ops(dims: usize) -> impl Strategy<Value = Vec<Op>> {
+    let insert = proptest::collection::vec(0.0f64..1.0, dims).prop_map(|coords| Op::Insert { coords });
+    let delete = (0usize..1000).prop_map(Op::DeleteNth);
+    let range = (
+        proptest::collection::vec(0.0f64..0.8, dims),
+        proptest::collection::vec(0.0f64..0.4, dims),
+    )
+        .prop_map(|(lo, ext)| Op::Range { lo, ext });
+    proptest::collection::vec(
+        prop_oneof![4 => insert, 2 => delete, 1 => range],
+        1..120,
+    )
+}
+
+fn run_model(dims: usize, fanout: usize, ops: Vec<Op>) -> Result<(), TestCaseError> {
+    let mut tree = RTree::new(RTreeConfig::for_dims(dims).with_fanout(fanout));
+    let mut model: Vec<(RecordId, Point)> = Vec::new();
+    let mut next_id = 0u64;
+    for (step, op) in ops.into_iter().enumerate() {
+        match op {
+            Op::Insert { coords } => {
+                let point = Point::new(coords).unwrap();
+                tree.insert(RecordId(next_id), point.clone()).unwrap();
+                model.push((RecordId(next_id), point));
+                next_id += 1;
+            }
+            Op::DeleteNth(n) => {
+                if model.is_empty() {
+                    continue;
+                }
+                let (record, point) = model.swap_remove(n % model.len());
+                tree.delete(record, &point).unwrap();
+            }
+            Op::Range { lo, ext } => {
+                let hi: Vec<f64> = lo.iter().zip(&ext).map(|(l, e)| l + e).collect();
+                let range = Mbr::new(lo, hi).unwrap();
+                let mut got: Vec<u64> = tree
+                    .range_query(&range)
+                    .into_iter()
+                    .map(|d| d.record.0)
+                    .collect();
+                got.sort_unstable();
+                let mut want: Vec<u64> = model
+                    .iter()
+                    .filter(|(_, p)| range.contains_point(p))
+                    .map(|(r, _)| r.0)
+                    .collect();
+                want.sort_unstable();
+                prop_assert_eq!(got, want, "range mismatch at step {}", step);
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len());
+        if step % 16 == 0 {
+            prop_assert!(tree.check_invariants().is_ok(), "invariants at step {}", step);
+        }
+    }
+    prop_assert!(tree.check_invariants().is_ok());
+    let mut got: Vec<u64> = tree.all_data_unaccounted().iter().map(|d| d.record.0).collect();
+    got.sort_unstable();
+    let mut want: Vec<u64> = model.iter().map(|(r, _)| r.0).collect();
+    want.sort_unstable();
+    prop_assert_eq!(got, want);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn rtree_matches_model_2d_small_fanout(ops in arb_ops(2)) {
+        run_model(2, 4, ops)?;
+    }
+
+    #[test]
+    fn rtree_matches_model_3d(ops in arb_ops(3)) {
+        run_model(3, 6, ops)?;
+    }
+
+    #[test]
+    fn rtree_matches_model_4d_page_fanout(ops in arb_ops(4)) {
+        // the real page-derived fanout (56 entries per node)
+        run_model(4, 56, ops)?;
+    }
+}

@@ -1,0 +1,33 @@
+//! Skyline computation and incremental maintenance.
+//!
+//! The SB assignment algorithm of the VLDB 2009 paper is built on two skyline
+//! modules:
+//!
+//! * an initial skyline computation over the object R-tree — Branch-and-Bound
+//!   Skyline (**BBS**, Papadias et al.), modified to remember which pruned
+//!   entry went into which skyline object's *pruned list* (`plist`), and
+//! * an incremental, deletion-only maintenance module — **UpdateSkyline**
+//!   (Algorithm 2 of the paper), which is I/O-optimal: it only ever visits
+//!   nodes that intersect the exclusive dominance region of the removed
+//!   objects and never reads the same R-tree node twice over the whole
+//!   assignment computation (Theorem 1).
+//!
+//! For comparison the crate also implements a **DeltaSky-style** baseline that
+//! re-traverses the tree from the root for every removed skyline object, plus
+//! memory-resident algorithms (BNL, SFS, a naive oracle and a k-skyband
+//! operator) used for testing and for the variant where `O` fits in memory.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bbs;
+mod deltasky;
+mod maintain;
+mod memory;
+mod set;
+
+pub use bbs::compute_skyline_bbs;
+pub use deltasky::delta_sky_update;
+pub use maintain::update_skyline;
+pub use memory::{k_skyband, skyline_bnl, skyline_naive, skyline_of_entries, skyline_sfs};
+pub use set::{Skyline, SkylineObject};

@@ -1,0 +1,283 @@
+//! Memory-resident skyline algorithms: BNL, SFS, a naive oracle and k-skyband.
+//!
+//! These are used (i) as test oracles for the index-based algorithms, (ii) for
+//! the storage variant where the object set fits in memory, and (iii) for the
+//! function skyline `Fsky` of the prioritized two-skyline technique, whose
+//! input (the set of effective weight vectors) is never indexed.
+
+use pref_geom::Point;
+use pref_rtree::{DataEntry, RecordId};
+
+/// Quadratic-time reference skyline; the unambiguous oracle for tests.
+pub fn skyline_naive(points: &[(RecordId, Point)]) -> Vec<RecordId> {
+    let mut out = Vec::new();
+    for (i, (r, p)) in points.iter().enumerate() {
+        let dominated = points
+            .iter()
+            .enumerate()
+            .any(|(j, (_, q))| j != i && q.dominates(p));
+        if !dominated {
+            out.push(*r);
+        }
+    }
+    out
+}
+
+/// Block-nested-loop skyline (Börzsönyi et al.): one pass over the data,
+/// keeping the set of currently non-dominated points.
+pub fn skyline_bnl(points: &[(RecordId, Point)]) -> Vec<RecordId> {
+    let mut window: Vec<(RecordId, &Point)> = Vec::new();
+    'outer: for (r, p) in points {
+        let mut i = 0;
+        while i < window.len() {
+            let (_, w) = window[i];
+            if w.dominates_or_equal(p) && !(w == p) {
+                // dominated by a window point: discard
+                continue 'outer;
+            }
+            if w == p {
+                // identical coordinates: both stay (neither dominates)
+                i += 1;
+                continue;
+            }
+            if p.dominates(w) {
+                window.swap_remove(i);
+                continue;
+            }
+            i += 1;
+        }
+        window.push((*r, p));
+    }
+    window.into_iter().map(|(r, _)| r).collect()
+}
+
+/// Sort-filter-skyline (the idea behind LESS / SaLSa): points are first sorted
+/// by a monotone scoring function (the sum of coordinates, descending). A
+/// point can then only be dominated by points that precede it, so one forward
+/// pass with a window suffices and the window never shrinks.
+pub fn skyline_sfs(points: &[(RecordId, Point)]) -> Vec<RecordId> {
+    let mut sorted: Vec<&(RecordId, Point)> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        let sa: f64 = a.1.coords().iter().sum();
+        let sb: f64 = b.1.coords().iter().sum();
+        sb.partial_cmp(&sa).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut window: Vec<(RecordId, &Point)> = Vec::new();
+    for (r, p) in sorted {
+        let dominated = window.iter().any(|(_, w)| w.dominates(p));
+        if !dominated {
+            window.push((*r, p));
+        }
+    }
+    window.into_iter().map(|(r, _)| r).collect()
+}
+
+/// The k-skyband: all points dominated by at most `k - 1` other points. For
+/// `k = 1` this is exactly the skyline. Used by top-k monitoring approaches
+/// discussed in the paper's related work and exposed here as a library
+/// extension.
+pub fn k_skyband(points: &[(RecordId, Point)], k: usize) -> Vec<RecordId> {
+    assert!(k >= 1, "k-skyband requires k >= 1");
+    let mut out = Vec::new();
+    for (i, (r, p)) in points.iter().enumerate() {
+        let dominators = points
+            .iter()
+            .enumerate()
+            .filter(|(j, (_, q))| *j != i && q.dominates(p))
+            .count();
+        if dominators < k {
+            out.push(*r);
+        }
+    }
+    out
+}
+
+/// Convenience adapter from [`DataEntry`] slices.
+pub fn skyline_of_entries(entries: &[DataEntry]) -> Vec<RecordId> {
+    let pairs: Vec<(RecordId, Point)> = entries
+        .iter()
+        .map(|e| (e.record, e.point.clone()))
+        .collect();
+    skyline_sfs(&pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn pts(raw: &[(u64, [f64; 2])]) -> Vec<(RecordId, Point)> {
+        raw.iter()
+            .map(|(id, c)| (RecordId(*id), Point::from_slice(c)))
+            .collect()
+    }
+
+    fn sorted(mut v: Vec<RecordId>) -> Vec<u64> {
+        v.sort();
+        v.into_iter().map(|r| r.0).collect()
+    }
+
+    #[test]
+    fn paper_figure1_skyline() {
+        // O = {a, b, c, d}: skyline is {a, b, c}; d=(0.4,0.4) is dominated by a.
+        let points = pts(&[
+            (0, [0.5, 0.6]), // a
+            (1, [0.2, 0.7]), // b
+            (2, [0.8, 0.2]), // c
+            (3, [0.4, 0.4]), // d
+        ]);
+        for algo in [skyline_naive, skyline_bnl, skyline_sfs] {
+            assert_eq!(sorted(algo(&points)), vec![0, 1, 2]);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<(RecordId, Point)> = vec![];
+        assert!(skyline_bnl(&empty).is_empty());
+        assert!(skyline_sfs(&empty).is_empty());
+        assert!(skyline_naive(&empty).is_empty());
+        let single = pts(&[(7, [0.3, 0.3])]);
+        assert_eq!(sorted(skyline_bnl(&single)), vec![7]);
+        assert_eq!(sorted(skyline_sfs(&single)), vec![7]);
+    }
+
+    #[test]
+    fn duplicate_points_all_survive() {
+        let points = pts(&[(0, [0.5, 0.5]), (1, [0.5, 0.5]), (2, [0.1, 0.1])]);
+        assert_eq!(sorted(skyline_naive(&points)), vec![0, 1]);
+        assert_eq!(sorted(skyline_bnl(&points)), vec![0, 1]);
+        assert_eq!(sorted(skyline_sfs(&points)), vec![0, 1]);
+    }
+
+    #[test]
+    fn totally_ordered_chain_has_single_skyline_point() {
+        let points = pts(&[(0, [0.1, 0.1]), (1, [0.2, 0.2]), (2, [0.3, 0.3]), (3, [0.9, 0.9])]);
+        for algo in [skyline_naive, skyline_bnl, skyline_sfs] {
+            assert_eq!(sorted(algo(&points)), vec![3]);
+        }
+    }
+
+    #[test]
+    fn anti_correlated_diagonal_is_all_skyline() {
+        let points: Vec<(RecordId, Point)> = (0..10)
+            .map(|i| {
+                let x = i as f64 / 10.0;
+                (RecordId(i), Point::from_slice(&[x, 0.9 - x]))
+            })
+            .collect();
+        assert_eq!(skyline_naive(&points).len(), 10);
+        assert_eq!(skyline_bnl(&points).len(), 10);
+        assert_eq!(skyline_sfs(&points).len(), 10);
+    }
+
+    #[test]
+    fn k_skyband_contains_skyline_and_grows_with_k() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let points: Vec<(RecordId, Point)> = (0..200)
+            .map(|i| {
+                (
+                    RecordId(i),
+                    Point::from_slice(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]),
+                )
+            })
+            .collect();
+        let sky = sorted(skyline_naive(&points));
+        let band1 = sorted(k_skyband(&points, 1));
+        assert_eq!(sky, band1);
+        let band3 = k_skyband(&points, 3);
+        let band5 = k_skyband(&points, 5);
+        assert!(band3.len() >= band1.len());
+        assert!(band5.len() >= band3.len());
+        // every skyline record is in every band
+        for r in &band1 {
+            assert!(band3.iter().any(|x| x.0 == *r));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn k_skyband_rejects_zero() {
+        let _ = k_skyband(&[], 0);
+    }
+
+    #[test]
+    fn skyline_of_entries_adapter() {
+        let entries = vec![
+            DataEntry::new(RecordId(0), Point::from_slice(&[0.9, 0.1])),
+            DataEntry::new(RecordId(1), Point::from_slice(&[0.1, 0.9])),
+            DataEntry::new(RecordId(2), Point::from_slice(&[0.05, 0.05])),
+        ];
+        assert_eq!(sorted(skyline_of_entries(&entries)), vec![0, 1]);
+    }
+
+    #[test]
+    fn randomized_agreement_between_algorithms() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for dims in 2..=5 {
+            for _ in 0..5 {
+                let points: Vec<(RecordId, Point)> = (0..300)
+                    .map(|i| {
+                        (
+                            RecordId(i),
+                            Point::from_slice(
+                                &(0..dims)
+                                    .map(|_| rng.gen_range(0.0..1.0))
+                                    .collect::<Vec<_>>(),
+                            ),
+                        )
+                    })
+                    .collect();
+                let a = sorted(skyline_naive(&points));
+                let b = sorted(skyline_bnl(&points));
+                let c = sorted(skyline_sfs(&points));
+                assert_eq!(a, b);
+                assert_eq!(a, c);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        #[test]
+        fn skyline_members_are_never_dominated(
+            coords in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 3), 1..60),
+        ) {
+            let points: Vec<(RecordId, Point)> = coords
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (RecordId(i as u64), Point::new(c).unwrap()))
+                .collect();
+            let sky = skyline_bnl(&points);
+            for r in &sky {
+                let p = &points.iter().find(|(id, _)| id == r).unwrap().1;
+                let dominated = points.iter().any(|(id, q)| id != r && q.dominates(p));
+                prop_assert!(!dominated);
+            }
+            // completeness: every non-member is dominated by someone
+            for (r, p) in &points {
+                if !sky.contains(r) {
+                    let dominated = points.iter().any(|(id, q)| id != r && q.dominates(p));
+                    prop_assert!(dominated, "non-skyline member must be dominated");
+                }
+            }
+        }
+
+        #[test]
+        fn bnl_and_sfs_agree(
+            coords in proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, 4), 1..80),
+        ) {
+            let points: Vec<(RecordId, Point)> = coords
+                .into_iter()
+                .enumerate()
+                .map(|(i, c)| (RecordId(i as u64), Point::new(c).unwrap()))
+                .collect();
+            let mut a = skyline_bnl(&points);
+            let mut b = skyline_sfs(&points);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The maintained skyline set and its bookkeeping.
+
+use pref_rtree::{DataEntry, NodeEntry, RecordId};
+use pref_storage::PeakTracker;
+
+/// A skyline object together with its pruned list.
+///
+/// During BBS and UpdateSkyline every pruned entry (a dominated R-tree node
+/// entry or data object) is attached to exactly one skyline object that
+/// dominates it. When that skyline object is later removed (because it was
+/// assigned to a preference function), its `plist` is exactly the set of
+/// entries that may contain new skyline objects.
+#[derive(Debug, Clone)]
+pub struct SkylineObject {
+    /// The skyline object itself.
+    pub data: DataEntry,
+    /// Entries pruned by (and therefore "owned" by) this object.
+    pub plist: Vec<NodeEntry>,
+}
+
+impl SkylineObject {
+    /// Creates a skyline object with an empty pruned list.
+    pub fn new(data: DataEntry) -> Self {
+        Self {
+            data,
+            plist: Vec::new(),
+        }
+    }
+
+    /// Approximate size in bytes of this object's bookkeeping (the object
+    /// itself plus its pruned list); used for the paper's memory-usage metric.
+    pub fn memory_bytes(&self) -> u64 {
+        let dims = self.data.point.dims();
+        let per_entry = (2 * dims * 8 + 16) as u64;
+        per_entry + self.plist.len() as u64 * per_entry
+    }
+}
+
+/// The current skyline of the remaining objects, with per-object pruned lists.
+#[derive(Debug, Clone, Default)]
+pub struct Skyline {
+    objects: Vec<SkylineObject>,
+}
+
+impl Skyline {
+    /// Creates an empty skyline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of skyline objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// `true` when the skyline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// Iterates over the skyline objects.
+    pub fn iter(&self) -> impl Iterator<Item = &SkylineObject> {
+        self.objects.iter()
+    }
+
+    /// Iterates over the skyline data entries.
+    pub fn data_entries(&self) -> impl Iterator<Item = &DataEntry> {
+        self.objects.iter().map(|o| &o.data)
+    }
+
+    /// Record ids of the skyline objects.
+    pub fn records(&self) -> Vec<RecordId> {
+        self.objects.iter().map(|o| o.data.record).collect()
+    }
+
+    /// `true` iff the record is currently a skyline object.
+    pub fn contains(&self, record: RecordId) -> bool {
+        self.objects.iter().any(|o| o.data.record == record)
+    }
+
+    /// Returns the skyline object for a record.
+    pub fn get(&self, record: RecordId) -> Option<&SkylineObject> {
+        self.objects.iter().find(|o| o.data.record == record)
+    }
+
+    /// Mutable access to a skyline object (used to grow pruned lists).
+    pub fn get_mut(&mut self, record: RecordId) -> Option<&mut SkylineObject> {
+        self.objects.iter_mut().find(|o| o.data.record == record)
+    }
+
+    /// Adds a new skyline object.
+    pub fn insert(&mut self, object: SkylineObject) {
+        debug_assert!(
+            !self.contains(object.data.record),
+            "duplicate skyline insertion for {}",
+            object.data.record
+        );
+        self.objects.push(object);
+    }
+
+    /// Removes and returns a skyline object (keeping its pruned list intact),
+    /// or `None` if the record is not on the skyline.
+    pub fn remove(&mut self, record: RecordId) -> Option<SkylineObject> {
+        let pos = self.objects.iter().position(|o| o.data.record == record)?;
+        Some(self.objects.swap_remove(pos))
+    }
+
+    /// Attaches a pruned entry to the *first* skyline object that dominates
+    /// its best corner, if any; returns `true` on success. The paper keeps
+    /// each pruned entry in exactly one pruned list to bound memory.
+    pub fn attach_to_dominator(&mut self, entry: NodeEntry) -> Result<(), NodeEntry> {
+        let top = entry.mbr().top_corner();
+        match self
+            .objects
+            .iter_mut()
+            .find(|o| o.data.point.dominates(&top))
+        {
+            Some(owner) => {
+                owner.plist.push(entry);
+                Ok(())
+            }
+            None => Err(entry),
+        }
+    }
+
+    /// `true` iff some skyline object dominates the given point.
+    pub fn dominates_point(&self, point: &pref_geom::Point) -> bool {
+        self.objects.iter().any(|o| o.data.point.dominates(point))
+    }
+
+    /// Total approximate memory of the skyline and all pruned lists, in bytes.
+    pub fn memory_bytes(&self) -> u64 {
+        self.objects.iter().map(SkylineObject::memory_bytes).sum()
+    }
+
+    /// Records the current memory footprint into a [`PeakTracker`].
+    pub fn observe_memory(&self, tracker: &mut PeakTracker) {
+        tracker.observe(self.memory_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_geom::{Mbr, Point};
+    use pref_storage::PageId;
+
+    fn data(id: u64, coords: &[f64]) -> DataEntry {
+        DataEntry::new(RecordId(id), Point::from_slice(coords))
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut s = Skyline::new();
+        assert!(s.is_empty());
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.2])));
+        s.insert(SkylineObject::new(data(2, &[0.2, 0.9])));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(RecordId(1)));
+        assert!(!s.contains(RecordId(3)));
+        assert_eq!(s.records().len(), 2);
+        let removed = s.remove(RecordId(1)).unwrap();
+        assert_eq!(removed.data.record, RecordId(1));
+        assert!(!s.contains(RecordId(1)));
+        assert!(s.remove(RecordId(1)).is_none());
+    }
+
+    #[test]
+    fn attach_to_dominator_prefers_existing_objects() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.8])));
+        // a dominated data entry
+        let pruned = NodeEntry::Data(data(5, &[0.5, 0.5]));
+        assert!(s.attach_to_dominator(pruned).is_ok());
+        assert_eq!(s.get(RecordId(1)).unwrap().plist.len(), 1);
+        // a non-dominated entry comes back
+        let free = NodeEntry::Data(data(6, &[0.95, 0.1]));
+        assert!(s.attach_to_dominator(free).is_err());
+    }
+
+    #[test]
+    fn attach_subtree_entries_by_top_corner() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.9])));
+        let covered = NodeEntry::Child {
+            mbr: Mbr::new(vec![0.1, 0.1], vec![0.5, 0.5]).unwrap(),
+            page: PageId::new(3),
+        };
+        assert!(s.attach_to_dominator(covered).is_ok());
+        let escaping = NodeEntry::Child {
+            mbr: Mbr::new(vec![0.1, 0.1], vec![0.95, 0.5]).unwrap(),
+            page: PageId::new(4),
+        };
+        assert!(s.attach_to_dominator(escaping).is_err());
+    }
+
+    #[test]
+    fn dominates_point_checks_all_objects() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.2])));
+        s.insert(SkylineObject::new(data(2, &[0.2, 0.9])));
+        assert!(s.dominates_point(&Point::from_slice(&[0.1, 0.1])));
+        assert!(!s.dominates_point(&Point::from_slice(&[0.5, 0.5])));
+    }
+
+    #[test]
+    fn memory_grows_with_plists() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.9])));
+        let before = s.memory_bytes();
+        s.attach_to_dominator(NodeEntry::Data(data(5, &[0.5, 0.5])))
+            .unwrap();
+        assert!(s.memory_bytes() > before);
+        let mut tracker = PeakTracker::new();
+        s.observe_memory(&mut tracker);
+        assert_eq!(tracker.peak(), s.memory_bytes());
+    }
+}

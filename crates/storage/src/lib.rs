@@ -1,0 +1,71 @@
+//! Simulated disk storage for the fair-assignment library.
+//!
+//! The VLDB 2009 paper evaluates its algorithms by the number of R-tree node
+//! accesses that are not absorbed by an LRU buffer ("I/O accesses", with a
+//! buffer whose default size is 2% of the tree). This crate provides the
+//! machinery to reproduce that accounting without a real disk:
+//!
+//! * [`PagedStore`] — an in-memory collection of fixed-size pages addressed by
+//!   [`PageId`], standing in for the disk file that holds the R-tree,
+//! * [`LruBuffer`] — an LRU buffer pool over page identifiers,
+//! * [`IoStats`] — logical/physical read and write counters,
+//! * [`PeakTracker`] — a peak-memory gauge for the in-memory search structures
+//!   (priority queues, pruned lists, TA states) that the paper reports as
+//!   "memory usage".
+//!
+//! The store is generic over the page payload so the R-tree crate can store
+//! its node type directly; the simulation only needs to know *which* page is
+//! touched, not its byte representation. [`PAGE_SIZE`] documents the page
+//! size used to derive R-tree fanout.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod lru;
+mod stats;
+mod store;
+mod tracker;
+
+pub use lru::LruBuffer;
+pub use stats::IoStats;
+pub use store::{PageId, PagedStore};
+pub use tracker::{cost, PeakTracker};
+
+/// Simulated page size in bytes (the paper uses 4 KByte pages).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Size in bytes of one stored coordinate (an `f64`).
+pub const COORD_SIZE: usize = 8;
+
+/// Size in bytes of a child-pointer / record identifier within a page.
+pub const POINTER_SIZE: usize = 8;
+
+/// Computes the maximum number of R-tree entries that fit in one page for a
+/// given dimensionality: each entry stores an MBR (2·D coordinates) plus a
+/// pointer, and the page keeps a small header.
+///
+/// ```
+/// assert_eq!(pref_storage::entries_per_page(4), 56);
+/// assert!(pref_storage::entries_per_page(6) >= 30);
+/// ```
+pub fn entries_per_page(dims: usize) -> usize {
+    const PAGE_HEADER: usize = 32;
+    let entry_size = 2 * dims * COORD_SIZE + POINTER_SIZE;
+    ((PAGE_SIZE - PAGE_HEADER) / entry_size).max(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_per_page_matches_paper_scale() {
+        // 4 KiB pages, D = 4: entry = 4*2*8 + 8 = 72 bytes -> 56 entries.
+        assert_eq!(entries_per_page(4), 56);
+        // Higher dimensionality means lower fanout (the dimensionality curse).
+        assert!(entries_per_page(3) > entries_per_page(4));
+        assert!(entries_per_page(4) > entries_per_page(6));
+        // Degenerate dimensionalities still give a usable fanout.
+        assert!(entries_per_page(100) >= 4);
+    }
+}

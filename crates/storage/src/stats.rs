@@ -1,0 +1,169 @@
+//! I/O statistics counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing the I/O behaviour of a [`crate::PagedStore`].
+///
+/// * a *logical read* is any node/page access performed by an algorithm;
+/// * a *buffer hit* is a logical read satisfied by the LRU buffer;
+/// * a *physical read* is a logical read that missed the buffer — this is the
+///   paper's "I/O accesses" metric;
+/// * *physical writes* count page allocations and updates flushed to the
+///   simulated disk (structure modifications by insert/delete).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IoStats {
+    /// Total page accesses requested by algorithms.
+    pub logical_reads: u64,
+    /// Accesses satisfied by the buffer pool.
+    pub buffer_hits: u64,
+    /// Accesses that had to touch the simulated disk.
+    pub physical_reads: u64,
+    /// Pages written (allocations and in-place updates).
+    pub physical_writes: u64,
+    /// Pages allocated over the lifetime of the store.
+    pub pages_allocated: u64,
+    /// Pages freed over the lifetime of the store.
+    pub pages_freed: u64,
+}
+
+impl IoStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The paper's headline metric: accesses not absorbed by the buffer.
+    #[inline]
+    pub fn io_accesses(&self) -> u64 {
+        self.physical_reads
+    }
+
+    /// Buffer hit ratio in `[0, 1]`; zero when nothing was read.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            0.0
+        } else {
+            self.buffer_hits as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// Adds another counter set into this one (useful when aggregating the
+    /// stats of several stores, e.g. an object tree plus a function tree).
+    pub fn merge(&mut self, other: &IoStats) {
+        self.logical_reads += other.logical_reads;
+        self.buffer_hits += other.buffer_hits;
+        self.physical_reads += other.physical_reads;
+        self.physical_writes += other.physical_writes;
+        self.pages_allocated += other.pages_allocated;
+        self.pages_freed += other.pages_freed;
+    }
+
+    /// Returns the difference `self - baseline` counter-by-counter, saturating
+    /// at zero. Useful for measuring a single phase of a longer run.
+    pub fn since(&self, baseline: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads.saturating_sub(baseline.logical_reads),
+            buffer_hits: self.buffer_hits.saturating_sub(baseline.buffer_hits),
+            physical_reads: self.physical_reads.saturating_sub(baseline.physical_reads),
+            physical_writes: self.physical_writes.saturating_sub(baseline.physical_writes),
+            pages_allocated: self.pages_allocated.saturating_sub(baseline.pages_allocated),
+            pages_freed: self.pages_freed.saturating_sub(baseline.pages_freed),
+        }
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "io={} (logical={}, hits={}, hit-ratio={:.1}%), writes={}",
+            self.physical_reads,
+            self.logical_reads,
+            self.buffer_hits,
+            self.hit_ratio() * 100.0,
+            self.physical_writes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_ratio_handles_zero_reads() {
+        let s = IoStats::new();
+        assert_eq!(s.hit_ratio(), 0.0);
+        assert_eq!(s.io_accesses(), 0);
+    }
+
+    #[test]
+    fn merge_and_since_are_inverse_like() {
+        let mut a = IoStats {
+            logical_reads: 10,
+            buffer_hits: 4,
+            physical_reads: 6,
+            physical_writes: 2,
+            pages_allocated: 1,
+            pages_freed: 0,
+        };
+        let b = IoStats {
+            logical_reads: 5,
+            buffer_hits: 5,
+            physical_reads: 0,
+            physical_writes: 1,
+            pages_allocated: 0,
+            pages_freed: 1,
+        };
+        let before = a;
+        a.merge(&b);
+        assert_eq!(a.logical_reads, 15);
+        assert_eq!(a.buffer_hits, 9);
+        let delta = a.since(&before);
+        assert_eq!(delta, b);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let a = IoStats::new();
+        let b = IoStats {
+            logical_reads: 3,
+            ..IoStats::new()
+        };
+        assert_eq!(a.since(&b).logical_reads, 0);
+    }
+
+    #[test]
+    fn display_shows_headline_metric() {
+        let s = IoStats {
+            logical_reads: 100,
+            buffer_hits: 60,
+            physical_reads: 40,
+            physical_writes: 3,
+            pages_allocated: 0,
+            pages_freed: 0,
+        };
+        let text = s.to_string();
+        assert!(text.contains("io=40"));
+        assert!(text.contains("60.0%"));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = IoStats {
+            logical_reads: 1,
+            buffer_hits: 1,
+            physical_reads: 1,
+            physical_writes: 1,
+            pages_allocated: 1,
+            pages_freed: 1,
+        };
+        s.reset();
+        assert_eq!(s, IoStats::new());
+    }
+}

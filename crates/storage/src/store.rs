@@ -1,0 +1,342 @@
+//! The simulated disk: a paged store with buffer-managed access counting.
+
+use crate::{IoStats, LruBuffer};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a page in a [`PagedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct PageId(u64);
+
+impl PageId {
+    /// Creates a page id from a raw index.
+    pub fn new(raw: u64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw index.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for PageId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// An in-memory stand-in for a disk file of fixed-size pages.
+///
+/// Every read goes through an [`LruBuffer`]; reads that miss the buffer are
+/// counted as physical I/O in [`IoStats`], reproducing the paper's
+/// measurement methodology. The payload type `P` is whatever the caller wants
+/// to store in a page (the R-tree stores one node per page).
+#[derive(Debug, Clone)]
+pub struct PagedStore<P> {
+    pages: Vec<Option<P>>,
+    free_list: Vec<PageId>,
+    buffer: LruBuffer,
+    stats: IoStats,
+    /// When `true`, reads bypass the hit/miss accounting entirely. Used while
+    /// bulk-loading a tree, whose construction cost the paper does not charge
+    /// to the assignment algorithms.
+    accounting_paused: bool,
+}
+
+impl<P> PagedStore<P> {
+    /// Creates an empty store whose buffer holds `buffer_frames` pages.
+    pub fn new(buffer_frames: usize) -> Self {
+        Self {
+            pages: Vec::new(),
+            free_list: Vec::new(),
+            buffer: LruBuffer::new(buffer_frames),
+            stats: IoStats::new(),
+            accounting_paused: false,
+        }
+    }
+
+    /// Number of live (allocated and not freed) pages.
+    pub fn len(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// `true` when the store holds no live pages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of page slots ever allocated (including freed ones);
+    /// page ids are never reused for a *different* role while freed slots
+    /// remain on the free list.
+    pub fn capacity(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// The I/O statistics accumulated so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Resets the I/O statistics (the buffer contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+
+    /// Clears the buffer pool (all pages become non-resident).
+    pub fn clear_buffer(&mut self) {
+        self.buffer.clear();
+    }
+
+    /// Sets the buffer capacity in frames; shrinking evicts LRU pages.
+    pub fn set_buffer_frames(&mut self, frames: usize) {
+        self.buffer.set_capacity(frames);
+    }
+
+    /// Sets the buffer capacity as a fraction of the current number of live
+    /// pages (the paper's "buffer size 2% of the tree size"). A fraction of
+    /// zero disables the buffer.
+    pub fn set_buffer_fraction(&mut self, fraction: f64) {
+        let frames = (fraction * self.len() as f64).round() as usize;
+        self.buffer.set_capacity(frames);
+    }
+
+    /// Current buffer capacity in frames.
+    pub fn buffer_frames(&self) -> usize {
+        self.buffer.capacity()
+    }
+
+    /// Runs `body` with hit/miss accounting suspended (e.g. during bulk load).
+    pub fn with_accounting_paused<R>(&mut self, body: impl FnOnce(&mut Self) -> R) -> R {
+        let was = self.accounting_paused;
+        self.accounting_paused = true;
+        let out = body(self);
+        self.accounting_paused = was;
+        out
+    }
+
+    /// Allocates a new page containing `payload` and returns its id.
+    pub fn allocate(&mut self, payload: P) -> PageId {
+        self.stats.pages_allocated += 1;
+        if !self.accounting_paused {
+            self.stats.physical_writes += 1;
+        }
+        if let Some(id) = self.free_list.pop() {
+            self.pages[id.index()] = Some(payload);
+            id
+        } else {
+            self.pages.push(Some(payload));
+            PageId::new((self.pages.len() - 1) as u64)
+        }
+    }
+
+    /// Frees a page. Its slot may be reused by later allocations.
+    ///
+    /// # Panics
+    /// Panics if the page is not live.
+    pub fn free(&mut self, id: PageId) {
+        let slot = self
+            .pages
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("free of unknown page {id}"));
+        assert!(slot.is_some(), "double free of page {id}");
+        *slot = None;
+        self.stats.pages_freed += 1;
+        self.buffer.invalidate(id);
+        self.free_list.push(id);
+    }
+
+    /// Reads a page, charging a logical access and (on a buffer miss) a
+    /// physical read.
+    ///
+    /// # Panics
+    /// Panics if the page is not live.
+    pub fn read(&mut self, id: PageId) -> &P {
+        self.charge_read(id);
+        self.pages[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("read of freed page {id}"))
+    }
+
+    /// Reads a page mutably (same accounting as [`PagedStore::read`], plus a
+    /// physical write, since the caller is going to modify the page).
+    pub fn read_mut(&mut self, id: PageId) -> &mut P {
+        self.charge_read(id);
+        if !self.accounting_paused {
+            self.stats.physical_writes += 1;
+        }
+        self.pages[id.index()]
+            .as_mut()
+            .unwrap_or_else(|| panic!("read_mut of freed page {id}"))
+    }
+
+    /// Peeks at a page without touching the buffer or the counters. Intended
+    /// for validation, debugging and test oracles only.
+    pub fn peek(&self, id: PageId) -> Option<&P> {
+        self.pages.get(id.index()).and_then(|p| p.as_ref())
+    }
+
+    /// Replaces the payload of a live page, charging a physical write.
+    pub fn write(&mut self, id: PageId, payload: P) {
+        let slot = self
+            .pages
+            .get_mut(id.index())
+            .unwrap_or_else(|| panic!("write of unknown page {id}"));
+        assert!(slot.is_some(), "write of freed page {id}");
+        *slot = Some(payload);
+        if !self.accounting_paused {
+            self.stats.physical_writes += 1;
+        }
+    }
+
+    /// Identifiers of all live pages (ascending). Intended for validation.
+    pub fn live_pages(&self) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| PageId::new(i as u64)))
+            .collect()
+    }
+
+    fn charge_read(&mut self, id: PageId) {
+        if self.accounting_paused {
+            // still keep the buffer warm so post-build behaviour is realistic
+            self.buffer.access(id);
+            return;
+        }
+        self.stats.logical_reads += 1;
+        if self.buffer.access(id) {
+            self.stats.buffer_hits += 1;
+        } else {
+            self.stats.physical_reads += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_read_roundtrip() {
+        let mut store: PagedStore<String> = PagedStore::new(4);
+        let a = store.allocate("alpha".into());
+        let b = store.allocate("beta".into());
+        assert_ne!(a, b);
+        assert_eq!(store.read(a), "alpha");
+        assert_eq!(store.read(b), "beta");
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.stats().pages_allocated, 2);
+        assert_eq!(store.stats().logical_reads, 2);
+    }
+
+    #[test]
+    fn buffer_absorbs_repeated_reads() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        store.read(a);
+        store.read(a);
+        store.read(a);
+        let s = store.stats();
+        assert_eq!(s.logical_reads, 3);
+        assert_eq!(s.physical_reads, 1);
+        assert_eq!(s.buffer_hits, 2);
+    }
+
+    #[test]
+    fn zero_buffer_counts_every_access() {
+        let mut store: PagedStore<u32> = PagedStore::new(0);
+        let a = store.allocate(1);
+        for _ in 0..5 {
+            store.read(a);
+        }
+        assert_eq!(store.stats().physical_reads, 5);
+        assert_eq!(store.stats().buffer_hits, 0);
+    }
+
+    #[test]
+    fn free_and_reuse_slots() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        let _b = store.allocate(2);
+        store.free(a);
+        assert_eq!(store.len(), 1);
+        assert!(store.peek(a).is_none());
+        let c = store.allocate(3);
+        assert_eq!(c, a, "freed slot is reused");
+        assert_eq!(*store.read(c), 3);
+        assert_eq!(store.stats().pages_freed, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        store.free(a);
+        store.free(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "read of freed page")]
+    fn read_after_free_panics() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        store.free(a);
+        store.read(a);
+    }
+
+    #[test]
+    fn read_mut_and_write_count_writes() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        *store.read_mut(a) += 10;
+        store.write(a, 99);
+        assert_eq!(*store.read(a), 99);
+        // allocate(1) + read_mut(1) + write(1)
+        assert_eq!(store.stats().physical_writes, 3);
+    }
+
+    #[test]
+    fn accounting_pause_suppresses_counters_but_warms_buffer() {
+        let mut store: PagedStore<u32> = PagedStore::new(4);
+        let a = store.allocate(1);
+        store.reset_stats();
+        store.with_accounting_paused(|s| {
+            s.read(a);
+            s.read(a);
+        });
+        assert_eq!(store.stats().logical_reads, 0);
+        assert_eq!(store.stats().physical_reads, 0);
+        // the page is now resident, so the next real read is a hit
+        store.read(a);
+        assert_eq!(store.stats().logical_reads, 1);
+        assert_eq!(store.stats().buffer_hits, 1);
+    }
+
+    #[test]
+    fn set_buffer_fraction_scales_with_live_pages() {
+        let mut store: PagedStore<u32> = PagedStore::new(0);
+        for i in 0..100 {
+            store.allocate(i);
+        }
+        store.set_buffer_fraction(0.02);
+        assert_eq!(store.buffer_frames(), 2);
+        store.set_buffer_fraction(0.0);
+        assert_eq!(store.buffer_frames(), 0);
+    }
+
+    #[test]
+    fn live_pages_reports_only_live() {
+        let mut store: PagedStore<u32> = PagedStore::new(0);
+        let a = store.allocate(1);
+        let b = store.allocate(2);
+        let c = store.allocate(3);
+        store.free(b);
+        assert_eq!(store.live_pages(), vec![a, c]);
+        assert_eq!(store.capacity(), 3);
+    }
+}

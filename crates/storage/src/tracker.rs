@@ -1,0 +1,159 @@
+//! Peak-memory accounting for in-memory search structures.
+
+use serde::{Deserialize, Serialize};
+
+/// Tracks the current and peak size (in bytes) of the transient search
+/// structures an algorithm maintains: priority queues, pruned-entry lists,
+/// per-object TA states, and so on.
+///
+/// The paper reports "the maximum memory consumed by their search structures
+/// (i.e., priority queues and pruned lists of skyline objects) during their
+/// execution"; algorithms call [`PeakTracker::add`] / [`PeakTracker::remove`]
+/// as their structures grow and shrink, or [`PeakTracker::observe`] with an
+/// absolute measurement taken at a checkpoint.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PeakTracker {
+    current: u64,
+    peak: u64,
+}
+
+impl PeakTracker {
+    /// A tracker with nothing allocated.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current tracked size in bytes.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Largest size observed so far, in bytes.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Largest size observed so far, in mebibytes.
+    pub fn peak_mib(&self) -> f64 {
+        self.peak as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Registers `bytes` of additional structure.
+    pub fn add(&mut self, bytes: u64) {
+        self.current += bytes;
+        if self.current > self.peak {
+            self.peak = self.current;
+        }
+    }
+
+    /// Registers release of `bytes` of structure (saturating at zero).
+    pub fn remove(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Replaces the current measurement with an absolute value (e.g. a value
+    /// recomputed from container lengths at a checkpoint) and updates the peak.
+    pub fn observe(&mut self, bytes: u64) {
+        self.current = bytes;
+        if bytes > self.peak {
+            self.peak = bytes;
+        }
+    }
+
+    /// Merges another tracker's peak into this one: the combined peak is the
+    /// sum of peaks (a conservative upper bound when structures coexist).
+    pub fn merge_concurrent(&mut self, other: &PeakTracker) {
+        self.current += other.current;
+        self.peak += other.peak;
+    }
+
+    /// Resets both current and peak to zero.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+impl std::fmt::Display for PeakTracker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "peak={:.2} MiB", self.peak_mib())
+    }
+}
+
+/// Rough per-element byte costs used by the algorithms when reporting their
+/// structure sizes. These mirror the sizes of the paper's C++ structures
+/// closely enough for relative comparisons.
+pub mod cost {
+    /// A heap entry holding an id, a score and a tag.
+    pub const HEAP_ENTRY: u64 = 24;
+    /// A stored multidimensional point/MBR entry of dimensionality `d`.
+    pub fn entry(dims: usize) -> u64 {
+        (2 * dims * 8 + 8) as u64
+    }
+    /// A per-function or per-object bookkeeping record (id + score + flags).
+    pub const RECORD: u64 = 24;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_tracks_peak() {
+        let mut t = PeakTracker::new();
+        t.add(100);
+        t.add(50);
+        assert_eq!(t.current(), 150);
+        assert_eq!(t.peak(), 150);
+        t.remove(120);
+        assert_eq!(t.current(), 30);
+        assert_eq!(t.peak(), 150);
+        t.add(10);
+        assert_eq!(t.peak(), 150);
+    }
+
+    #[test]
+    fn remove_saturates() {
+        let mut t = PeakTracker::new();
+        t.add(10);
+        t.remove(100);
+        assert_eq!(t.current(), 0);
+    }
+
+    #[test]
+    fn observe_sets_absolute_value() {
+        let mut t = PeakTracker::new();
+        t.observe(500);
+        t.observe(200);
+        assert_eq!(t.current(), 200);
+        assert_eq!(t.peak(), 500);
+    }
+
+    #[test]
+    fn merge_concurrent_adds_peaks() {
+        let mut a = PeakTracker::new();
+        a.add(100);
+        let mut b = PeakTracker::new();
+        b.add(200);
+        b.remove(200);
+        a.merge_concurrent(&b);
+        assert_eq!(a.peak(), 300);
+        assert_eq!(a.current(), 100);
+    }
+
+    #[test]
+    fn display_and_units() {
+        let mut t = PeakTracker::new();
+        t.add(2 * 1024 * 1024);
+        assert!((t.peak_mib() - 2.0).abs() < 1e-9);
+        assert!(t.to_string().contains("2.00 MiB"));
+        t.reset();
+        assert_eq!(t.peak(), 0);
+    }
+
+    #[test]
+    fn cost_helpers_are_sane() {
+        assert_eq!(cost::entry(4), 72);
+        assert!(cost::HEAP_ENTRY > 0);
+        assert!(cost::RECORD > 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Top-k search modules used by the fair-assignment algorithms.
+//!
+//! Three search primitives from the paper:
+//!
+//! * **BRS** ([`RankedSearch`]) — branch-and-bound ranked search over the
+//!   object R-tree (Tao et al.), used as the incremental top-1 engine of the
+//!   Brute Force and Chain competitors;
+//! * **reverse top-1 via TA** ([`ReverseTopOne`], [`FunctionLists`]) — the
+//!   paper's Section 5.1 module: the preference functions are organised as
+//!   `D` sorted coefficient lists and, for a given skyline object, the best
+//!   remaining function is found with a threshold-algorithm scan whose
+//!   termination threshold is tightened by a fractional-knapsack bound
+//!   ([`tight_threshold`]), biased list probing, and a resumable, capped
+//!   candidate queue (the Ω technique);
+//! * **batch best-pair search** ([`DiskFunctionLists`], [`batch_best_functions`])
+//!   — the Section 7.6 variant for disk-resident function sets, which scans
+//!   the coefficient lists block by block once per skyline version and charges
+//!   list I/O explicitly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod batch;
+mod brs;
+mod knapsack;
+mod lists;
+mod reverse;
+
+pub use batch::{batch_best_functions, DiskFunctionLists};
+pub use brs::{top_k, RankedSearch};
+pub use knapsack::tight_threshold;
+pub use lists::FunctionLists;
+pub use reverse::{best_function_scan, ReverseTopOne};

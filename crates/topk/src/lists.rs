@@ -1,0 +1,271 @@
+//! Sorted coefficient lists over the set of preference functions.
+
+use pref_geom::{LinearFunction, Point};
+
+/// The paper's in-memory index over the preference functions `F`: one list per
+/// dimension, holding `(coefficient, function)` pairs sorted by coefficient in
+/// descending order (Section 5.1).
+///
+/// Functions are addressed by their index in the original slice. Assigned
+/// functions are *removed* logically ([`FunctionLists::remove`]); list scans
+/// skip them, so the TA threshold keeps tightening as `F` shrinks.
+///
+/// For the prioritized variant (Section 6.2) the lists are built over the
+/// *effective* coefficients `α′ᵢ = γ·αᵢ` and the knapsack budget becomes the
+/// maximum priority; both fall out of [`FunctionLists::new`] automatically
+/// because [`LinearFunction::effective_weights`] already folds γ in.
+#[derive(Debug, Clone)]
+pub struct FunctionLists {
+    /// `lists[d]` = (effective coefficient, function index), descending.
+    lists: Vec<Vec<(f64, usize)>>,
+    /// Effective (priority-scaled) weight vectors, indexed by function.
+    effective: Vec<Vec<f64>>,
+    /// Which functions are still unassigned.
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Maximum priority over all functions (the knapsack budget).
+    max_priority: f64,
+    dims: usize,
+}
+
+impl FunctionLists {
+    /// Builds the sorted lists for a set of functions.
+    ///
+    /// # Panics
+    /// Panics if the functions do not all share the same dimensionality or the
+    /// slice is empty.
+    pub fn new(functions: &[LinearFunction]) -> Self {
+        assert!(!functions.is_empty(), "FunctionLists requires at least one function");
+        let dims = functions[0].dims();
+        assert!(
+            functions.iter().all(|f| f.dims() == dims),
+            "all functions must share the same dimensionality"
+        );
+        let effective: Vec<Vec<f64>> = functions.iter().map(|f| f.effective_weights()).collect();
+        let mut lists: Vec<Vec<(f64, usize)>> = vec![Vec::with_capacity(functions.len()); dims];
+        for (idx, w) in effective.iter().enumerate() {
+            for (d, &coeff) in w.iter().enumerate() {
+                lists[d].push((coeff, idx));
+            }
+        }
+        for list in &mut lists {
+            list.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        let max_priority = functions
+            .iter()
+            .map(LinearFunction::priority)
+            .fold(0.0f64, f64::max);
+        Self {
+            lists,
+            effective,
+            alive: vec![true; functions.len()],
+            alive_count: functions.len(),
+            max_priority,
+            dims,
+        }
+    }
+
+    /// Dimensionality of the indexed functions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Total number of functions (alive and removed).
+    pub fn total(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Number of unassigned (alive) functions.
+    pub fn remaining(&self) -> usize {
+        self.alive_count
+    }
+
+    /// The knapsack budget: 1 for normalized functions, the maximum γ when
+    /// priorities are in use.
+    pub fn budget(&self) -> f64 {
+        self.max_priority
+    }
+
+    /// `true` iff the function has not been removed.
+    pub fn is_alive(&self, function: usize) -> bool {
+        self.alive[function]
+    }
+
+    /// Removes (assigns) a function; returns `false` if it was already gone.
+    pub fn remove(&mut self, function: usize) -> bool {
+        if !self.alive[function] {
+            return false;
+        }
+        self.alive[function] = false;
+        self.alive_count -= 1;
+        true
+    }
+
+    /// The function's effective score on an object (a "random access" in TA
+    /// terms).
+    pub fn score(&self, function: usize, object: &Point) -> f64 {
+        debug_assert_eq!(object.dims(), self.dims);
+        self.effective[function]
+            .iter()
+            .zip(object.coords())
+            .map(|(w, c)| w * c)
+            .sum()
+    }
+
+    /// The effective coefficient vector of a function.
+    pub fn effective_weights(&self, function: usize) -> &[f64] {
+        &self.effective[function]
+    }
+
+    /// Scans list `dim` starting at `cursor`, skipping removed functions, and
+    /// returns `(next_cursor, coefficient, function)` for the first alive
+    /// entry, or `None` if the list is exhausted.
+    pub fn next_alive(&self, dim: usize, mut cursor: usize) -> Option<(usize, f64, usize)> {
+        let list = &self.lists[dim];
+        while cursor < list.len() {
+            let (coeff, func) = list[cursor];
+            if self.alive[func] {
+                return Some((cursor + 1, coeff, func));
+            }
+            cursor += 1;
+        }
+        None
+    }
+
+    /// The raw list for a dimension (including removed functions); used by the
+    /// batch scanner, which performs its own skipping.
+    pub fn raw_list(&self, dim: usize) -> &[(f64, usize)] {
+        &self.lists[dim]
+    }
+
+    /// Indices of all alive functions.
+    pub fn alive_functions(&self) -> Vec<usize> {
+        self.alive
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &a)| a.then_some(i))
+            .collect()
+    }
+
+    /// Exhaustive best function for an object: linear scan over alive
+    /// functions. Used as an oracle by tests and by the two-skyline variant,
+    /// where the candidate function set is small.
+    pub fn best_by_scan(&self, object: &Point) -> Option<(usize, f64)> {
+        let mut best: Option<(usize, f64)> = None;
+        for idx in 0..self.alive.len() {
+            if !self.alive[idx] {
+                continue;
+            }
+            let s = self.score(idx, object);
+            match best {
+                Some((_, bs)) if bs >= s => {}
+                _ => best = Some((idx, s)),
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(w: &[f64]) -> LinearFunction {
+        LinearFunction::new(w.to_vec()).unwrap()
+    }
+
+    fn paper_functions() -> Vec<LinearFunction> {
+        // Figure 5: fa..fe over three dimensions.
+        vec![
+            LinearFunction::from_normalized(vec![0.8, 0.1, 0.1]).unwrap(), // fa
+            LinearFunction::from_normalized(vec![0.2, 0.8, 0.0]).unwrap(), // fb
+            LinearFunction::from_normalized(vec![0.5, 0.4, 0.1]).unwrap(), // fc
+            LinearFunction::from_normalized(vec![0.0, 0.1, 0.9]).unwrap(), // fd
+            LinearFunction::from_normalized(vec![0.2, 0.4, 0.4]).unwrap(), // fe
+        ]
+    }
+
+    #[test]
+    fn lists_are_sorted_descending() {
+        let lists = FunctionLists::new(&paper_functions());
+        for d in 0..3 {
+            let raw = lists.raw_list(d);
+            for w in raw.windows(2) {
+                assert!(w[0].0 >= w[1].0);
+            }
+            assert_eq!(raw.len(), 5);
+        }
+        // L1 head is fa (0.8), L2 head is fb (0.8), L3 head is fd (0.9)
+        assert_eq!(lists.raw_list(0)[0], (0.8, 0));
+        assert_eq!(lists.raw_list(1)[0], (0.8, 1));
+        assert_eq!(lists.raw_list(2)[0], (0.9, 3));
+    }
+
+    #[test]
+    fn scores_match_figure5() {
+        let lists = FunctionLists::new(&paper_functions());
+        let o = Point::from_slice(&[10.0, 6.0, 8.0]);
+        assert!((lists.score(0, &o) - 9.4).abs() < 1e-9); // fa
+        assert!((lists.score(1, &o) - 6.8).abs() < 1e-9); // fb
+        assert!((lists.score(2, &o) - 8.2).abs() < 1e-9); // fc
+        assert!((lists.score(3, &o) - 7.8).abs() < 1e-9); // fd
+        assert_eq!(lists.best_by_scan(&o).unwrap().0, 0); // fa wins
+    }
+
+    #[test]
+    fn removal_affects_scans_and_counts() {
+        let mut lists = FunctionLists::new(&paper_functions());
+        assert_eq!(lists.remaining(), 5);
+        assert!(lists.remove(0));
+        assert!(!lists.remove(0));
+        assert_eq!(lists.remaining(), 4);
+        assert!(!lists.is_alive(0));
+        // scanning L1 now skips fa and yields fc (0.5)
+        let (next, coeff, func) = lists.next_alive(0, 0).unwrap();
+        assert_eq!(func, 2);
+        assert!((coeff - 0.5).abs() < 1e-12);
+        assert_eq!(next, 2);
+        // best for the object moves to fc
+        let o = Point::from_slice(&[10.0, 6.0, 8.0]);
+        assert_eq!(lists.best_by_scan(&o).unwrap().0, 2);
+        assert_eq!(lists.alive_functions(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn exhausted_scan_returns_none() {
+        let mut lists = FunctionLists::new(&paper_functions());
+        for i in 0..5 {
+            lists.remove(i);
+        }
+        assert!(lists.next_alive(0, 0).is_none());
+        assert!(lists.best_by_scan(&Point::from_slice(&[1.0, 1.0, 1.0])).is_none());
+        assert_eq!(lists.remaining(), 0);
+    }
+
+    #[test]
+    fn prioritized_functions_scale_budget_and_scores() {
+        let funcs = vec![
+            LinearFunction::with_priority(vec![0.8, 0.2], 3.0).unwrap(),
+            LinearFunction::with_priority(vec![0.2, 0.8], 2.0).unwrap(),
+            LinearFunction::with_priority(vec![0.5, 0.5], 1.0).unwrap(),
+        ];
+        let lists = FunctionLists::new(&funcs);
+        assert_eq!(lists.budget(), 3.0);
+        let o = Point::from_slice(&[0.5, 0.6]);
+        // 3*(0.8*0.5 + 0.2*0.6) = 1.56
+        assert!((lists.score(0, &o) - 1.56).abs() < 1e-9);
+        assert_eq!(lists.best_by_scan(&o).unwrap().0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same dimensionality")]
+    fn mixed_dimensions_rejected() {
+        let _ = FunctionLists::new(&[f(&[0.5, 0.5]), f(&[0.3, 0.3, 0.4])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn empty_function_set_rejected() {
+        let _ = FunctionLists::new(&[]);
+    }
+}

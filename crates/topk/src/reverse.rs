@@ -1,0 +1,377 @@
+//! Reverse top-1 search: the best remaining preference function for an object.
+//!
+//! This is the paper's adaptation of the threshold algorithm (Section 5.1):
+//! the roles of objects and functions are swapped, the termination threshold
+//! is the fractional-knapsack bound of [`crate::tight_threshold`], lists are
+//! probed in a biased order (largest `l_i · o_i` first), and the search state
+//! is kept so it can *resume* when the object's current best function is
+//! assigned to another object. The candidate queue is capped at
+//! `Ω = ω · |F|`; every pop shrinks the cap by one and when it reaches zero
+//! the search restarts from scratch (the paper's memory/CPU trade-off knob).
+
+use crate::knapsack::tight_threshold;
+use crate::lists::FunctionLists;
+use pref_geom::Point;
+use std::collections::HashSet;
+
+/// Exhaustively scans the alive functions for the best one; the oracle used in
+/// tests and by the two-skyline prioritized variant.
+pub fn best_function_scan(lists: &FunctionLists, object: &Point) -> Option<(usize, f64)> {
+    lists.best_by_scan(object)
+}
+
+/// Resumable reverse top-1 search state for one object.
+#[derive(Debug, Clone)]
+pub struct ReverseTopOne {
+    object: Point,
+    /// Next unread position in each sorted list.
+    cursors: Vec<usize>,
+    /// Last coefficient seen in each list (starts at the knapsack budget).
+    last_seen: Vec<f64>,
+    /// `true` once the corresponding list has been fully consumed.
+    exhausted: Vec<bool>,
+    /// Candidate functions seen so far: `(score, function)`, sorted by score
+    /// descending, truncated to `cap`.
+    candidates: Vec<(f64, usize)>,
+    /// Functions already random-accessed (avoids duplicate work).
+    seen: HashSet<usize>,
+    /// Current capacity of the candidate queue (the paper's Ω).
+    cap: usize,
+    /// Reset value for the capacity.
+    omega: usize,
+    /// Number of sorted-list accesses performed (for diagnostics).
+    sorted_accesses: u64,
+    /// Number of from-scratch restarts triggered by the Ω mechanism.
+    restarts: u64,
+}
+
+impl ReverseTopOne {
+    /// Creates a search state for `object`. `omega` is the maximum size of the
+    /// candidate queue (`ω·|F|` in the paper); it is clamped to at least 1.
+    pub fn new(object: Point, omega: usize) -> Self {
+        let dims = object.dims();
+        let omega = omega.max(1);
+        Self {
+            object,
+            cursors: vec![0; dims],
+            last_seen: vec![f64::INFINITY; dims],
+            exhausted: vec![false; dims],
+            candidates: Vec::new(),
+            seen: HashSet::new(),
+            cap: omega,
+            omega,
+            sorted_accesses: 0,
+            restarts: 0,
+        }
+    }
+
+    /// The object this state searches for.
+    pub fn object(&self) -> &Point {
+        &self.object
+    }
+
+    /// Number of sorted accesses performed so far.
+    pub fn sorted_accesses(&self) -> u64 {
+        self.sorted_accesses
+    }
+
+    /// Number of from-scratch restarts caused by the capped queue.
+    pub fn restarts(&self) -> u64 {
+        self.restarts
+    }
+
+    /// Approximate memory footprint of this state in bytes (candidate queue,
+    /// seen-set and cursors); feeds the paper's memory-usage metric.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.candidates.len() * 16 + self.seen.len() * 8 + self.cursors.len() * 24) as u64
+    }
+
+    /// Returns the best *alive* function for this object together with its
+    /// score, resuming the previous search if possible. Returns `None` when no
+    /// alive function remains.
+    pub fn best(&mut self, lists: &FunctionLists) -> Option<(usize, f64)> {
+        if lists.remaining() == 0 {
+            return None;
+        }
+        loop {
+            self.drop_dead_candidates(lists);
+            if self.cap == 0 {
+                // The capped queue can no longer guarantee the true top-1:
+                // restart from scratch with a fresh capacity.
+                self.restart();
+                continue;
+            }
+            let budget = lists.budget();
+            let current_best = self.candidates.first().copied();
+            let threshold = self.current_threshold(budget);
+            if let Some((score, func)) = current_best {
+                if score >= threshold - 1e-12 {
+                    return Some((func, score));
+                }
+            }
+            // advance the most promising list (biased probing)
+            match self.pick_list() {
+                Some(dim) => self.advance(dim, lists),
+                None => {
+                    // every list is exhausted: every alive function has been
+                    // seen, so the front candidate (if any) is the answer
+                    return self.candidates.first().map(|&(s, f)| (f, s));
+                }
+            }
+        }
+    }
+
+    /// Removes dead (assigned) functions from the front of the candidate
+    /// queue, shrinking the capacity by one per removal as in the paper.
+    fn drop_dead_candidates(&mut self, lists: &FunctionLists) {
+        while let Some(&(_, func)) = self.candidates.first() {
+            if lists.is_alive(func) {
+                break;
+            }
+            self.candidates.remove(0);
+            self.cap = self.cap.saturating_sub(1);
+        }
+    }
+
+    fn restart(&mut self) {
+        let dims = self.object.dims();
+        self.cursors = vec![0; dims];
+        self.last_seen = vec![f64::INFINITY; dims];
+        self.exhausted = vec![false; dims];
+        self.candidates.clear();
+        self.seen.clear();
+        self.cap = self.omega;
+        self.restarts += 1;
+    }
+
+    /// The tight threshold given the current last-seen coefficients; before a
+    /// list has been touched its contribution is capped only by the budget.
+    fn current_threshold(&self, budget: f64) -> f64 {
+        let capped: Vec<f64> = self
+            .last_seen
+            .iter()
+            .zip(self.exhausted.iter())
+            .map(|(&l, &ex)| {
+                if ex {
+                    0.0
+                } else if l.is_infinite() {
+                    budget
+                } else {
+                    l
+                }
+            })
+            .collect();
+        tight_threshold(&self.object, &capped, budget)
+    }
+
+    /// Biased list probing: the non-exhausted list with the largest
+    /// `last_seen · o_d` (unvisited lists count with the full budget).
+    fn pick_list(&self) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for d in 0..self.object.dims() {
+            if self.exhausted[d] {
+                continue;
+            }
+            let l = if self.last_seen[d].is_infinite() {
+                1.0
+            } else {
+                self.last_seen[d]
+            };
+            let gain = l * self.object.coord(d);
+            match best {
+                Some((_, g)) if g >= gain => {}
+                _ => best = Some((d, gain)),
+            }
+        }
+        best.map(|(d, _)| d)
+    }
+
+    fn advance(&mut self, dim: usize, lists: &FunctionLists) {
+        match lists.next_alive(dim, self.cursors[dim]) {
+            None => {
+                self.exhausted[dim] = true;
+                self.last_seen[dim] = 0.0;
+            }
+            Some((next_cursor, coeff, func)) => {
+                self.cursors[dim] = next_cursor;
+                self.last_seen[dim] = coeff;
+                self.sorted_accesses += 1;
+                if self.seen.insert(func) {
+                    let score = lists.score(func, &self.object);
+                    self.insert_candidate(score, func);
+                }
+            }
+        }
+    }
+
+    fn insert_candidate(&mut self, score: f64, func: usize) {
+        let pos = self
+            .candidates
+            .partition_point(|&(s, _)| s > score || (s == score && true));
+        self.candidates.insert(pos, (score, func));
+        if self.candidates.len() > self.cap {
+            self.candidates.truncate(self.cap);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_geom::LinearFunction;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn paper_functions() -> Vec<LinearFunction> {
+        vec![
+            LinearFunction::from_normalized(vec![0.8, 0.1, 0.1]).unwrap(), // 0: fa
+            LinearFunction::from_normalized(vec![0.2, 0.8, 0.0]).unwrap(), // 1: fb
+            LinearFunction::from_normalized(vec![0.5, 0.4, 0.1]).unwrap(), // 2: fc
+            LinearFunction::from_normalized(vec![0.0, 0.1, 0.9]).unwrap(), // 3: fd
+            LinearFunction::from_normalized(vec![0.2, 0.4, 0.4]).unwrap(), // 4: fe
+        ]
+    }
+
+    fn random_functions(n: usize, dims: usize, seed: u64) -> Vec<LinearFunction> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                LinearFunction::new((0..dims).map(|_| rng.gen_range(0.01..1.0)).collect()).unwrap()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_fa_for_the_paper_object() {
+        let lists = FunctionLists::new(&paper_functions());
+        let mut search = ReverseTopOne::new(Point::from_slice(&[10.0, 6.0, 8.0]), 100);
+        let (func, score) = search.best(&lists).unwrap();
+        assert_eq!(func, 0);
+        assert!((score - 9.4).abs() < 1e-9);
+        // biased probing should terminate after very few sorted accesses
+        assert!(
+            search.sorted_accesses() <= 4,
+            "expected early termination, got {} accesses",
+            search.sorted_accesses()
+        );
+    }
+
+    #[test]
+    fn resumes_after_best_function_is_assigned() {
+        let mut lists = FunctionLists::new(&paper_functions());
+        let mut search = ReverseTopOne::new(Point::from_slice(&[10.0, 6.0, 8.0]), 100);
+        assert_eq!(search.best(&lists).unwrap().0, 0);
+        lists.remove(0); // fa is assigned elsewhere
+        let (func, score) = search.best(&lists).unwrap();
+        assert_eq!(func, 2); // fc = 8.2 is next
+        assert!((score - 8.2).abs() < 1e-9);
+        lists.remove(2);
+        assert_eq!(search.best(&lists).unwrap().0, 3); // fd = 7.8
+        lists.remove(3);
+        assert_eq!(search.best(&lists).unwrap().0, 4); // fe = 7.6 > fb 6.8
+        lists.remove(4);
+        assert_eq!(search.best(&lists).unwrap().0, 1);
+        lists.remove(1);
+        assert!(search.best(&lists).is_none());
+    }
+
+    #[test]
+    fn tiny_omega_still_returns_correct_answers_via_restarts() {
+        let functions = random_functions(200, 4, 5);
+        let mut lists = FunctionLists::new(&functions);
+        let object = Point::from_slice(&[0.9, 0.2, 0.7, 0.4]);
+        let mut search = ReverseTopOne::new(object.clone(), 2);
+        // repeatedly assign away the best function and ask again
+        for _ in 0..50 {
+            let expect = lists.best_by_scan(&object);
+            let got = search.best(&lists);
+            match (expect, got) {
+                (None, None) => break,
+                (Some((ef, es)), Some((gf, gs))) => {
+                    assert!((es - gs).abs() < 1e-9, "score mismatch");
+                    // the function may differ only if scores tie exactly
+                    if ef != gf {
+                        assert!((lists.score(ef, &object) - lists.score(gf, &object)).abs() < 1e-12);
+                    }
+                    lists.remove(gf);
+                }
+                other => panic!("oracle and search disagree on existence: {other:?}"),
+            }
+        }
+        assert!(search.restarts() > 0, "a cap of 2 must force restarts");
+    }
+
+    #[test]
+    fn matches_oracle_on_random_workloads() {
+        for seed in [11u64, 12, 13] {
+            let functions = random_functions(300, 3, seed);
+            let lists = FunctionLists::new(&functions);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+            for _ in 0..20 {
+                let object = Point::from_slice(&[
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                    rng.gen_range(0.0..1.0),
+                ]);
+                let mut search = ReverseTopOne::new(object.clone(), 30);
+                let (func, score) = search.best(&lists).unwrap();
+                let (of, os) = lists.best_by_scan(&object).unwrap();
+                assert!((score - os).abs() < 1e-9);
+                if func != of {
+                    assert!((lists.score(of, &object) - score).abs() < 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prioritized_functions_use_scaled_budget() {
+        let functions = vec![
+            LinearFunction::with_priority(vec![0.8, 0.2], 3.0).unwrap(),
+            LinearFunction::with_priority(vec![0.2, 0.8], 2.0).unwrap(),
+            LinearFunction::with_priority(vec![0.5, 0.5], 1.0).unwrap(),
+        ];
+        let lists = FunctionLists::new(&functions);
+        let object = Point::from_slice(&[0.5, 0.6]);
+        let mut search = ReverseTopOne::new(object.clone(), 10);
+        let (func, score) = search.best(&lists).unwrap();
+        let (of, os) = lists.best_by_scan(&object).unwrap();
+        assert_eq!(func, of);
+        assert!((score - os).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_alive_functions_returns_none_immediately() {
+        let mut lists = FunctionLists::new(&paper_functions());
+        for i in 0..5 {
+            lists.remove(i);
+        }
+        let mut search = ReverseTopOne::new(Point::from_slice(&[0.5, 0.5, 0.5]), 10);
+        assert!(search.best(&lists).is_none());
+    }
+
+    #[test]
+    fn memory_reporting_is_monotone_during_search() {
+        let functions = random_functions(100, 3, 21);
+        let lists = FunctionLists::new(&functions);
+        let mut search = ReverseTopOne::new(Point::from_slice(&[0.3, 0.9, 0.1]), 50);
+        let before = search.memory_bytes();
+        let _ = search.best(&lists);
+        assert!(search.memory_bytes() >= before);
+    }
+
+    #[test]
+    fn biased_probing_beats_round_robin_on_access_count() {
+        // construct an object that strongly prefers one dimension; biased
+        // probing should need far fewer sorted accesses than |F| * D
+        let functions = random_functions(500, 4, 31);
+        let lists = FunctionLists::new(&functions);
+        let object = Point::from_slice(&[0.99, 0.01, 0.01, 0.01]);
+        let mut search = ReverseTopOne::new(object, 50);
+        let _ = search.best(&lists).unwrap();
+        assert!(
+            search.sorted_accesses() < 500,
+            "expected early termination, got {}",
+            search.sorted_accesses()
+        );
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests asserting the *shape* of the paper's headline results:
+//! who wins and by roughly what factor (not absolute numbers).
+
+use fair_assignment::datagen::{anti_correlated_objects, uniform_weight_functions};
+use fair_assignment::{brute_force, chain, sb, Problem, SbOptions};
+
+fn workload(num_functions: usize, num_objects: usize, dims: usize) -> Problem {
+    let functions = uniform_weight_functions(num_functions, dims, 7);
+    let objects = anti_correlated_objects(num_objects, dims, 8);
+    Problem::from_parts(functions, objects).unwrap()
+}
+
+/// Figures 9–11: SB incurs orders of magnitude fewer I/Os than Brute Force and
+/// Chain, and Brute Force needs fewer top-1 searches than Chain.
+#[test]
+fn sb_dominates_competitors_on_io() {
+    let problem = workload(150, 5_000, 3);
+    let mut tree = problem.build_tree(None, 0.02);
+    let sb_io = sb(&problem, &mut tree, &SbOptions::default())
+        .metrics
+        .total_io();
+    let mut tree = problem.build_tree(None, 0.02);
+    let bf = brute_force(&problem, &mut tree);
+    let mut tree = problem.build_tree(None, 0.02);
+    let ch = chain(&problem, &mut tree);
+    assert!(
+        sb_io * 10 < bf.metrics.total_io(),
+        "SB {} vs Brute Force {}",
+        sb_io,
+        bf.metrics.total_io()
+    );
+    assert!(
+        sb_io * 10 < ch.metrics.total_io(),
+        "SB {} vs Chain {}",
+        sb_io,
+        ch.metrics.total_io()
+    );
+    assert!(
+        ch.metrics.searches > bf.metrics.searches,
+        "Chain ({}) performs more top-1 searches than Brute Force ({})",
+        ch.metrics.searches,
+        bf.metrics.searches
+    );
+}
+
+/// Figure 10: SB's I/O stays nearly flat as |F| grows, while the competitors'
+/// I/O grows substantially.
+#[test]
+fn sb_io_is_flat_in_function_cardinality() {
+    let small = workload(50, 4_000, 3);
+    let large = workload(400, 4_000, 3);
+    let io = |p: &Problem| {
+        let mut tree = p.build_tree(None, 0.02);
+        sb(p, &mut tree, &SbOptions::default()).metrics.total_io()
+    };
+    let bf_io = |p: &Problem| {
+        let mut tree = p.build_tree(None, 0.02);
+        brute_force(p, &mut tree).metrics.total_io()
+    };
+    let sb_growth = io(&large) as f64 / io(&small).max(1) as f64;
+    let bf_growth = bf_io(&large) as f64 / bf_io(&small).max(1) as f64;
+    assert!(
+        sb_growth < bf_growth,
+        "SB I/O grew {sb_growth:.2}x, Brute Force {bf_growth:.2}x for 8x more functions"
+    );
+}
+
+/// Figure 13: a larger LRU buffer helps the competitors but SB's I/O is
+/// already near-minimal without one.
+#[test]
+fn buffer_size_barely_affects_sb() {
+    let problem = workload(100, 4_000, 3);
+    let run_sb = |fraction: f64| {
+        let mut tree = problem.build_tree(None, fraction);
+        sb(&problem, &mut tree, &SbOptions::default()).metrics.total_io()
+    };
+    let no_buffer = run_sb(0.0);
+    let big_buffer = run_sb(0.10);
+    assert!(
+        big_buffer <= no_buffer,
+        "a buffer can only help: {big_buffer} vs {no_buffer}"
+    );
+    // near-flat: within a factor of two
+    assert!(
+        no_buffer <= big_buffer.max(1) * 2,
+        "SB should be almost insensitive to the buffer: {no_buffer} vs {big_buffer}"
+    );
+}
+
+/// Figure 8: the fully optimized SB needs far less CPU than the variant
+/// without the best-pair and multi-pair optimizations.
+#[test]
+fn cpu_optimizations_pay_off() {
+    let problem = workload(300, 6_000, 4);
+    let mut tree = problem.build_tree(None, 0.02);
+    let optimized = sb(&problem, &mut tree, &SbOptions::default());
+    let mut tree = problem.build_tree(None, 0.02);
+    let plain = sb(&problem, &mut tree, &SbOptions::update_skyline_only());
+    assert_eq!(optimized.assignment.canonical(), plain.assignment.canonical());
+    assert!(
+        optimized.metrics.loops < plain.metrics.loops,
+        "multi-pair loops {} should be fewer than single-pair loops {}",
+        optimized.metrics.loops,
+        plain.metrics.loops
+    );
+    // same maintenance strategy => essentially the same I/O (Figure 8(a):
+    // the CPU-side optimizations are not supposed to change the I/O cost)
+    let (a, b) = (optimized.metrics.total_io() as f64, plain.metrics.total_io() as f64);
+    assert!(
+        (a - b).abs() <= 0.2 * b + 8.0,
+        "I/O should be unaffected by the CPU optimizations: {a} vs {b}"
+    );
+}

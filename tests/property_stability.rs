@@ -1,0 +1,97 @@
+//! Property-based integration tests: on arbitrary random instances, the SB
+//! algorithm produces exactly the greedy stable matching and never violates
+//! stability, capacities or completeness.
+
+use fair_assignment::geom::{LinearFunction, Point};
+use fair_assignment::{
+    oracle, sb, verify_stable, ObjectRecord, PreferenceFunction, Problem, SbOptions,
+};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = Problem> {
+    let dims = 2usize..5;
+    dims.prop_flat_map(|d| {
+        let functions = proptest::collection::vec(
+            (
+                proptest::collection::vec(0.01f64..1.0, d),
+                1u32..3, // capacity
+                1u32..4, // priority
+            ),
+            1..12,
+        );
+        let objects = proptest::collection::vec(
+            (proptest::collection::vec(0.0f64..1.0, d), 1u32..3),
+            1..25,
+        );
+        (functions, objects).prop_map(|(fs, os)| {
+            let functions = fs
+                .into_iter()
+                .enumerate()
+                .map(|(i, (w, cap, prio))| {
+                    PreferenceFunction::new(
+                        i,
+                        LinearFunction::with_priority(w, prio as f64).unwrap(),
+                    )
+                    .with_capacity(cap)
+                })
+                .collect();
+            let objects = os
+                .into_iter()
+                .enumerate()
+                .map(|(i, (coords, cap))| {
+                    ObjectRecord::new(i as u64, Point::new(coords).unwrap()).with_capacity(cap)
+                })
+                .collect();
+            Problem::new(functions, objects).unwrap()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sb_always_produces_the_stable_matching(problem in arb_problem()) {
+        let mut tree = problem.build_tree(Some(8), 0.0);
+        let result = sb(&problem, &mut tree, &SbOptions::default());
+        prop_assert!(verify_stable(&problem, &result.assignment).is_ok(),
+            "stability violated: {:?}", verify_stable(&problem, &result.assignment));
+        // score multiset matches the greedy oracle (pairs can differ on ties)
+        let mut got: Vec<u64> = result.assignment.pairs().iter()
+            .map(|p| (p.score * 1e9).round() as u64).collect();
+        let mut want: Vec<u64> = oracle(&problem).pairs().iter()
+            .map(|p| (p.score * 1e9).round() as u64).collect();
+        got.sort_unstable();
+        want.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn assignment_size_is_min_of_demand_and_supply(problem in arb_problem()) {
+        let assignment = fair_assignment::solve(&problem);
+        prop_assert_eq!(assignment.len() as u64, problem.expected_pairs());
+    }
+
+    #[test]
+    fn scores_never_exceed_the_best_possible(problem in arb_problem()) {
+        let assignment = fair_assignment::solve(&problem);
+        let max_priority = problem
+            .functions()
+            .iter()
+            .map(|f| f.function.priority())
+            .fold(0.0f64, f64::max);
+        for pair in assignment.pairs() {
+            prop_assert!(pair.score <= max_priority + 1e-9);
+            prop_assert!(pair.score >= 0.0);
+        }
+        // the very first reported pair is the globally best one
+        if let Some(first) = assignment.pairs().first() {
+            let global_max = problem
+                .functions()
+                .iter()
+                .flat_map(|f| problem.objects().iter().map(move |o| f.function.score(&o.point)))
+                .fold(f64::MIN, f64::max);
+            prop_assert!((first.score - global_max).abs() < 1e-9);
+        }
+    }
+}
