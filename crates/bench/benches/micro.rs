@@ -65,14 +65,15 @@ fn skyline_maintenance(c: &mut Criterion) {
     group.bench_function("update_skyline_100_removals", |b| {
         b.iter_batched(
             || {
-                let mut tree =
-                    RTree::bulk_load(RTreeConfig::for_dims(3), points.clone()).unwrap();
+                let mut tree = RTree::bulk_load(RTreeConfig::for_dims(3), points.clone()).unwrap();
                 let sky = compute_skyline_bbs(&mut tree);
                 (tree, sky)
             },
             |(mut tree, mut sky)| {
                 for _ in 0..100 {
-                    let Some(&victim) = sky.records().iter().min() else { break };
+                    let Some(&victim) = sky.records().iter().min() else {
+                        break;
+                    };
                     let obj = sky.remove(victim).unwrap();
                     update_skyline(&mut tree, &mut sky, vec![obj]);
                 }
@@ -96,7 +97,9 @@ fn reverse_top1(c: &mut Criterion) {
             search.best(&lists)
         })
     });
-    group.bench_function("exhaustive_scan", |b| b.iter(|| lists.best_by_scan(&object)));
+    group.bench_function("exhaustive_scan", |b| {
+        b.iter(|| lists.best_by_scan(&object))
+    });
     group.finish();
 }
 
@@ -145,13 +148,17 @@ fn competitors(c: &mut Criterion) {
     let mut group = c.benchmark_group("competitors");
     group.sample_size(10);
     for algo in AlgorithmKind::standard_set() {
-        group.bench_with_input(BenchmarkId::from_parameter(algo.label()), &algo, |b, algo| {
-            b.iter_batched(
-                || problem.build_tree(None, 0.02),
-                |mut tree| algo.run(&problem, &mut tree, 0.025),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algo.label()),
+            &algo,
+            |b, algo| {
+                b.iter_batched(
+                    || problem.build_tree(None, 0.02),
+                    |mut tree| algo.run(&problem, &mut tree, 0.025),
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
     }
     group.finish();
 }

@@ -1,8 +1,6 @@
 //! The competitor algorithms measured by the experiments.
 
-use pref_assign::{
-    brute_force, chain, sb, sb_alt, AssignmentResult, Problem, SbOptions,
-};
+use pref_assign::{brute_force, chain, sb, sb_alt, AssignmentResult, Problem, SbOptions};
 use pref_rtree::RTree;
 
 /// The algorithms compared in the paper's evaluation, plus the SB ablation
@@ -65,7 +63,12 @@ impl AlgorithmKind {
     }
 
     /// Runs the algorithm on a problem and its object R-tree.
-    pub fn run(&self, problem: &Problem, tree: &mut RTree, omega_fraction: f64) -> AssignmentResult {
+    pub fn run(
+        &self,
+        problem: &Problem,
+        tree: &mut RTree,
+        omega_fraction: f64,
+    ) -> AssignmentResult {
         match self {
             AlgorithmKind::BruteForce => brute_force(problem, tree),
             AlgorithmKind::Chain => chain(problem, tree),
@@ -73,9 +76,7 @@ impl AlgorithmKind {
                 problem,
                 tree,
                 &SbOptions {
-                    best_pair: pref_assign::BestPairStrategy::ResumableTa {
-                        omega_fraction,
-                    },
+                    best_pair: pref_assign::BestPairStrategy::ResumableTa { omega_fraction },
                     ..SbOptions::default()
                 },
             ),
@@ -129,7 +130,10 @@ mod tests {
         let problem = Problem::from_parts(functions, objects).unwrap();
         let reference = {
             let mut tree = problem.build_tree(Some(8), 0.02);
-            AlgorithmKind::Sb.run(&problem, &mut tree, 0.025).assignment.canonical()
+            AlgorithmKind::Sb
+                .run(&problem, &mut tree, 0.025)
+                .assignment
+                .canonical()
         };
         for algo in [
             AlgorithmKind::BruteForce,

@@ -67,7 +67,10 @@ pub fn fig09(scale: Scale) -> Report {
 /// Figure 10: effect of the function cardinality |F| (anti-correlated).
 pub fn fig10(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Figure 10: effect of function cardinality |F|", params.describe());
+    let mut report = Report::new(
+        "Figure 10: effect of function cardinality |F|",
+        params.describe(),
+    );
     for &nf in &scale.functions_sweep() {
         let mut p = params.clone();
         p.num_functions = nf;
@@ -81,7 +84,10 @@ pub fn fig10(scale: Scale) -> Report {
 /// Figure 11: effect of the object cardinality |O| (anti-correlated).
 pub fn fig11(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Figure 11: effect of object cardinality |O|", params.describe());
+    let mut report = Report::new(
+        "Figure 11: effect of object cardinality |O|",
+        params.describe(),
+    );
     for &no in &scale.objects_sweep() {
         let mut p = params.clone();
         p.num_objects = no;
@@ -96,7 +102,10 @@ pub fn fig11(scale: Scale) -> Report {
 /// clusters, σ = 0.05), anti-correlated objects, D = 4.
 pub fn fig12(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Figure 12: effect of the function distribution", params.describe());
+    let mut report = Report::new(
+        "Figure 12: effect of the function distribution",
+        params.describe(),
+    );
     for &c in &scale.cluster_sweep() {
         let mut p = params.clone();
         p.dims = 4;
@@ -131,19 +140,32 @@ pub fn fig13(scale: Scale) -> Report {
 /// object capacities.
 pub fn fig14(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Figure 14: effect of function/object capacities", params.describe());
+    let mut report = Report::new(
+        "Figure 14: effect of function/object capacities",
+        params.describe(),
+    );
     for &k in &scale.capacity_sweep() {
         let mut p = params.clone();
         p.function_capacity = k;
         for algo in AlgorithmKind::standard_set() {
-            report.push(run_cell("fig14-function-capacity", &format!("k={k}"), &p, algo));
+            report.push(run_cell(
+                "fig14-function-capacity",
+                &format!("k={k}"),
+                &p,
+                algo,
+            ));
         }
     }
     for &k in &scale.capacity_sweep() {
         let mut p = params.clone();
         p.object_capacity = k;
         for algo in AlgorithmKind::standard_set() {
-            report.push(run_cell("fig14-object-capacity", &format!("k={k}"), &p, algo));
+            report.push(run_cell(
+                "fig14-object-capacity",
+                &format!("k={k}"),
+                &p,
+                algo,
+            ));
         }
     }
     report
@@ -153,7 +175,10 @@ pub fn fig14(scale: Scale) -> Report {
 /// including the two-skyline SB variant.
 pub fn fig15(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Figure 15: effect of function priorities", params.describe());
+    let mut report = Report::new(
+        "Figure 15: effect of function priorities",
+        params.describe(),
+    );
     let mut algos = AlgorithmKind::standard_set();
     algos.push(AlgorithmKind::SbTwoSkylines);
     for &gamma in &scale.priority_sweep() {
@@ -170,7 +195,10 @@ pub fn fig15(scale: Scale) -> Report {
 /// |O|, (c, d) NBA-like objects with capacitated functions.
 pub fn fig16(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Figure 16: real datasets (synthetic stand-ins)", params.describe());
+    let mut report = Report::new(
+        "Figure 16: real datasets (synthetic stand-ins)",
+        params.describe(),
+    );
     for &no in &scale.objects_sweep() {
         let mut p = params.clone();
         p.distribution = ObjectDistribution::ZillowLike;
@@ -245,7 +273,10 @@ pub fn fig17(scale: Scale) -> Report {
 /// design choices DESIGN.md calls out.
 pub fn ablation_omega(scale: Scale) -> Report {
     let params = Params::defaults(scale);
-    let mut report = Report::new("Ablation: Omega fraction of the resumable TA search", params.describe());
+    let mut report = Report::new(
+        "Ablation: Omega fraction of the resumable TA search",
+        params.describe(),
+    );
     for omega in [0.005, 0.025, 0.1, 1.0] {
         let mut p = params.clone();
         p.omega_fraction = omega;
@@ -290,7 +321,9 @@ mod tests {
             for exp in ["fig09-independent", "fig09-anti-correlated"] {
                 let sb = report.get(exp, "SB", &x);
                 let bf = report.get(exp, "Brute Force", &x);
-                let (Some(sb), Some(bf)) = (sb, bf) else { continue };
+                let (Some(sb), Some(bf)) = (sb, bf) else {
+                    continue;
+                };
                 assert!(
                     sb.total_io() * 5 < bf.total_io(),
                     "{exp} {x}: SB {} vs Brute Force {}",
@@ -319,9 +352,7 @@ mod tests {
 
     #[test]
     fn by_name_covers_every_figure() {
-        for name in [
-            "fig08", "fig10", "fig12", "fig13", "omega",
-        ] {
+        for name in ["fig08", "fig10", "fig12", "fig13", "omega"] {
             assert!(by_name(name, Scale::Quick).is_some(), "{name}");
         }
         assert!(by_name("nope", Scale::Quick).is_none());

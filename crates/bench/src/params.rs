@@ -182,7 +182,10 @@ mod tests {
     fn scales_are_ordered() {
         assert!(Scale::Quick.default_objects() < Scale::Default.default_objects());
         assert!(Scale::Default.default_objects() < Scale::Paper.default_objects());
-        assert_eq!(Scale::Paper.functions_sweep(), vec![1_000, 2_500, 5_000, 10_000, 20_000]);
+        assert_eq!(
+            Scale::Paper.functions_sweep(),
+            vec![1_000, 2_500, 5_000, 10_000, 20_000]
+        );
         assert_eq!(Scale::Paper.objects_sweep().last(), Some(&400_000));
         assert_eq!(Scale::Quick.label(), "quick");
     }

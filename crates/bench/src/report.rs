@@ -213,7 +213,8 @@ mod tests {
         report.push(row("io", "SB", "1", 42));
         let dir = std::env::temp_dir().join("pref-bench-test");
         let path = report.write_json(&dir, "fig_y").unwrap();
-        let loaded: Report = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let loaded: Report =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
         assert_eq!(loaded.rows.len(), 1);
         assert_eq!(loaded.rows[0].io, 42);
         assert_eq!(loaded.title, "Figure Y");

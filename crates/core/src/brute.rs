@@ -77,9 +77,8 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     macro_rules! advance {
         ($idx:expr) => {{
             let idx: usize = $idx;
-            let next = searches[idx].next_accepted(tree, |r| {
-                o_remaining.get(&r).is_some_and(|&c| c > 0)
-            });
+            let next =
+                searches[idx].next_accepted(tree, |r| o_remaining.get(&r).is_some_and(|&c| c > 0));
             search_count += 1;
             match next {
                 Some((data, score)) => {
@@ -109,10 +108,7 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
             Some((obj, score)) if obj == best.object && score == best.score => {}
             _ => continue,
         }
-        let remaining_capacity = o_remaining
-            .get(&best.object)
-            .copied()
-            .unwrap_or(0);
+        let remaining_capacity = o_remaining.get(&best.object).copied().unwrap_or(0);
         if remaining_capacity == 0 {
             // the candidate was taken by someone else: resume this search
             advance!(best.function);
@@ -148,8 +144,8 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
         }
     }
 
-    let mem: u64 = searches.iter().map(RankedSearch::memory_bytes).sum::<u64>()
-        + heap.len() as u64 * 24;
+    let mem: u64 =
+        searches.iter().map(RankedSearch::memory_bytes).sum::<u64>() + heap.len() as u64 * 24;
     gauge.observe(mem);
 
     let metrics = RunMetrics {
@@ -253,9 +249,7 @@ mod tests {
         let functions: Vec<PreferenceFunction> = uniform_weight_functions(30, 2, 13)
             .into_iter()
             .enumerate()
-            .map(|(i, f)| {
-                PreferenceFunction::new(i, f.prioritized(1.0 + (i % 4) as f64).unwrap())
-            })
+            .map(|(i, f)| PreferenceFunction::new(i, f.prioritized(1.0 + (i % 4) as f64).unwrap()))
             .collect();
         let objects = independent_objects(100, 2, 14)
             .into_iter()

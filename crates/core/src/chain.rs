@@ -36,11 +36,8 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
         .enumerate()
         .map(|(i, f)| (RecordId(i as u64), f.function.effective_weights_as_point()))
         .collect();
-    let mut ftree = RTree::bulk_load(
-        RTreeConfig::for_dims(problem.dims()),
-        weight_records,
-    )
-    .expect("function weights share the problem dimensionality");
+    let mut ftree = RTree::bulk_load(RTreeConfig::for_dims(problem.dims()), weight_records)
+        .expect("function weights share the problem dimensionality");
     // "main memory" index: a buffer large enough to hold the whole tree
     ftree.set_buffer_frames(ftree.num_pages().max(1));
 
@@ -102,9 +99,7 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
         if since_progress > stall_limit {
             // Tie-cycle safety net: fall back to a direct scan for the global
             // best remaining pair, which is stable by Property 2.
-            if let Some((fi, obj, score)) =
-                global_best_pair(problem, &f_remaining, &o_remaining)
-            {
+            if let Some((fi, obj, score)) = global_best_pair(problem, &f_remaining, &o_remaining) {
                 assign(
                     problem,
                     &mut assignment,
@@ -145,12 +140,10 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
                 if f_remaining[fi] == 0 {
                     continue;
                 }
-                let Some((obj, score)) = top1_object(tree, fi, &o_remaining, &mut searches)
-                else {
+                let Some((obj, score)) = top1_object(tree, fi, &o_remaining, &mut searches) else {
                     break;
                 };
-                let Some(back) = top1_function(&mut ftree, obj, &f_remaining, &mut searches)
-                else {
+                let Some(back) = top1_function(&mut ftree, obj, &f_remaining, &mut searches) else {
                     break;
                 };
                 if back == fi {

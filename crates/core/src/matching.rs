@@ -279,9 +279,21 @@ mod tests {
     fn stable_figure1_assignment(p: &Problem) -> Assignment {
         // the assignment derived in the paper: (f1,c), (f2,b), (f3,a)
         let mut a = Assignment::new();
-        a.push(FunctionId(0), RecordId(2), p.score(FunctionId(0), RecordId(2)).unwrap());
-        a.push(FunctionId(1), RecordId(1), p.score(FunctionId(1), RecordId(1)).unwrap());
-        a.push(FunctionId(2), RecordId(0), p.score(FunctionId(2), RecordId(0)).unwrap());
+        a.push(
+            FunctionId(0),
+            RecordId(2),
+            p.score(FunctionId(0), RecordId(2)).unwrap(),
+        );
+        a.push(
+            FunctionId(1),
+            RecordId(1),
+            p.score(FunctionId(1), RecordId(1)).unwrap(),
+        );
+        a.push(
+            FunctionId(2),
+            RecordId(0),
+            p.score(FunctionId(2), RecordId(0)).unwrap(),
+        );
         a
     }
 
@@ -302,11 +314,25 @@ mod tests {
         let p = figure1_problem();
         let mut a = Assignment::new();
         // give f1 object a and f3 object c: (f1, c) now blocks
-        a.push(FunctionId(0), RecordId(0), p.score(FunctionId(0), RecordId(0)).unwrap());
-        a.push(FunctionId(1), RecordId(1), p.score(FunctionId(1), RecordId(1)).unwrap());
-        a.push(FunctionId(2), RecordId(2), p.score(FunctionId(2), RecordId(2)).unwrap());
+        a.push(
+            FunctionId(0),
+            RecordId(0),
+            p.score(FunctionId(0), RecordId(0)).unwrap(),
+        );
+        a.push(
+            FunctionId(1),
+            RecordId(1),
+            p.score(FunctionId(1), RecordId(1)).unwrap(),
+        );
+        a.push(
+            FunctionId(2),
+            RecordId(2),
+            p.score(FunctionId(2), RecordId(2)).unwrap(),
+        );
         match verify_stable(&p, &a) {
-            Err(StabilityViolation::BlockingPair { function, object, .. }) => {
+            Err(StabilityViolation::BlockingPair {
+                function, object, ..
+            }) => {
                 assert_eq!(function, FunctionId(0));
                 assert_eq!(object, RecordId(2));
             }
@@ -332,7 +358,10 @@ mod tests {
         a.pairs.pop();
         assert!(matches!(
             verify_stable(&p, &a),
-            Err(StabilityViolation::IncompleteMatching { got: 2, expected: 3 })
+            Err(StabilityViolation::IncompleteMatching {
+                got: 2,
+                expected: 3
+            })
         ));
     }
 
@@ -341,7 +370,11 @@ mod tests {
         let p = figure1_problem();
         let mut a = stable_figure1_assignment(&p);
         // assign object c a second time
-        a.push(FunctionId(1), RecordId(2), p.score(FunctionId(1), RecordId(2)).unwrap());
+        a.push(
+            FunctionId(1),
+            RecordId(2),
+            p.score(FunctionId(1), RecordId(2)).unwrap(),
+        );
         assert!(matches!(
             verify_stable(&p, &a),
             Err(StabilityViolation::CapacityExceeded(_))
@@ -380,7 +413,10 @@ mod tests {
         };
         assert!(v.to_string().contains("f1"));
         assert!(v.to_string().contains("r2"));
-        let v = StabilityViolation::IncompleteMatching { got: 1, expected: 3 };
+        let v = StabilityViolation::IncompleteMatching {
+            got: 1,
+            expected: 3,
+        };
         assert!(v.to_string().contains('3'));
     }
 
@@ -400,14 +436,30 @@ mod tests {
         )
         .unwrap();
         let mut a = Assignment::new();
-        a.push(FunctionId(0), RecordId(0), p.score(FunctionId(0), RecordId(0)).unwrap());
-        a.push(FunctionId(0), RecordId(1), p.score(FunctionId(0), RecordId(1)).unwrap());
+        a.push(
+            FunctionId(0),
+            RecordId(0),
+            p.score(FunctionId(0), RecordId(0)).unwrap(),
+        );
+        a.push(
+            FunctionId(0),
+            RecordId(1),
+            p.score(FunctionId(0), RecordId(1)).unwrap(),
+        );
         verify_stable(&p, &a).unwrap();
         assert_eq!(a.objects_of(FunctionId(0)).len(), 2);
         // but taking the worst two is not stable
         let mut bad = Assignment::new();
-        bad.push(FunctionId(0), RecordId(1), p.score(FunctionId(0), RecordId(1)).unwrap());
-        bad.push(FunctionId(0), RecordId(2), p.score(FunctionId(0), RecordId(2)).unwrap());
+        bad.push(
+            FunctionId(0),
+            RecordId(1),
+            p.score(FunctionId(0), RecordId(1)).unwrap(),
+        );
+        bad.push(
+            FunctionId(0),
+            RecordId(2),
+            p.score(FunctionId(0), RecordId(2)).unwrap(),
+        );
         assert!(verify_stable(&p, &bad).is_err());
     }
 }

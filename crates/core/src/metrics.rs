@@ -123,9 +123,11 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let mut m = RunMetrics::default();
-        m.cpu_time = Duration::from_millis(250);
-        m.loops = 7;
+        let m = RunMetrics {
+            cpu_time: Duration::from_millis(250),
+            loops: 7,
+            ..Default::default()
+        };
         let json = serde_json::to_string(&m).unwrap();
         let back: RunMetrics = serde_json::from_str(&json).unwrap();
         assert_eq!(back.loops, 7);

@@ -12,9 +12,8 @@ use crate::problem::Problem;
 /// Complexity is `O(|F|·|O|·log(|F|·|O|))` time and `O(|F|·|O|)` memory, so
 /// it is intended for tests and small examples only.
 pub fn oracle(problem: &Problem) -> Assignment {
-    let mut scored: Vec<(f64, usize, usize)> = Vec::with_capacity(
-        problem.num_functions() * problem.num_objects(),
-    );
+    let mut scored: Vec<(f64, usize, usize)> =
+        Vec::with_capacity(problem.num_functions() * problem.num_objects());
     for (fi, f) in problem.functions().iter().enumerate() {
         for (oi, o) in problem.objects().iter().enumerate() {
             scored.push((f.function.score(&o.point), fi, oi));
@@ -114,7 +113,9 @@ mod tests {
                     ObjectRecord::new(
                         i,
                         Point::from_slice(
-                            &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                            &(0..dims)
+                                .map(|_| rng.gen_range(0.0..1.0))
+                                .collect::<Vec<_>>(),
                         ),
                     )
                 })

@@ -295,7 +295,10 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert!(matches!(Problem::new(vec![], vec![]), Err(ProblemError::Empty)));
+        assert!(matches!(
+            Problem::new(vec![], vec![]),
+            Err(ProblemError::Empty)
+        ));
         let f2 = PreferenceFunction::new(0, LinearFunction::new(vec![0.5, 0.5]).unwrap());
         let f3 = PreferenceFunction::new(1, LinearFunction::new(vec![0.3, 0.3, 0.4]).unwrap());
         let o = ObjectRecord::new(0, Point::from_slice(&[0.5, 0.5]));

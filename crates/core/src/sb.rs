@@ -216,8 +216,7 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         }
 
         // --- best skyline object for every candidate function ---------------
-        let candidate_functions: HashSet<usize> =
-            object_best.values().map(|&(f, _)| f).collect();
+        let candidate_functions: HashSet<usize> = object_best.values().map(|&(f, _)| f).collect();
         let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
         for &fi in &candidate_functions {
             let mut best: Option<(RecordId, f64)> = None;
@@ -244,10 +243,11 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
             // reciprocal pair. The highest-scoring (function, its best object)
             // entry is still stable — no strictly better partner exists for
             // either side — so emit it to guarantee progress.
-            if let Some((&fi, &(obj, score))) = function_best
-                .iter()
-                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
-            {
+            if let Some((&fi, &(obj, score))) = function_best.iter().max_by(|a, b| {
+                a.1 .1
+                    .partial_cmp(&b.1 .1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) {
                 pairs.push((fi, obj, score));
             } else {
                 break;

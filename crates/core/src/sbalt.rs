@@ -19,11 +19,7 @@ use std::time::Instant;
 /// Runs the SB-alt assignment algorithm. `list_buffer_frames` is the size (in
 /// 4 KiB blocks) of the LRU buffer in front of the on-disk coefficient lists;
 /// the paper uses 2% of `|F|`.
-pub fn sb_alt(
-    problem: &Problem,
-    tree: &mut RTree,
-    list_buffer_frames: usize,
-) -> AssignmentResult {
+pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) -> AssignmentResult {
     let start = Instant::now();
     let stats_before = tree.stats();
 
@@ -75,8 +71,7 @@ pub fn sb_alt(
             break;
         }
 
-        let candidate_functions: HashSet<usize> =
-            object_best.values().map(|&(f, _)| f).collect();
+        let candidate_functions: HashSet<usize> = object_best.values().map(|&(f, _)| f).collect();
         let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
         for &fi in &candidate_functions {
             let mut best: Option<(RecordId, f64)> = None;
@@ -98,10 +93,11 @@ pub fn sb_alt(
             }
         }
         if pairs.is_empty() {
-            if let Some((&fi, &(obj, score))) = function_best
-                .iter()
-                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).unwrap_or(std::cmp::Ordering::Equal))
-            {
+            if let Some((&fi, &(obj, score))) = function_best.iter().max_by(|a, b| {
+                a.1 .1
+                    .partial_cmp(&b.1 .1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) {
                 pairs.push((fi, obj, score));
             } else {
                 break;

@@ -108,10 +108,7 @@ mod tests {
         let uniform = uniform_weight_functions(2000, 3, 7);
         let variance = |fs: &[LinearFunction]| {
             let mean: f64 = fs.iter().map(|f| f.weight(0)).sum::<f64>() / fs.len() as f64;
-            fs.iter()
-                .map(|f| (f.weight(0) - mean).powi(2))
-                .sum::<f64>()
-                / fs.len() as f64
+            fs.iter().map(|f| (f.weight(0) - mean).powi(2)).sum::<f64>() / fs.len() as f64
         };
         assert!(variance(&clustered) < variance(&uniform) / 2.0);
         for f in &clustered {
@@ -125,10 +122,7 @@ mod tests {
         let nine = clustered_weight_functions(3000, 4, 9, 0.05, 9);
         let spread = |fs: &[LinearFunction]| {
             let mean: f64 = fs.iter().map(|f| f.weight(0)).sum::<f64>() / fs.len() as f64;
-            fs.iter()
-                .map(|f| (f.weight(0) - mean).powi(2))
-                .sum::<f64>()
-                / fs.len() as f64
+            fs.iter().map(|f| (f.weight(0) - mean).powi(2)).sum::<f64>() / fs.len() as f64
         };
         assert!(spread(&nine) > spread(&one));
     }

@@ -93,7 +93,12 @@ mod tests {
             // all coordinates normalized to [0, 1]
             for (_, p) in &objs {
                 for &c in p.coords() {
-                    assert!((0.0..=1.0).contains(&c), "{} out of range for {:?}", c, dist);
+                    assert!(
+                        (0.0..=1.0).contains(&c),
+                        "{} out of range for {:?}",
+                        c,
+                        dist
+                    );
                 }
             }
         }

@@ -93,7 +93,12 @@ mod tests {
         let n = xs.len() as f64;
         let mx = mean(&xs);
         let my = mean(&ys);
-        let cov = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum::<f64>() / n;
+        let cov = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / n;
         let sx = (xs.iter().map(|x| (x - mx).powi(2)).sum::<f64>() / n).sqrt();
         let sy = (ys.iter().map(|y| (y - my).powi(2)).sum::<f64>() / n).sqrt();
         cov / (sx * sy)
@@ -108,7 +113,10 @@ mod tests {
         assert!(pearson(&objs, 0, 3) > 0.4);
         // right-skewed values
         let col: Vec<f64> = objs.iter().map(|(_, p)| p.coord(0)).collect();
-        assert!(skewness(&col) > 0.4, "zillow attributes must be right-skewed");
+        assert!(
+            skewness(&col) > 0.4,
+            "zillow attributes must be right-skewed"
+        );
     }
 
     #[test]
@@ -129,7 +137,10 @@ mod tests {
         let a = zillow_like_objects(100, 9);
         let b = zillow_like_objects(100, 9);
         assert_eq!(a, b);
-        for (_, p) in zillow_like_objects(500, 10).iter().chain(nba_like_objects(500, 10).iter()) {
+        for (_, p) in zillow_like_objects(500, 10)
+            .iter()
+            .chain(nba_like_objects(500, 10).iter())
+        {
             assert!(p.coords().iter().all(|c| (0.0..=1.0).contains(c)));
         }
     }

@@ -211,7 +211,12 @@ mod tests {
         // and it is indeed the maximum over all pairs
         let best = [&f1, &f2, &f3]
             .iter()
-            .flat_map(|f| [&a, &b, &c, &d].iter().map(|o| f.score(o)).collect::<Vec<_>>())
+            .flat_map(|f| {
+                [&a, &b, &c, &d]
+                    .iter()
+                    .map(|o| f.score(o))
+                    .collect::<Vec<_>>()
+            })
             .fold(f64::MIN, f64::max);
         assert!((best - 0.68).abs() < 1e-12);
     }

@@ -66,7 +66,9 @@ impl Mbr {
         I: IntoIterator<Item = &'a Point>,
     {
         let mut iter = points.into_iter();
-        let first = iter.next().expect("covering_points requires at least one point");
+        let first = iter
+            .next()
+            .expect("covering_points requires at least one point");
         let mut mbr = Self::from_point(first);
         for p in iter {
             mbr.expand_to_point(p);
@@ -83,7 +85,10 @@ impl Mbr {
         I: IntoIterator<Item = &'a Mbr>,
     {
         let mut iter = mbrs.into_iter();
-        let mut acc = iter.next().expect("covering requires at least one MBR").clone();
+        let mut acc = iter
+            .next()
+            .expect("covering requires at least one MBR")
+            .clone();
         for m in iter {
             acc.expand_to_mbr(m);
         }
@@ -164,15 +169,13 @@ impl Mbr {
     /// `true` iff the MBR fully contains `other`.
     pub fn contains_mbr(&self, other: &Mbr) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
-        (0..self.dims())
-            .all(|d| self.lower[d] <= other.lower[d] && self.upper[d] >= other.upper[d])
+        (0..self.dims()).all(|d| self.lower[d] <= other.lower[d] && self.upper[d] >= other.upper[d])
     }
 
     /// `true` iff the two MBRs overlap (boundaries included).
     pub fn intersects(&self, other: &Mbr) -> bool {
         debug_assert_eq!(self.dims(), other.dims());
-        (0..self.dims())
-            .all(|d| self.lower[d] <= other.upper[d] && other.lower[d] <= self.upper[d])
+        (0..self.dims()).all(|d| self.lower[d] <= other.upper[d] && other.lower[d] <= self.upper[d])
     }
 
     /// Hyper-volume of the MBR.
@@ -184,7 +187,9 @@ impl Mbr {
 
     /// Sum of the side lengths (the "margin" used by R*-style heuristics).
     pub fn margin(&self) -> f64 {
-        (0..self.dims()).map(|d| self.upper[d] - self.lower[d]).sum()
+        (0..self.dims())
+            .map(|d| self.upper[d] - self.lower[d])
+            .sum()
     }
 
     /// Hyper-volume of the intersection with `other` (zero if disjoint).

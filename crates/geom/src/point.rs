@@ -54,7 +54,10 @@ impl Point {
     /// # Panics
     /// Panics if `coords` is empty.
     pub fn from_slice(coords: &[f64]) -> Self {
-        assert!(!coords.is_empty(), "points must have at least one dimension");
+        assert!(
+            !coords.is_empty(),
+            "points must have at least one dimension"
+        );
         Self {
             coords: coords.to_vec().into_boxed_slice(),
         }
@@ -215,7 +218,10 @@ mod tests {
 
     #[test]
     fn new_rejects_empty_and_non_finite() {
-        assert!(matches!(Point::new(vec![]), Err(GeomError::EmptyDimensions)));
+        assert!(matches!(
+            Point::new(vec![]),
+            Err(GeomError::EmptyDimensions)
+        ));
         assert!(matches!(
             Point::new(vec![0.2, f64::NAN]),
             Err(GeomError::NonFiniteCoordinate { dim: 1, .. })

@@ -37,10 +37,9 @@ impl RTree {
     /// Convenience constructor with default configuration for the points'
     /// dimensionality.
     pub fn bulk_load_default(records: Vec<(RecordId, Point)>) -> Result<Self, RTreeError> {
-        let dims = records
-            .first()
-            .map(|(_, p)| p.dims())
-            .ok_or_else(|| RTreeError::CorruptTree("cannot infer dimensionality of empty input".into()))?;
+        let dims = records.first().map(|(_, p)| p.dims()).ok_or_else(|| {
+            RTreeError::CorruptTree("cannot infer dimensionality of empty input".into())
+        })?;
         Self::bulk_load(RTreeConfig::for_dims(dims), records)
     }
 
@@ -53,8 +52,9 @@ impl RTree {
         let leaf_capacity = fanout;
         let dims = self.config.dims;
 
-        let mut leaf_groups =
-            str_partition(entries, leaf_capacity, dims, |e: &DataEntry, d| e.point.coord(d));
+        let mut leaf_groups = str_partition(entries, leaf_capacity, dims, |e: &DataEntry, d| {
+            e.point.coord(d)
+        });
 
         // Allocate leaf nodes without charging I/O.
         let mut level_entries: Vec<NodeEntry> = Vec::with_capacity(leaf_groups.len());
@@ -95,7 +95,9 @@ impl RTree {
         // level_entries now holds exactly one entry: the root pointer if the
         // data spanned multiple nodes, or a single leaf.
         let root_entry = level_entries.pop().expect("non-empty input");
-        let root_page = root_entry.child_page().expect("packed entries are child pointers");
+        let root_page = root_entry
+            .child_page()
+            .expect("packed entries are child pointers");
         self.root = Some(root_page);
         let root_level = self.store.peek(root_page).expect("live root").level;
         self.height = root_level + 1;
@@ -184,9 +186,7 @@ fn balanced_sizes(n: usize, capacity: usize) -> Vec<usize> {
     let groups = n.div_ceil(capacity);
     let base = n / groups;
     let extra = n % groups;
-    (0..groups)
-        .map(|g| base + usize::from(g < extra))
-        .collect()
+    (0..groups).map(|g| base + usize::from(g < extra)).collect()
 }
 
 #[cfg(test)]
@@ -201,7 +201,9 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
@@ -283,7 +285,10 @@ mod tests {
     #[test]
     fn str_partition_groups_respect_capacity() {
         let recs = random_records(1000, 3, 6);
-        let entries: Vec<DataEntry> = recs.into_iter().map(|(r, p)| DataEntry::new(r, p)).collect();
+        let entries: Vec<DataEntry> = recs
+            .into_iter()
+            .map(|(r, p)| DataEntry::new(r, p))
+            .collect();
         let groups = str_partition(entries, 25, 3, |e: &DataEntry, d| e.point.coord(d));
         let total: usize = groups.iter().map(Vec::len).sum();
         assert_eq!(total, 1000);

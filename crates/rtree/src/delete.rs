@@ -142,7 +142,9 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
@@ -245,7 +247,11 @@ mod tests {
         }
         t.check_invariants().unwrap();
         // remaining data matches the model
-        let mut got: Vec<u64> = t.all_data_unaccounted().iter().map(|d| d.record.0).collect();
+        let mut got: Vec<u64> = t
+            .all_data_unaccounted()
+            .iter()
+            .map(|d| d.record.0)
+            .collect();
         let mut want: Vec<u64> = live.iter().map(|(r, _)| r.0).collect();
         got.sort_unstable();
         want.sort_unstable();

@@ -46,11 +46,7 @@ impl RTree {
     /// entries of a new root.
     fn grow_root(&mut self, sibling: NodeEntry) {
         let old_root = self.root.expect("grow_root requires a root");
-        let old_mbr = self
-            .store
-            .peek(old_root)
-            .expect("root page is live")
-            .mbr();
+        let old_mbr = self.store.peek(old_root).expect("root page is live").mbr();
         let new_root = Node {
             level: self.height,
             entries: vec![
@@ -249,7 +245,9 @@ impl RTree {
 
         let mut entries_opt: Vec<Option<NodeEntry>> = entries.into_iter().map(Some).collect();
         let take = |idx: &usize, slots: &mut Vec<Option<NodeEntry>>| {
-            slots[*idx].take().expect("entry assigned to one group only")
+            slots[*idx]
+                .take()
+                .expect("entry assigned to one group only")
         };
         let left = group_a
             .iter()
@@ -271,13 +269,18 @@ mod tests {
     use rand::{rngs::StdRng, Rng, SeedableRng};
 
     fn pt(rng: &mut StdRng, dims: usize) -> Point {
-        Point::from_slice(&(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>())
+        Point::from_slice(
+            &(0..dims)
+                .map(|_| rng.gen_range(0.0..1.0))
+                .collect::<Vec<_>>(),
+        )
     }
 
     #[test]
     fn insert_single_point_creates_leaf_root() {
         let mut t = RTree::with_dims(2);
-        t.insert(RecordId(1), Point::from_slice(&[0.3, 0.4])).unwrap();
+        t.insert(RecordId(1), Point::from_slice(&[0.3, 0.4]))
+            .unwrap();
         assert_eq!(t.len(), 1);
         assert_eq!(t.height(), 1);
         assert_eq!(t.num_pages(), 1);

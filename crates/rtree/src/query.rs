@@ -46,11 +46,8 @@ impl RTree {
 
     /// Returns every data entry by scanning the whole tree; charges I/O.
     pub fn scan(&mut self) -> Vec<DataEntry> {
-        let whole = Mbr::new(
-            vec![f64::MIN; self.dims()],
-            vec![f64::MAX; self.dims()],
-        )
-        .expect("full-space MBR is valid");
+        let whole = Mbr::new(vec![f64::MIN; self.dims()], vec![f64::MAX; self.dims()])
+            .expect("full-space MBR is valid");
         self.range_query(&whole)
     }
 }
@@ -68,14 +65,18 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
             .collect();
-        let tree =
-            RTree::bulk_load(RTreeConfig::for_dims(dims).with_fanout(fanout), recs.clone())
-                .unwrap();
+        let tree = RTree::bulk_load(
+            RTreeConfig::for_dims(dims).with_fanout(fanout),
+            recs.clone(),
+        )
+        .unwrap();
         (tree, recs)
     }
 
@@ -96,7 +97,10 @@ mod tests {
             .collect();
         want.sort_unstable();
         assert_eq!(got, want);
-        assert!(!got.is_empty(), "the range should not be empty for this seed");
+        assert!(
+            !got.is_empty(),
+            "the range should not be empty for this seed"
+        );
     }
 
     #[test]
@@ -156,6 +160,9 @@ mod tests {
         let first = tree.stats().physical_reads;
         tree.range_query(&range);
         let second = tree.stats().physical_reads - first;
-        assert!(second < first, "warm buffer should absorb repeated accesses");
+        assert!(
+            second < first,
+            "warm buffer should absorb repeated accesses"
+        );
     }
 }

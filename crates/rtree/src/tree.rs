@@ -68,7 +68,10 @@ impl std::fmt::Display for RTreeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             RTreeError::DimensionMismatch { expected, got } => {
-                write!(f, "dimension mismatch: tree has {expected}, point has {got}")
+                write!(
+                    f,
+                    "dimension mismatch: tree has {expected}, point has {got}"
+                )
             }
             RTreeError::RecordNotFound(r) => write!(f, "record {r} not found"),
             RTreeError::CorruptTree(msg) => write!(f, "corrupt tree: {msg}"),
@@ -390,8 +393,16 @@ mod tests {
     fn dimension_check() {
         let t = RTree::with_dims(2);
         assert!(t.check_dims(&Point::from_slice(&[0.1, 0.2])).is_ok());
-        let err = t.check_dims(&Point::from_slice(&[0.1, 0.2, 0.3])).unwrap_err();
-        assert!(matches!(err, RTreeError::DimensionMismatch { expected: 2, got: 3 }));
+        let err = t
+            .check_dims(&Point::from_slice(&[0.1, 0.2, 0.3]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RTreeError::DimensionMismatch {
+                expected: 2,
+                got: 3
+            }
+        ));
         assert!(err.to_string().contains("mismatch"));
     }
 

@@ -8,24 +8,27 @@ use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Op {
-    Insert { coords: Vec<f64> },
+    Insert {
+        coords: Vec<f64>,
+    },
     /// Delete the i-th (modulo length) currently live record.
     DeleteNth(usize),
-    Range { lo: Vec<f64>, ext: Vec<f64> },
+    Range {
+        lo: Vec<f64>,
+        ext: Vec<f64>,
+    },
 }
 
 fn arb_ops(dims: usize) -> impl Strategy<Value = Vec<Op>> {
-    let insert = proptest::collection::vec(0.0f64..1.0, dims).prop_map(|coords| Op::Insert { coords });
+    let insert =
+        proptest::collection::vec(0.0f64..1.0, dims).prop_map(|coords| Op::Insert { coords });
     let delete = (0usize..1000).prop_map(Op::DeleteNth);
     let range = (
         proptest::collection::vec(0.0f64..0.8, dims),
         proptest::collection::vec(0.0f64..0.4, dims),
     )
         .prop_map(|(lo, ext)| Op::Range { lo, ext });
-    proptest::collection::vec(
-        prop_oneof![4 => insert, 2 => delete, 1 => range],
-        1..120,
-    )
+    proptest::collection::vec(prop_oneof![4 => insert, 2 => delete, 1 => range], 1..120)
 }
 
 fn run_model(dims: usize, fanout: usize, ops: Vec<Op>) -> Result<(), TestCaseError> {
@@ -67,11 +70,19 @@ fn run_model(dims: usize, fanout: usize, ops: Vec<Op>) -> Result<(), TestCaseErr
         }
         prop_assert_eq!(tree.len(), model.len());
         if step % 16 == 0 {
-            prop_assert!(tree.check_invariants().is_ok(), "invariants at step {}", step);
+            prop_assert!(
+                tree.check_invariants().is_ok(),
+                "invariants at step {}",
+                step
+            );
         }
     }
     prop_assert!(tree.check_invariants().is_ok());
-    let mut got: Vec<u64> = tree.all_data_unaccounted().iter().map(|d| d.record.0).collect();
+    let mut got: Vec<u64> = tree
+        .all_data_unaccounted()
+        .iter()
+        .map(|d| d.record.0)
+        .collect();
     got.sort_unstable();
     let mut want: Vec<u64> = model.iter().map(|(r, _)| r.0).collect();
     want.sort_unstable();

@@ -98,7 +98,11 @@ mod tests {
 
     fn build_tree(points: &[(RecordId, Point)], fanout: usize) -> RTree {
         let dims = points[0].1.dims();
-        RTree::bulk_load(RTreeConfig::for_dims(dims).with_fanout(fanout), points.to_vec()).unwrap()
+        RTree::bulk_load(
+            RTreeConfig::for_dims(dims).with_fanout(fanout),
+            points.to_vec(),
+        )
+        .unwrap()
     }
 
     fn random_points(n: u64, dims: usize, seed: u64) -> Vec<(RecordId, Point)> {
@@ -108,7 +112,9 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
@@ -248,7 +254,11 @@ mod tests {
         let mut tree = build_tree(&points, 32);
         tree.reset_stats();
         let sky = compute_skyline_bbs(&mut tree);
-        assert!(sky.len() < 50, "correlated skyline should be small: {}", sky.len());
+        assert!(
+            sky.len() < 50,
+            "correlated skyline should be small: {}",
+            sky.len()
+        );
         assert!(tree.stats().logical_reads < tree.num_pages() as u64 / 2);
     }
 

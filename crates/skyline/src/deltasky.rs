@@ -88,11 +88,9 @@ fn may_be_relevant(
                 && removed_point.dominates_or_equal(&d.point)
                 && !skyline.dominates_point(&d.point)
         }
-        NodeEntry::Child { mbr, .. } => mbr_may_intersect_edr(
-            mbr,
-            removed_point,
-            skyline.data_entries().map(|d| &d.point),
-        ),
+        NodeEntry::Child { mbr, .. } => {
+            mbr_may_intersect_edr(mbr, removed_point, skyline.data_entries().map(|d| &d.point))
+        }
     }
 }
 
@@ -112,7 +110,9 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
@@ -121,7 +121,11 @@ mod tests {
 
     fn build(points: &[(RecordId, Point)], fanout: usize) -> RTree {
         let dims = points[0].1.dims();
-        RTree::bulk_load(RTreeConfig::for_dims(dims).with_fanout(fanout), points.to_vec()).unwrap()
+        RTree::bulk_load(
+            RTreeConfig::for_dims(dims).with_fanout(fanout),
+            points.to_vec(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -50,7 +50,9 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
@@ -76,13 +78,21 @@ mod tests {
 
     fn build(points: &[(RecordId, Point)], fanout: usize) -> RTree {
         let dims = points[0].1.dims();
-        RTree::bulk_load(RTreeConfig::for_dims(dims).with_fanout(fanout), points.to_vec()).unwrap()
+        RTree::bulk_load(
+            RTreeConfig::for_dims(dims).with_fanout(fanout),
+            points.to_vec(),
+        )
+        .unwrap()
     }
 
     /// Removes skyline objects one by one (in a deterministic order) and checks
     /// after each removal that the maintained skyline equals the skyline of the
     /// remaining points computed from scratch by the naive oracle.
-    fn check_incremental_maintenance(points: Vec<(RecordId, Point)>, fanout: usize, removals: usize) {
+    fn check_incremental_maintenance(
+        points: Vec<(RecordId, Point)>,
+        fanout: usize,
+        removals: usize,
+    ) {
         let mut tree = build(&points, fanout);
         let mut sky = compute_skyline_bbs(&mut tree);
         let mut remaining: Vec<(RecordId, Point)> = points.clone();
@@ -108,13 +118,13 @@ mod tests {
         // Figure 4: after assigning e (the top object), the skyline becomes {a, c, d, i}.
         // We reproduce the shape with concrete coordinates.
         let points = vec![
-            (RecordId(0), Point::from_slice(&[0.15, 0.95])), // a
-            (RecordId(2), Point::from_slice(&[0.45, 0.80])), // c
-            (RecordId(3), Point::from_slice(&[0.55, 0.75])), // d
-            (RecordId(4), Point::from_slice(&[0.70, 0.85])), // e  (initial skyline with a)
-            (RecordId(8), Point::from_slice(&[0.65, 0.40])), // i
-            (RecordId(6), Point::from_slice(&[0.30, 0.70])), // g dominated
-            (RecordId(7), Point::from_slice(&[0.10, 0.60])), // h dominated
+            (RecordId(0), Point::from_slice(&[0.15, 0.95])),  // a
+            (RecordId(2), Point::from_slice(&[0.45, 0.80])),  // c
+            (RecordId(3), Point::from_slice(&[0.55, 0.75])),  // d
+            (RecordId(4), Point::from_slice(&[0.70, 0.85])),  // e  (initial skyline with a)
+            (RecordId(8), Point::from_slice(&[0.65, 0.40])),  // i
+            (RecordId(6), Point::from_slice(&[0.30, 0.70])),  // g dominated
+            (RecordId(7), Point::from_slice(&[0.10, 0.60])),  // h dominated
             (RecordId(10), Point::from_slice(&[0.50, 0.30])), // k dominated
         ];
         let mut tree = build(&points, 4);

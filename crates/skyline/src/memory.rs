@@ -153,7 +153,12 @@ mod tests {
 
     #[test]
     fn totally_ordered_chain_has_single_skyline_point() {
-        let points = pts(&[(0, [0.1, 0.1]), (1, [0.2, 0.2]), (2, [0.3, 0.3]), (3, [0.9, 0.9])]);
+        let points = pts(&[
+            (0, [0.1, 0.1]),
+            (1, [0.2, 0.2]),
+            (2, [0.3, 0.3]),
+            (3, [0.9, 0.9]),
+        ]);
         for algo in [skyline_naive, skyline_bnl, skyline_sfs] {
             assert_eq!(sorted(algo(&points)), vec![3]);
         }

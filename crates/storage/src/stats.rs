@@ -70,8 +70,12 @@ impl IoStats {
             logical_reads: self.logical_reads.saturating_sub(baseline.logical_reads),
             buffer_hits: self.buffer_hits.saturating_sub(baseline.buffer_hits),
             physical_reads: self.physical_reads.saturating_sub(baseline.physical_reads),
-            physical_writes: self.physical_writes.saturating_sub(baseline.physical_writes),
-            pages_allocated: self.pages_allocated.saturating_sub(baseline.pages_allocated),
+            physical_writes: self
+                .physical_writes
+                .saturating_sub(baseline.physical_writes),
+            pages_allocated: self
+                .pages_allocated
+                .saturating_sub(baseline.pages_allocated),
             pages_freed: self.pages_freed.saturating_sub(baseline.pages_freed),
         }
     }

@@ -153,7 +153,8 @@ mod tests {
     #[test]
     fn cost_helpers_are_sane() {
         assert_eq!(cost::entry(4), 72);
-        assert!(cost::HEAP_ENTRY > 0);
-        assert!(cost::RECORD > 0);
+        // each extra dimension costs two coordinates (lo/hi) of 8 bytes
+        assert_eq!(cost::entry(5) - cost::entry(4), 16);
+        assert_eq!(cost::HEAP_ENTRY, cost::RECORD);
     }
 }

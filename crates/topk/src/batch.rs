@@ -212,7 +212,11 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
-                Point::from_slice(&(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>())
+                Point::from_slice(
+                    &(0..dims)
+                        .map(|_| rng.gen_range(0.0..1.0))
+                        .collect::<Vec<_>>(),
+                )
             })
             .collect()
     }

@@ -159,7 +159,9 @@ mod tests {
                 (
                     RecordId(i),
                     Point::from_slice(
-                        &(0..dims).map(|_| rng.gen_range(0.0..1.0)).collect::<Vec<_>>(),
+                        &(0..dims)
+                            .map(|_| rng.gen_range(0.0..1.0))
+                            .collect::<Vec<_>>(),
                     ),
                 )
             })
@@ -168,16 +170,20 @@ mod tests {
 
     fn build(points: &[(RecordId, Point)], fanout: usize) -> RTree {
         let dims = points[0].1.dims();
-        RTree::bulk_load(RTreeConfig::for_dims(dims).with_fanout(fanout), points.to_vec()).unwrap()
+        RTree::bulk_load(
+            RTreeConfig::for_dims(dims).with_fanout(fanout),
+            points.to_vec(),
+        )
+        .unwrap()
     }
 
     #[test]
     fn figure4_top1_is_e() {
         // In Figure 4, object e is the top-1 of both drawn functions.
         let points = vec![
-            (RecordId(0), Point::from_slice(&[0.15, 0.95])), // a
-            (RecordId(4), Point::from_slice(&[0.70, 0.85])), // e
-            (RecordId(8), Point::from_slice(&[0.65, 0.40])), // i
+            (RecordId(0), Point::from_slice(&[0.15, 0.95])),  // a
+            (RecordId(4), Point::from_slice(&[0.70, 0.85])),  // e
+            (RecordId(8), Point::from_slice(&[0.65, 0.40])),  // i
             (RecordId(10), Point::from_slice(&[0.50, 0.30])), // k
         ];
         let mut tree = build(&points, 4);
@@ -199,13 +205,13 @@ mod tests {
             assert!(w[0].1 >= w[1].1);
         }
         // oracle
-        let mut scored: Vec<(u64, f64)> = points
-            .iter()
-            .map(|(r, p)| (r.0, f.score(p)))
-            .collect();
+        let mut scored: Vec<(u64, f64)> = points.iter().map(|(r, p)| (r.0, f.score(p))).collect();
         scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         for (i, (entry, score)) in got.iter().enumerate() {
-            assert!((score - scored[i].1).abs() < 1e-9, "rank {i} score mismatch");
+            assert!(
+                (score - scored[i].1).abs() < 1e-9,
+                "rank {i} score mismatch"
+            );
             let _ = entry;
         }
     }
@@ -233,9 +239,7 @@ mod tests {
         let top2 = top_k(&mut tree, f.clone(), 2);
         let banned = top2[0].0.record;
         let mut search = RankedSearch::new(f);
-        let (hit, _) = search
-            .next_accepted(&mut tree, |r| r != banned)
-            .unwrap();
+        let (hit, _) = search.next_accepted(&mut tree, |r| r != banned).unwrap();
         assert_eq!(hit.record, top2[1].0.record);
     }
 

@@ -35,7 +35,10 @@ impl FunctionLists {
     /// Panics if the functions do not all share the same dimensionality or the
     /// slice is empty.
     pub fn new(functions: &[LinearFunction]) -> Self {
-        assert!(!functions.is_empty(), "FunctionLists requires at least one function");
+        assert!(
+            !functions.is_empty(),
+            "FunctionLists requires at least one function"
+        );
         let dims = functions[0].dims();
         assert!(
             functions.iter().all(|f| f.dims() == dims),
@@ -238,7 +241,9 @@ mod tests {
             lists.remove(i);
         }
         assert!(lists.next_alive(0, 0).is_none());
-        assert!(lists.best_by_scan(&Point::from_slice(&[1.0, 1.0, 1.0])).is_none());
+        assert!(lists
+            .best_by_scan(&Point::from_slice(&[1.0, 1.0, 1.0]))
+            .is_none());
         assert_eq!(lists.remaining(), 0);
     }
 

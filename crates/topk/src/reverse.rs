@@ -205,9 +205,7 @@ impl ReverseTopOne {
     }
 
     fn insert_candidate(&mut self, score: f64, func: usize) {
-        let pos = self
-            .candidates
-            .partition_point(|&(s, _)| s > score || (s == score && true));
+        let pos = self.candidates.partition_point(|&(s, _)| s >= score);
         self.candidates.insert(pos, (score, func));
         if self.candidates.len() > self.cap {
             self.candidates.truncate(self.cap);
@@ -290,7 +288,9 @@ mod tests {
                     assert!((es - gs).abs() < 1e-9, "score mismatch");
                     // the function may differ only if scores tie exactly
                     if ef != gf {
-                        assert!((lists.score(ef, &object) - lists.score(gf, &object)).abs() < 1e-12);
+                        assert!(
+                            (lists.score(ef, &object) - lists.score(gf, &object)).abs() < 1e-12
+                        );
                     }
                     lists.remove(gf);
                 }

@@ -71,7 +71,9 @@ fn main() {
     usage.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
     println!("most contested room types:");
     for (id, taken) in usage.iter().take(5) {
-        let room = problem.object(fair_assignment::rtree::RecordId(*id)).unwrap();
+        let room = problem
+            .object(fair_assignment::rtree::RecordId(*id))
+            .unwrap();
         println!(
             "  room type {:>2}: {taken}/{} copies taken, attributes {}",
             id, room.capacity, room.point

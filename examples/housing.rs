@@ -26,7 +26,11 @@ fn main() {
     // A new release of 3,000 apartments with Zillow-like attribute skew.
     let objects: Vec<ObjectRecord> = zillow_like_objects(3_000, 2026)
         .into_iter()
-        .map(|(id, p)| ObjectRecord { id, point: p, capacity: 1 })
+        .map(|(id, p)| ObjectRecord {
+            id,
+            point: p,
+            capacity: 1,
+        })
         .collect();
 
     let problem = Problem::new(functions, objects).expect("valid instance");
@@ -52,8 +56,14 @@ fn main() {
     let two_sky = sb(&problem, &mut tree, &SbOptions::two_skylines());
     verify_stable(&problem, &two_sky.assignment).expect("stable");
 
-    assert_eq!(standard.assignment.canonical(), two_sky.assignment.canonical());
-    println!("both variants produce the same stable allocation of {} apartments", standard.assignment.len());
+    assert_eq!(
+        standard.assignment.canonical(),
+        two_sky.assignment.canonical()
+    );
+    println!(
+        "both variants produce the same stable allocation of {} apartments",
+        standard.assignment.len()
+    );
     println!(
         "standard SB     : {:>6} I/O, {:.3}s CPU, {:.2} MiB",
         standard.metrics.total_io(),

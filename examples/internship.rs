@@ -19,9 +19,21 @@ struct PreferenceForm {
 
 fn main() {
     let forms = [
-        PreferenceForm { student: "Ada", salary_mark: 4, standing_mark: 1 }, // 0.8X + 0.2Y
-        PreferenceForm { student: "Ben", salary_mark: 1, standing_mark: 4 }, // 0.2X + 0.8Y
-        PreferenceForm { student: "Cleo", salary_mark: 1, standing_mark: 1 }, // 0.5X + 0.5Y
+        PreferenceForm {
+            student: "Ada",
+            salary_mark: 4,
+            standing_mark: 1,
+        }, // 0.8X + 0.2Y
+        PreferenceForm {
+            student: "Ben",
+            salary_mark: 1,
+            standing_mark: 4,
+        }, // 0.2X + 0.8Y
+        PreferenceForm {
+            student: "Cleo",
+            salary_mark: 1,
+            standing_mark: 1,
+        }, // 0.5X + 0.5Y
     ];
 
     // Translate the forms into normalized preference functions.
@@ -29,9 +41,8 @@ fn main() {
         .iter()
         .enumerate()
         .map(|(i, form)| {
-            let weights =
-                normalize_weights(&[form.salary_mark as f64, form.standing_mark as f64])
-                    .expect("marks are positive");
+            let weights = normalize_weights(&[form.salary_mark as f64, form.standing_mark as f64])
+                .expect("marks are positive");
             println!(
                 "{}'s form (salary {}, standing {}) becomes f{} = {:.1}·salary + {:.1}·standing",
                 form.student, form.salary_mark, form.standing_mark, i, weights[0], weights[1]
@@ -64,8 +75,26 @@ fn main() {
     }
     // Matches the paper's walkthrough: Ada gets c, Ben gets b, Cleo gets a;
     // position d stays open.
-    assert_eq!(assignment.object_of(fair_assignment::FunctionId(0)).unwrap().0, 2);
-    assert_eq!(assignment.object_of(fair_assignment::FunctionId(1)).unwrap().0, 1);
-    assert_eq!(assignment.object_of(fair_assignment::FunctionId(2)).unwrap().0, 0);
+    assert_eq!(
+        assignment
+            .object_of(fair_assignment::FunctionId(0))
+            .unwrap()
+            .0,
+        2
+    );
+    assert_eq!(
+        assignment
+            .object_of(fair_assignment::FunctionId(1))
+            .unwrap()
+            .0,
+        1
+    );
+    assert_eq!(
+        assignment
+            .object_of(fair_assignment::FunctionId(2))
+            .unwrap()
+            .0,
+        0
+    );
     println!("\nposition d is left unassigned — no student preferred it over their match.");
 }

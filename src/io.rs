@@ -184,7 +184,11 @@ pub fn write_assignment_csv<W: Write>(
 ) -> Result<(), IoFormatError> {
     writeln!(writer, "function_id,object_id,score")?;
     for pair in assignment.pairs() {
-        writeln!(writer, "{},{},{}", pair.function.0, pair.object.0, pair.score)?;
+        writeln!(
+            writer,
+            "{},{},{}",
+            pair.function.0, pair.object.0, pair.score
+        )?;
     }
     Ok(())
 }
@@ -199,9 +203,24 @@ pub fn read_assignment_csv<R: Read>(reader: R) -> Result<Assignment, IoFormatErr
         }
         let mut parts = line.split(',');
         let err = || IoFormatError::Invalid(format!("malformed CSV line {}", lineno + 1));
-        let function: usize = parts.next().ok_or_else(err)?.trim().parse().map_err(|_| err())?;
-        let object: u64 = parts.next().ok_or_else(err)?.trim().parse().map_err(|_| err())?;
-        let score: f64 = parts.next().ok_or_else(err)?.trim().parse().map_err(|_| err())?;
+        let function: usize = parts
+            .next()
+            .ok_or_else(err)?
+            .trim()
+            .parse()
+            .map_err(|_| err())?;
+        let object: u64 = parts
+            .next()
+            .ok_or_else(err)?
+            .trim()
+            .parse()
+            .map_err(|_| err())?;
+        let score: f64 = parts
+            .next()
+            .ok_or_else(err)?
+            .trim()
+            .parse()
+            .map_err(|_| err())?;
         assignment.push(crate::FunctionId(function), RecordId(object), score);
     }
     Ok(assignment)

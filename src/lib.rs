@@ -57,8 +57,8 @@ pub use pref_topk as topk;
 
 pub use pref_assign::{
     brute_force, chain, oracle, sb, sb_alt, solve, verify_stable, Assignment, AssignmentResult,
-    BestPairStrategy, FunctionId, MaintenanceStrategy, MatchPair, ObjectRecord,
-    PreferenceFunction, Problem, RunMetrics, SbOptions, StabilityViolation,
+    BestPairStrategy, FunctionId, MaintenanceStrategy, MatchPair, ObjectRecord, PreferenceFunction,
+    Problem, RunMetrics, SbOptions, StabilityViolation,
 };
 
 #[cfg(test)]

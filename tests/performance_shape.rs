@@ -72,7 +72,9 @@ fn buffer_size_barely_affects_sb() {
     let problem = workload(100, 4_000, 3);
     let run_sb = |fraction: f64| {
         let mut tree = problem.build_tree(None, fraction);
-        sb(&problem, &mut tree, &SbOptions::default()).metrics.total_io()
+        sb(&problem, &mut tree, &SbOptions::default())
+            .metrics
+            .total_io()
     };
     let no_buffer = run_sb(0.0);
     let big_buffer = run_sb(0.10);
@@ -96,7 +98,10 @@ fn cpu_optimizations_pay_off() {
     let optimized = sb(&problem, &mut tree, &SbOptions::default());
     let mut tree = problem.build_tree(None, 0.02);
     let plain = sb(&problem, &mut tree, &SbOptions::update_skyline_only());
-    assert_eq!(optimized.assignment.canonical(), plain.assignment.canonical());
+    assert_eq!(
+        optimized.assignment.canonical(),
+        plain.assignment.canonical()
+    );
     assert!(
         optimized.metrics.loops < plain.metrics.loops,
         "multi-pair loops {} should be fewer than single-pair loops {}",
@@ -105,7 +110,10 @@ fn cpu_optimizations_pay_off() {
     );
     // same maintenance strategy => essentially the same I/O (Figure 8(a):
     // the CPU-side optimizations are not supposed to change the I/O cost)
-    let (a, b) = (optimized.metrics.total_io() as f64, plain.metrics.total_io() as f64);
+    let (a, b) = (
+        optimized.metrics.total_io() as f64,
+        plain.metrics.total_io() as f64,
+    );
     assert!(
         (a - b).abs() <= 0.2 * b + 8.0,
         "I/O should be unaffected by the CPU optimizations: {a} vs {b}"

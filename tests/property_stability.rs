@@ -19,10 +19,8 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
             ),
             1..12,
         );
-        let objects = proptest::collection::vec(
-            (proptest::collection::vec(0.0f64..1.0, d), 1u32..3),
-            1..25,
-        );
+        let objects =
+            proptest::collection::vec((proptest::collection::vec(0.0f64..1.0, d), 1u32..3), 1..25);
         (functions, objects).prop_map(|(fs, os)| {
             let functions = fs
                 .into_iter()

@@ -81,7 +81,11 @@ fn all_algorithms_agree_on_capacitated_prioritized_instances() {
     let objects: Vec<ObjectRecord> = anti_correlated_objects(200, 4, 35)
         .into_iter()
         .zip(o_caps)
-        .map(|((id, p), c)| ObjectRecord { id, point: p, capacity: c })
+        .map(|((id, p), c)| ObjectRecord {
+            id,
+            point: p,
+            capacity: c,
+        })
         .collect();
     let problem = Problem::new(functions, objects).unwrap();
     run_all_and_compare(&problem);
@@ -99,12 +103,7 @@ fn duplicate_objects_and_functions_are_handled() {
         })
         .collect();
     let objects: Vec<ObjectRecord> = (0..10)
-        .map(|i| {
-            ObjectRecord::new(
-                i,
-                fair_assignment::geom::Point::from_slice(&[0.4, 0.4]),
-            )
-        })
+        .map(|i| ObjectRecord::new(i, fair_assignment::geom::Point::from_slice(&[0.4, 0.4])))
         .collect();
     let problem = Problem::new(functions, objects).unwrap();
     let mut tree = problem.build_tree(Some(8), 0.0);
@@ -146,13 +145,20 @@ fn sb_two_skylines_matches_standard_on_prioritized_workload() {
         .collect();
     let objects: Vec<ObjectRecord> = independent_objects(300, 3, 43)
         .into_iter()
-        .map(|(id, p)| ObjectRecord { id, point: p, capacity: 1 })
+        .map(|(id, p)| ObjectRecord {
+            id,
+            point: p,
+            capacity: 1,
+        })
         .collect();
     let problem = Problem::new(functions, objects).unwrap();
     let mut tree = problem.build_tree(Some(16), 0.02);
     let standard = sb(&problem, &mut tree, &SbOptions::default());
     let mut tree = problem.build_tree(Some(16), 0.02);
     let twosky = sb(&problem, &mut tree, &SbOptions::two_skylines());
-    assert_eq!(standard.assignment.canonical(), twosky.assignment.canonical());
+    assert_eq!(
+        standard.assignment.canonical(),
+        twosky.assignment.canonical()
+    );
     verify_stable(&problem, &twosky.assignment).unwrap();
 }

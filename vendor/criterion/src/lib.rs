@@ -1,0 +1,216 @@
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! Provides the API surface `benches/micro.rs` uses — `Criterion`,
+//! `benchmark_group`, `bench_function` / `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `BenchmarkId`, `BatchSize` and the `criterion_group!` /
+//! `criterion_main!` macros. Instead of criterion's statistical machinery it
+//! runs a small fixed number of timed iterations and prints mean wall-clock
+//! time per iteration, which is enough for quick relative comparisons and
+//! for `cargo bench --no-run` CI compilation checks.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], as in real criterion.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How batched inputs are grouped; accepted for API compatibility.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id composed of a function name and a parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measures closures.
+pub struct Bencher {
+    iterations: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    fn new(iterations: u64) -> Self {
+        Self {
+            iterations,
+            total: Duration::ZERO,
+        }
+    }
+
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.total = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup()` input per iteration; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            measured += start.elapsed();
+        }
+        self.total = measured;
+    }
+
+    /// Like [`Bencher::iter_batched`] but passes the input by mutable
+    /// reference.
+    pub fn iter_batched_ref<I, O, S: FnMut() -> I, R: FnMut(&mut I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        let mut measured = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            measured += start.elapsed();
+        }
+        self.total = measured;
+    }
+
+    fn report(&self, group: &str, id: &str) {
+        let per_iter = if self.iterations > 0 {
+            self.total / self.iterations as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "{group}/{id}: {:>12?} per iter ({} iters)",
+            per_iter, self.iterations
+        );
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: u64,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many iterations each benchmark runs (criterion's sample
+    /// count; reused here directly as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Runs a benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&self.name, &id.to_string());
+        self
+    }
+
+    /// Ends the group (no-op; prints a separator for readability).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        let name = name.into();
+        println!("benchmark group `{name}`");
+        BenchmarkGroup {
+            name,
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        self.benchmark_group(id.to_string())
+            .bench_function("bench", f);
+        self
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

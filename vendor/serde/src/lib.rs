@@ -1,0 +1,466 @@
+//! Vendored minimal stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a tiny serde-compatible core: the [`Serialize`] / [`Deserialize`] traits,
+//! a self-describing [`Content`] data model (a superset of JSON), and the
+//! derive macros re-exported from `serde_derive`. Only the API surface this
+//! workspace actually uses is provided; the wire behaviour (maps keyed by
+//! field names, transparent newtypes, externally-tagged enums, field
+//! `default =` and `with =` attributes) matches real serde closely enough
+//! that swapping the real crates back in is a one-line manifest change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Self-describing serialized value: the data model every `Serialize` impl
+/// lowers into and every `Deserialize` impl is rebuilt from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A non-negative integer.
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Content)>),
+}
+
+/// Concrete error used by the content-based (de)serialization paths.
+#[derive(Debug, Clone)]
+pub struct DeError(pub String);
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Serialization error plumbing (mirrors `serde::ser`).
+pub mod ser {
+    /// Trait for serializer error types.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization error plumbing (mirrors `serde::de`).
+pub mod de {
+    /// Trait for deserializer error types.
+    pub trait Error: Sized + std::fmt::Debug + std::fmt::Display {
+        /// Builds an error from an arbitrary message.
+        fn custom<T: std::fmt::Display>(msg: T) -> Self;
+    }
+}
+
+impl ser::Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl de::Error for DeError {
+    fn custom<T: std::fmt::Display>(msg: T) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+/// A sink that consumes a [`Content`] tree.
+pub trait Serializer: Sized {
+    /// Value produced on success.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+    /// Consumes one fully-lowered value.
+    fn serialize_content(self, content: Content) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A source that yields a [`Content`] tree.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+    /// Produces the next value as content.
+    fn deserialize_content(self) -> Result<Content, Self::Error>;
+}
+
+/// Types that can lower themselves into [`Content`].
+pub trait Serialize {
+    /// Lowers `self` into the data model. Infallible by construction.
+    fn content(&self) -> Content;
+
+    /// Serde-compatible entry point used by `#[serde(with = "...")]` modules.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_content(self.content())
+    }
+}
+
+/// Types that can be rebuilt from [`Content`].
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds a value from the data model.
+    fn from_content(content: Content) -> Result<Self, DeError>;
+
+    /// Serde-compatible entry point used by `#[serde(with = "...")]` modules.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let content = deserializer.deserialize_content()?;
+        Self::from_content(content).map_err(<D::Error as de::Error>::custom)
+    }
+}
+
+/// Owned-deserialization alias, as in real serde.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+impl Content {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::U64(_) | Content::I64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => v as u64,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected unsigned integer, found {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError(format!("integer {} out of range for {}", raw, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: Content) -> Result<Self, DeError> {
+                let raw = match content {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => v as i64,
+                    other => {
+                        return Err(DeError(format!(
+                            "expected integer, found {}",
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$t>::try_from(raw).map_err(|_| {
+                    DeError(format!("integer {} out of range for {}", raw, stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_serialize_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn content(&self) -> Content {
+                Content::F64(*self as f64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(content: Content) -> Result<Self, DeError> {
+                match content {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    other => Err(DeError(format!(
+                        "expected number, found {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serialize_float!(f32, f64);
+
+impl Serialize for bool {
+    fn content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(b),
+            other => Err(DeError(format!(
+                "expected bool, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s),
+            other => Err(DeError(format!(
+                "expected string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError(format!(
+                "expected char, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn content(&self) -> Content {
+        (**self).content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn content(&self) -> Content {
+        (**self).content()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        T::from_content(content).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<[T]> {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(content).map(Vec::into_boxed_slice)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::content).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.into_iter().map(T::from_content).collect(),
+            other => Err(DeError(format!(
+                "expected sequence, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::content).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn content(&self) -> Content {
+        match self {
+            Some(v) => v.content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn content(&self) -> Content {
+        Content::Seq(vec![self.0.content(), self.1.content()])
+    }
+}
+
+impl<'de, A: Deserialize<'de>, B: Deserialize<'de>> Deserialize<'de> for (A, B) {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) if items.len() == 2 => {
+                let mut it = items.into_iter();
+                Ok((
+                    A::from_content(it.next().unwrap())?,
+                    B::from_content(it.next().unwrap())?,
+                ))
+            }
+            other => Err(DeError(format!(
+                "expected 2-element sequence, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.content())).collect())
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for std::collections::BTreeMap<String, V> {
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "expected map, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize
+    for std::collections::HashMap<String, V, S>
+{
+    fn content(&self) -> Content {
+        // Sorted for deterministic output, like serde_json's "preserve_order"-off mode.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<'de, V: Deserialize<'de>, S: std::hash::BuildHasher + Default> Deserialize<'de>
+    for std::collections::HashMap<String, V, S>
+{
+    fn from_content(content: Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .into_iter()
+                .map(|(k, v)| Ok((k, V::from_content(v)?)))
+                .collect(),
+            other => Err(DeError(format!(
+                "expected map, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// Support machinery for the derive macros; not part of the public API.
+pub mod __private {
+    use super::{Content, DeError, Deserialize, Deserializer, Serialize, Serializer};
+
+    /// Serializer that simply hands back the content tree.
+    pub struct ContentSerializer;
+
+    impl Serializer for ContentSerializer {
+        type Ok = Content;
+        type Error = DeError;
+        fn serialize_content(self, content: Content) -> Result<Content, DeError> {
+            Ok(content)
+        }
+    }
+
+    /// Deserializer over an already-built content tree.
+    pub struct ContentDeserializer(pub Content);
+
+    impl<'de> Deserializer<'de> for ContentDeserializer {
+        type Error = DeError;
+        fn deserialize_content(self) -> Result<Content, DeError> {
+            Ok(self.0)
+        }
+    }
+
+    /// Lowers any serializable value into content.
+    pub fn to_content<T: Serialize + ?Sized>(value: &T) -> Content {
+        value.content()
+    }
+
+    /// Rebuilds any deserializable value from content.
+    pub fn from_content<T: for<'de> Deserialize<'de>>(content: Content) -> Result<T, DeError> {
+        T::from_content(content)
+    }
+
+    /// Removes the entry with the given key from a content map, if present.
+    pub fn take(map: &mut Vec<(String, Content)>, key: &str) -> Option<Content> {
+        let idx = map.iter().position(|(k, _)| k == key)?;
+        Some(map.remove(idx).1)
+    }
+}

@@ -1,0 +1,613 @@
+//! Vendored minimal stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize, Deserialize)]` for the shapes this
+//! workspace uses — named-field structs, tuple structs (newtypes serialize
+//! transparently), unit structs, and enums with unit / newtype / tuple /
+//! struct variants (externally tagged) — plus the field attributes
+//! `#[serde(default)]`, `#[serde(default = "path")]` and
+//! `#[serde(with = "module")]`. The input is parsed directly from the token
+//! stream (no `syn`/`quote` in the offline build) and generated code is
+//! emitted against the vendored `serde` crate's `Content` data model.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone)]
+enum DefaultAttr {
+    None,
+    Std,
+    Path(String),
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: Option<String>,
+    default: DefaultAttr,
+    with: Option<String>,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_punct(&mut self, ch: char) -> bool {
+        if let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() == ch {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn peek_ident(&self, word: &str) -> bool {
+        matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == word)
+    }
+
+    /// Consumes leading `#[...]` attributes, returning parsed serde options.
+    fn eat_attrs(&mut self) -> (DefaultAttr, Option<String>) {
+        let mut default = DefaultAttr::None;
+        let mut with = None;
+        loop {
+            if !matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+                break;
+            }
+            self.pos += 1;
+            let group = match self.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => g,
+                other => panic!("expected attribute body, found {other:?}"),
+            };
+            parse_serde_attr(group.stream(), &mut default, &mut with);
+        }
+        (default, with)
+    }
+
+    /// Consumes an optional `pub` / `pub(...)` visibility.
+    fn eat_visibility(&mut self) {
+        if self.peek_ident("pub") {
+            self.pos += 1;
+            if matches!(self.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                self.pos += 1;
+            }
+        }
+    }
+
+    /// Skips a type: consumes tokens until a top-level `,` (angle brackets
+    /// tracked so `Vec<(A, B)>` and `HashMap<K, V>` survive).
+    fn skip_type(&mut self) {
+        let mut angle_depth = 0i32;
+        while let Some(tok) = self.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+                _ => {}
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+fn parse_serde_attr(stream: TokenStream, default: &mut DefaultAttr, with: &mut Option<String>) {
+    let mut cur = Cursor::new(stream);
+    if !cur.peek_ident("serde") {
+        return; // doc comment or unrelated attribute
+    }
+    cur.pos += 1;
+    let group = match cur.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("expected serde(...) arguments, found {other:?}"),
+    };
+    let mut inner = Cursor::new(group.stream());
+    while let Some(tok) = inner.next() {
+        let key = match tok {
+            TokenTree::Ident(i) => i.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("unsupported serde attribute token {other:?}"),
+        };
+        let value = if inner.eat_punct('=') {
+            match inner.next() {
+                Some(TokenTree::Literal(l)) => Some(unquote(&l.to_string())),
+                other => panic!("expected string literal after `{key} =`, found {other:?}"),
+            }
+        } else {
+            None
+        };
+        match (key.as_str(), value) {
+            ("default", None) => *default = DefaultAttr::Std,
+            ("default", Some(path)) => *default = DefaultAttr::Path(path),
+            ("with", Some(path)) => *with = Some(path),
+            (key, _) => panic!("unsupported serde attribute `{key}` in vendored serde_derive"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let (default, with) = cur.eat_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.eat_visibility();
+        let name = match cur.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected field name, found {other:?}"),
+        };
+        if !cur.eat_punct(':') {
+            panic!("expected `:` after field `{name}`");
+        }
+        cur.skip_type();
+        cur.eat_punct(',');
+        fields.push(Field {
+            name: Some(name),
+            default,
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let mut cur = Cursor::new(stream);
+    let mut fields = Vec::new();
+    while cur.peek().is_some() {
+        let (default, with) = cur.eat_attrs();
+        if cur.peek().is_none() {
+            break;
+        }
+        cur.eat_visibility();
+        cur.skip_type();
+        cur.eat_punct(',');
+        fields.push(Field {
+            name: None,
+            default,
+            with,
+        });
+    }
+    fields
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut cur = Cursor::new(input);
+    cur.eat_attrs();
+    cur.eat_visibility();
+    let kind = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match cur.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, found {other:?}"),
+    };
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic types (type `{name}`)");
+    }
+    match kind.as_str() {
+        "struct" => match cur.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Input::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Input::TupleStruct {
+                    name,
+                    arity: parse_tuple_fields(g.stream()).len(),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Input::UnitStruct { name },
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => {
+            let body = match cur.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("expected enum body for `{name}`, found {other:?}"),
+            };
+            let mut inner = Cursor::new(body.stream());
+            let mut variants = Vec::new();
+            while inner.peek().is_some() {
+                inner.eat_attrs();
+                if inner.peek().is_none() {
+                    break;
+                }
+                let vname = match inner.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    other => panic!("expected variant name, found {other:?}"),
+                };
+                let shape = match inner.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        inner.pos += 1;
+                        VariantShape::Struct(fields)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = parse_tuple_fields(g.stream()).len();
+                        inner.pos += 1;
+                        VariantShape::Tuple(arity)
+                    }
+                    _ => VariantShape::Unit,
+                };
+                if inner.eat_punct('=') {
+                    // explicit discriminant: skip the expression
+                    while let Some(tok) = inner.peek() {
+                        if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                            break;
+                        }
+                        inner.pos += 1;
+                    }
+                }
+                inner.eat_punct(',');
+                variants.push(Variant { name: vname, shape });
+            }
+            Input::Enum { name, variants }
+        }
+        other => panic!("cannot derive serde traits for `{other}`"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn field_to_content(access: &str, field: &Field) -> String {
+    match &field.with {
+        Some(module) => format!(
+            "{module}::serialize(&{access}, ::serde::__private::ContentSerializer)\
+             .expect(\"with-module serialization failed\")"
+        ),
+        None => format!("::serde::__private::to_content(&{access})"),
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields {
+                let fname = f.name.as_ref().unwrap();
+                let value = field_to_content(&format!("self.{fname}"), f);
+                pushes.push_str(&format!(
+                    "__map.push((\"{fname}\".to_string(), {value}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn content(&self) -> ::serde::Content {{\n\
+                         let mut __map: Vec<(String, ::serde::Content)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Content::Map(__map)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn content(&self) -> ::serde::Content {{\n\
+                     ::serde::__private::to_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::__private::to_content(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Seq(vec![{}])\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn content(&self) -> ::serde::Content {{ ::serde::Content::Null }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Content::Str(\"{vname}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => ::serde::Content::Map(vec![(\
+                         \"{vname}\".to_string(), ::serde::__private::to_content(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::__private::to_content({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Content::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Content::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                let fname = f.name.as_ref().unwrap();
+                                let value = field_to_content(&format!("(*{fname})"), f);
+                                format!("(\"{fname}\".to_string(), {value})")
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Content::Map(vec![(\
+                             \"{vname}\".to_string(), ::serde::Content::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
+
+fn gen_named_field_lets(fields: &[Field], type_label: &str) -> String {
+    let mut lets = String::new();
+    for f in fields {
+        let fname = f.name.as_ref().unwrap();
+        let some_arm = match &f.with {
+            Some(module) => {
+                format!("{module}::deserialize(::serde::__private::ContentDeserializer(__c))?")
+            }
+            None => format!(
+                "::serde::__private::from_content(__c).map_err(|e| \
+                 ::serde::DeError(format!(\"{type_label}.{fname}: {{}}\", e)))?"
+            ),
+        };
+        let none_arm = match &f.default {
+            DefaultAttr::None => format!(
+                "return Err(::serde::DeError(\
+                 \"missing field `{fname}` in {type_label}\".to_string()))"
+            ),
+            DefaultAttr::Std => "Default::default()".to_string(),
+            DefaultAttr::Path(path) => format!("{path}()"),
+        };
+        lets.push_str(&format!(
+            "let {fname} = match ::serde::__private::take(&mut __map, \"{fname}\") {{\n\
+                 Some(__c) => {some_arm},\n\
+                 None => {none_arm},\n\
+             }};\n"
+        ));
+    }
+    lets
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    match input {
+        Input::NamedStruct { name, fields } => {
+            let lets = gen_named_field_lets(fields, name);
+            let names: Vec<String> = fields.iter().map(|f| f.name.clone().unwrap()).collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(__content: ::serde::Content) -> \
+                         Result<Self, ::serde::DeError> {{\n\
+                         let mut __map = match __content {{\n\
+                             ::serde::Content::Map(m) => m,\n\
+                             other => return Err(::serde::DeError(format!(\
+                                 \"expected map for struct {name}, found {{:?}}\", other))),\n\
+                         }};\n\
+                         {lets}\
+                         let _ = __map;\n\
+                         Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                names.join(", ")
+            )
+        }
+        Input::TupleStruct { name, arity: 1 } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_content(__content: ::serde::Content) -> \
+                     Result<Self, ::serde::DeError> {{\n\
+                     Ok({name}(::serde::__private::from_content(__content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Input::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|_| "::serde::__private::from_content(__it.next().unwrap())?".to_string())
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(__content: ::serde::Content) -> \
+                         Result<Self, ::serde::DeError> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Seq(items) if items.len() == {arity} => {{\n\
+                                 let mut __it = items.into_iter();\n\
+                                 Ok({name}({}))\n\
+                             }}\n\
+                             other => Err(::serde::DeError(format!(\
+                                 \"expected {arity}-element sequence for {name}, \
+                                  found {{:?}}\", other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Input::UnitStruct { name } => format!(
+            "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                 fn from_content(_: ::serde::Content) -> Result<Self, ::serde::DeError> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Input::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        tagged_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                    }
+                    VariantShape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::__private::from_content(__value)?)),\n"
+                    )),
+                    VariantShape::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|_| {
+                                "::serde::__private::from_content(__it.next().unwrap())?"
+                                    .to_string()
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match __value {{\n\
+                                 ::serde::Content::Seq(items) if items.len() == {arity} => {{\n\
+                                     let mut __it = items.into_iter();\n\
+                                     Ok({name}::{vname}({}))\n\
+                                 }}\n\
+                                 other => Err(::serde::DeError(format!(\
+                                     \"bad payload for {name}::{vname}: {{:?}}\", other))),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let lets = gen_named_field_lets(fields, &format!("{name}::{vname}"));
+                        let names: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                                 let mut __map = match __value {{\n\
+                                     ::serde::Content::Map(m) => m,\n\
+                                     other => return Err(::serde::DeError(format!(\
+                                         \"bad payload for {name}::{vname}: {{:?}}\", other))),\n\
+                                 }};\n\
+                                 {lets}\
+                                 let _ = __map;\n\
+                                 Ok({name}::{vname} {{ {} }})\n\
+                             }}\n",
+                            names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(__content: ::serde::Content) -> \
+                         Result<Self, ::serde::DeError> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\
+                                 other => Err(::serde::DeError(format!(\
+                                     \"unknown variant `{{}}` of {name}\", other))),\n\
+                             }},\n\
+                             ::serde::Content::Map(mut m) if m.len() == 1 => {{\n\
+                                 let (__tag, __value) = m.remove(0);\n\
+                                 match __tag.as_str() {{\n\
+                                     {tagged_arms}\
+                                     other => Err(::serde::DeError(format!(\
+                                         \"unknown variant `{{}}` of {name}\", other))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => Err(::serde::DeError(format!(\
+                                 \"expected enum {name}, found {{:?}}\", other))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    }
+}
