@@ -1,0 +1,186 @@
+//! The pre-refactor SB implementation, kept as a measured perf baseline.
+//!
+//! This is the fully optimized SB variant (UpdateSkyline maintenance,
+//! resumable TA best-pair search, multiple pairs per loop) exactly as it stood
+//! before the solver core was rebuilt on dense-ID state: per-object state
+//! lives in `HashMap<RecordId, _>` / `HashSet<RecordId>` keyed by external
+//! record ids, and every loop re-clones the whole skyline point set. The
+//! `solver_bench` binary runs it side by side with the dense rewrite so the
+//! repo's perf trajectory (`BENCH_solver.json`) records what the refactor
+//! bought. It is **not** part of the measured competitor set — use
+//! [`pref_assign::sb`] for real work.
+
+use pref_assign::{Assignment, AssignmentResult, Problem, RunMetrics};
+use pref_geom::Point;
+use pref_rtree::{RTree, RecordId};
+use pref_skyline::{compute_skyline_bbs, update_skyline, Skyline};
+use pref_storage::PeakTracker;
+use pref_topk::{FunctionLists, ReverseTopOne};
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+/// Runs the hash-map-based SB of the pre-refactor solver core. `omega_fraction`
+/// is the paper's ω (the candidate-queue capacity as a fraction of `|F|`).
+pub fn sb_hash_baseline(
+    problem: &Problem,
+    tree: &mut RTree,
+    omega_fraction: f64,
+) -> AssignmentResult {
+    let start = Instant::now();
+    let stats_before = tree.stats();
+
+    let functions: Vec<pref_geom::LinearFunction> = problem
+        .functions()
+        .iter()
+        .map(|f| f.function.clone())
+        .collect();
+    let mut lists = FunctionLists::new(&functions);
+    let omega = ((omega_fraction * problem.num_functions() as f64).ceil() as usize).max(1);
+
+    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
+    let mut o_remaining: HashMap<RecordId, u32> = problem
+        .objects()
+        .iter()
+        .map(|o| (o.id, o.capacity))
+        .collect();
+    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+
+    let mut skyline: Skyline = compute_skyline_bbs(tree);
+    let mut ta_states: HashMap<RecordId, ReverseTopOne> = HashMap::new();
+
+    let mut assignment = Assignment::new();
+    let mut gauge = PeakTracker::new();
+    let mut loops: u64 = 0;
+    let mut searches: u64 = 0;
+
+    while demand > 0 && supply > 0 && !skyline.is_empty() {
+        loops += 1;
+
+        // the per-loop full clone of the skyline point set — the allocation
+        // churn the dense rewrite eliminated
+        let sky_objects: Vec<(RecordId, Point)> = skyline
+            .data_entries()
+            .map(|d| (d.record, d.point.clone()))
+            .collect();
+
+        let mut object_best: HashMap<RecordId, (usize, f64)> = HashMap::new();
+        for (record, point) in &sky_objects {
+            searches += 1;
+            let state = ta_states
+                .entry(*record)
+                .or_insert_with(|| ReverseTopOne::new(point.clone(), omega));
+            match state.best(&lists) {
+                Some(pair) => {
+                    object_best.insert(*record, pair);
+                }
+                None => break,
+            }
+        }
+        if object_best.is_empty() {
+            break;
+        }
+
+        let candidate_functions: HashSet<usize> = object_best.values().map(|&(f, _)| f).collect();
+        let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
+        for &fi in &candidate_functions {
+            let mut best: Option<(RecordId, f64)> = None;
+            for (record, point) in &sky_objects {
+                let s = lists.score(fi, point);
+                if best.is_none_or(|(_, bs)| s > bs) {
+                    best = Some((*record, s));
+                }
+            }
+            if let Some(b) = best {
+                function_best.insert(fi, b);
+            }
+        }
+
+        let mut pairs: Vec<(usize, RecordId, f64)> = Vec::new();
+        for (&fi, &(obj, score)) in &function_best {
+            if object_best.get(&obj).map(|&(f, _)| f) == Some(fi) {
+                pairs.push((fi, obj, score));
+            }
+        }
+        if pairs.is_empty() {
+            if let Some((&fi, &(obj, score))) = function_best.iter().max_by(|a, b| {
+                a.1 .1
+                    .partial_cmp(&b.1 .1)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            }) {
+                pairs.push((fi, obj, score));
+            } else {
+                break;
+            }
+        }
+        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+
+        let mut removed_objects = Vec::new();
+        for (fi, obj, score) in pairs {
+            if demand == 0 || supply == 0 {
+                break;
+            }
+            assignment.push(problem.functions()[fi].id, obj, score);
+            demand -= 1;
+            supply -= 1;
+            f_remaining[fi] -= 1;
+            if f_remaining[fi] == 0 {
+                lists.remove(fi);
+            }
+            let oc = o_remaining.get_mut(&obj).expect("object exists");
+            *oc -= 1;
+            if *oc == 0 {
+                ta_states.remove(&obj);
+                if let Some(sky_obj) = skyline.remove(obj) {
+                    removed_objects.push(sky_obj);
+                }
+            }
+        }
+
+        if !removed_objects.is_empty() {
+            update_skyline(tree, &mut skyline, removed_objects);
+        }
+
+        let ta_mem: u64 = ta_states.values().map(ReverseTopOne::memory_bytes).sum();
+        gauge.observe(skyline.memory_bytes() + ta_mem);
+    }
+
+    let metrics = RunMetrics {
+        object_io: tree.stats().since(&stats_before),
+        aux_io: Default::default(),
+        cpu_time: start.elapsed(),
+        peak_memory_bytes: gauge.peak(),
+        loops,
+        searches,
+    };
+    AssignmentResult {
+        assignment,
+        metrics,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_assign::{oracle, sb, verify_stable, SbOptions};
+    use pref_datagen::{anti_correlated_objects, uniform_weight_functions};
+
+    #[test]
+    fn baseline_and_dense_sb_agree() {
+        let functions = uniform_weight_functions(60, 3, 301);
+        let objects = anti_correlated_objects(600, 3, 302);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree_a = p.build_tree(Some(16), 0.02);
+        let mut tree_b = p.build_tree(Some(16), 0.02);
+        let base = sb_hash_baseline(&p, &mut tree_a, 0.025);
+        let dense = sb(&p, &mut tree_b, &SbOptions::default());
+        verify_stable(&p, &base.assignment).unwrap();
+        assert_eq!(base.assignment.canonical(), dense.assignment.canonical());
+        assert_eq!(base.assignment.canonical(), oracle(&p).canonical());
+        // identical algorithm => identical object-tree I/O
+        assert_eq!(
+            base.metrics.object_io.io_accesses(),
+            dense.metrics.object_io.io_accesses()
+        );
+    }
+}

@@ -1,0 +1,214 @@
+//! solver_bench — the repo's reproducible solver perf harness.
+//!
+//! Runs the paper's default workload shapes (independent / correlated /
+//! anti-correlated object distributions at several `|F|`/`|O|` scales) through
+//! the dense-ID SB solver, the pre-refactor hash-map SB baseline, the
+//! DeltaSky ablation and Brute Force, verifies every canonical output against
+//! the exact oracle, and writes a machine-readable `BENCH_solver.json`
+//! (wall time, loops, searches, object + auxiliary I/O, peak memory) that
+//! seeds the repo's perf trajectory.
+//!
+//! Usage: `solver_bench [--smoke] [--out <path>] [--repeats <n>]`
+//!
+//! The process exits non-zero if any solver's canonical matching diverges
+//! from the oracle — CI runs `--smoke` as a correctness gate and uploads the
+//! JSON as an artifact.
+
+use pref_assign::{oracle, sb, AssignmentResult, Problem, SbOptions};
+use pref_bench::sb_hash_baseline;
+use pref_datagen::ObjectDistribution;
+use pref_rtree::RTree;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// One workload configuration.
+struct Cell {
+    distribution: ObjectDistribution,
+    num_functions: usize,
+    num_objects: usize,
+}
+
+/// One measurement row of the emitted JSON.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRow {
+    workload: String,
+    num_functions: usize,
+    num_objects: usize,
+    algorithm: String,
+    /// Best-of-`repeats` wall time, in seconds.
+    wall_s: f64,
+    loops: u64,
+    searches: u64,
+    object_io: u64,
+    aux_io: u64,
+    peak_memory_bytes: u64,
+    pairs: usize,
+    matches_oracle: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    scale: String,
+    repeats: usize,
+    created_unix_s: u64,
+    rows: Vec<BenchRow>,
+}
+
+const DIMS: usize = 3;
+const SEED: u64 = 20_090_824; // the paper's VLDB publication date
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_solver.json");
+    let mut repeats: usize = 5;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a path; try --help");
+                    std::process::exit(2);
+                }
+            },
+            "--repeats" => match args.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n >= 1 => repeats = n,
+                _ => {
+                    eprintln!("--repeats requires a positive integer; try --help");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: solver_bench [--smoke] [--out <path>] [--repeats <n>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let distributions = [
+        ObjectDistribution::Independent,
+        ObjectDistribution::Correlated,
+        ObjectDistribution::AntiCorrelated,
+    ];
+    // The 2k-object scale is the reference point of the perf trajectory and is
+    // present at every bench scale; the larger cells only run off-CI.
+    let scales: &[(usize, usize)] = if smoke {
+        &[(50, 500), (100, 2_000)]
+    } else {
+        &[(50, 500), (100, 2_000), (200, 5_000)]
+    };
+    let cells: Vec<Cell> = distributions
+        .iter()
+        .flat_map(|&distribution| {
+            scales
+                .iter()
+                .map(move |&(num_functions, num_objects)| Cell {
+                    distribution,
+                    num_functions,
+                    num_objects,
+                })
+        })
+        .collect();
+
+    let mut rows: Vec<BenchRow> = Vec::new();
+    let mut diverged = false;
+
+    for cell in &cells {
+        let problem = build_problem(cell);
+        let want = oracle(&problem).canonical();
+        let workload = cell.distribution.label().to_string();
+        eprintln!(
+            "== {} |F|={} |O|={} ==",
+            workload, cell.num_functions, cell.num_objects
+        );
+
+        type Runner<'a> = Box<dyn Fn(&Problem, &mut RTree) -> AssignmentResult + 'a>;
+        let algorithms: Vec<(&str, Runner)> = vec![
+            (
+                "SB-dense",
+                Box::new(|p: &Problem, t: &mut RTree| sb(p, t, &SbOptions::default())),
+            ),
+            (
+                "SB-hash-baseline",
+                Box::new(|p: &Problem, t: &mut RTree| sb_hash_baseline(p, t, 0.025)),
+            ),
+            (
+                "SB-DeltaSky",
+                Box::new(|p: &Problem, t: &mut RTree| sb(p, t, &SbOptions::delta_sky())),
+            ),
+            (
+                "Brute Force",
+                Box::new(|p: &Problem, t: &mut RTree| pref_assign::brute_force(p, t)),
+            ),
+        ];
+
+        for (name, run) in &algorithms {
+            let mut best_wall = f64::INFINITY;
+            let mut last: Option<AssignmentResult> = None;
+            for _ in 0..repeats {
+                let mut tree = problem.build_tree(None, 0.02);
+                let started = Instant::now();
+                let result = run(&problem, &mut tree);
+                best_wall = best_wall.min(started.elapsed().as_secs_f64());
+                last = Some(result);
+            }
+            let result = last.expect("repeats >= 1");
+            let matches = result.assignment.canonical() == want;
+            if !matches {
+                diverged = true;
+                eprintln!("!! {name} diverges from the oracle on {workload}");
+            }
+            eprintln!("  {name:<18} wall={best_wall:.4}s {}", result.metrics);
+            rows.push(BenchRow {
+                workload: workload.clone(),
+                num_functions: cell.num_functions,
+                num_objects: cell.num_objects,
+                algorithm: name.to_string(),
+                wall_s: best_wall,
+                loops: result.metrics.loops,
+                searches: result.metrics.searches,
+                object_io: result.metrics.object_io.io_accesses(),
+                aux_io: result.metrics.aux_io.io_accesses(),
+                peak_memory_bytes: result.metrics.peak_memory_bytes,
+                pairs: result.assignment.len(),
+                matches_oracle: matches,
+            });
+        }
+    }
+
+    let report = BenchReport {
+        bench: "solver".to_string(),
+        scale: if smoke { "smoke" } else { "default" }.to_string(),
+        repeats,
+        created_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        rows,
+    };
+    let file = std::fs::File::create(&out).expect("create bench output file");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    eprintln!("wrote {}", out.display());
+
+    if diverged {
+        eprintln!("FAILED: at least one solver diverged from the oracle");
+        std::process::exit(1);
+    }
+}
+
+/// Deterministic workload construction (same recipe as the figure binaries).
+fn build_problem(cell: &Cell) -> Problem {
+    let functions = pref_datagen::uniform_weight_functions(cell.num_functions, DIMS, SEED ^ 0x00f1);
+    let objects = cell
+        .distribution
+        .generate(cell.num_objects, DIMS, SEED ^ 0x0bad);
+    Problem::from_parts(functions, objects).expect("generated workloads are valid")
+}

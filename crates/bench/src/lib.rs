@@ -13,7 +13,10 @@
 //! * [`run_cell`] — generate a workload, build the index, run one algorithm
 //!   and produce a [`Row`] of measurements,
 //! * [`Report`] — collects rows, prints an aligned text table and writes
-//!   machine-readable JSON next to it.
+//!   machine-readable JSON next to it,
+//! * [`sb_hash_baseline`] — the pre-refactor hash-map SB, kept so the
+//!   `solver_bench` binary can measure what the dense-ID rewrite bought
+//!   (results land in `BENCH_solver.json`, the repo's perf trajectory).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -23,9 +26,11 @@ mod params;
 mod report;
 mod runner;
 
+pub mod baseline;
 pub mod experiments;
 
 pub use algorithms::AlgorithmKind;
+pub use baseline::sb_hash_baseline;
 pub use params::{Params, Scale};
 pub use report::{Report, Row};
 pub use runner::{build_problem, run_cell};

@@ -16,7 +16,8 @@ pub struct Row {
     pub x: String,
     /// I/O accesses on the object R-tree.
     pub io: u64,
-    /// I/O accesses on auxiliary structures (SB-alt's function lists).
+    /// I/O accesses on auxiliary structures: SB's TA sorted-list accesses,
+    /// SB-alt's disk-resident function lists, Chain's function R-tree.
     pub aux_io: u64,
     /// CPU time in seconds.
     pub cpu_s: f64,

@@ -17,7 +17,7 @@ use crate::problem::Problem;
 use pref_rtree::{RTree, RecordId};
 use pref_topk::RankedSearch;
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 use std::time::Instant;
 
 struct Candidate {
@@ -52,13 +52,10 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     let n = problem.num_functions();
 
     let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
-    let mut o_remaining: HashMap<RecordId, u32> = problem
-        .objects()
-        .iter()
-        .map(|o| (o.id, o.capacity))
-        .collect();
+    // dense per-object capacities, indexed by the problem's dense object index
+    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
     let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
-    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
 
     let mut searches: Vec<RankedSearch> = problem
         .functions()
@@ -77,8 +74,9 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     macro_rules! advance {
         ($idx:expr) => {{
             let idx: usize = $idx;
-            let next =
-                searches[idx].next_accepted(tree, |r| o_remaining.get(&r).is_some_and(|&c| c > 0));
+            let next = searches[idx].next_accepted(tree, |r| {
+                problem.object_index(r).is_some_and(|i| o_remaining[i] > 0)
+            });
             search_count += 1;
             match next {
                 Some((data, score)) => {
@@ -108,8 +106,8 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
             Some((obj, score)) if obj == best.object && score == best.score => {}
             _ => continue,
         }
-        let remaining_capacity = o_remaining.get(&best.object).copied().unwrap_or(0);
-        if remaining_capacity == 0 {
+        let oi = problem.object_index(best.object).expect("object exists");
+        if o_remaining[oi] == 0 {
             // the candidate was taken by someone else: resume this search
             advance!(best.function);
             continue;
@@ -122,11 +120,11 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
             best.score,
         );
         f_remaining[best.function] -= 1;
-        *o_remaining.get_mut(&best.object).expect("object exists") -= 1;
+        o_remaining[oi] -= 1;
         demand -= 1;
         supply -= 1;
         if f_remaining[best.function] > 0 {
-            if o_remaining[&best.object] > 0 {
+            if o_remaining[oi] > 0 {
                 // the same object still has capacity; keep it as the candidate
                 heap.push(Candidate {
                     score: best.score,

@@ -11,8 +11,9 @@ use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
 use crate::problem::Problem;
 use pref_geom::LinearFunction;
 use pref_rtree::{RTree, RTreeConfig, RecordId};
+use pref_storage::IoStats;
 use pref_topk::RankedSearch;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::time::Instant;
 
 /// Work items flowing through the Chain queue: either a preference function
@@ -42,18 +43,10 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     ftree.set_buffer_frames(ftree.num_pages().max(1));
 
     let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
-    let mut o_remaining: HashMap<RecordId, u32> = problem
-        .objects()
-        .iter()
-        .map(|o| (o.id, o.capacity))
-        .collect();
-    let object_points: HashMap<RecordId, pref_geom::Point> = problem
-        .objects()
-        .iter()
-        .map(|o| (o.id, o.point.clone()))
-        .collect();
+    // dense per-object capacities, indexed by the problem's dense object index
+    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
     let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
-    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
 
     let mut assignment = Assignment::new();
     let mut gauge = MemoryGauge::new();
@@ -67,13 +60,15 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     // fresh top-1 object for a function (skipping exhausted objects)
     let top1_object = |tree: &mut RTree,
                        fi: usize,
-                       o_remaining: &HashMap<RecordId, u32>,
+                       o_remaining: &[u32],
                        searches: &mut u64|
      -> Option<(RecordId, f64)> {
         *searches += 1;
         let mut s = RankedSearch::new(problem.functions()[fi].function.clone());
-        s.next_accepted(tree, |r| o_remaining.get(&r).is_some_and(|&c| c > 0))
-            .map(|(d, score)| (d.record, score))
+        s.next_accepted(tree, |r| {
+            problem.object_index(r).is_some_and(|i| o_remaining[i] > 0)
+        })
+        .map(|(d, score)| (d.record, score))
     };
     // fresh top-1 function for an object (skipping exhausted functions)
     let top1_function = |ftree: &mut RTree,
@@ -82,7 +77,8 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
                          searches: &mut u64|
      -> Option<usize> {
         *searches += 1;
-        let point = &object_points[&object];
+        let oi = problem.object_index(object).expect("object exists");
+        let point = &problem.objects()[oi].point;
         // the best function for an object is a top-1 query in weight space
         // whose scoring direction is the object itself; an all-zero object
         // degenerates to a uniform direction (every function scores it 0)
@@ -164,7 +160,8 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
                 }
             }
             Item::Object(obj) => {
-                if o_remaining.get(&obj).copied().unwrap_or(0) == 0 {
+                let oi = problem.object_index(obj).expect("object exists");
+                if o_remaining[oi] == 0 {
                     continue;
                 }
                 let Some(fi) = top1_function(&mut ftree, obj, &f_remaining, &mut searches) else {
@@ -198,9 +195,18 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     }
     gauge.observe(queue.len() as u64 * 16 + ftree.num_pages() as u64 * 64);
 
+    // The function R-tree is an auxiliary structure held in main memory (its
+    // buffer covers the whole tree), so — like SB's in-memory sorted lists —
+    // every node access is charged as one aux access, with no buffer discount:
+    // aux_io stays comparable across algorithms.
+    let ftree_accesses = ftree.stats().logical_reads;
     let metrics = RunMetrics {
         object_io: tree.stats().since(&stats_before),
-        aux_io: Default::default(),
+        aux_io: IoStats {
+            logical_reads: ftree_accesses,
+            physical_reads: ftree_accesses,
+            ..IoStats::default()
+        },
         cpu_time: start.elapsed(),
         peak_memory_bytes: gauge.peak(),
         loops,
@@ -217,7 +223,7 @@ fn assign(
     problem: &Problem,
     assignment: &mut Assignment,
     f_remaining: &mut [u32],
-    o_remaining: &mut HashMap<RecordId, u32>,
+    o_remaining: &mut [u32],
     demand: &mut u64,
     supply: &mut u64,
     fi: usize,
@@ -226,25 +232,28 @@ fn assign(
 ) {
     assignment.push(problem.functions()[fi].id, obj, score);
     f_remaining[fi] -= 1;
-    *o_remaining.get_mut(&obj).expect("object exists") -= 1;
+    o_remaining[problem.object_index(obj).expect("object exists")] -= 1;
     *demand -= 1;
     *supply -= 1;
 }
 
 /// Exhaustive search for the best remaining pair; only used by the stall
-/// safety net, which fires on pathological score-tie cycles.
+/// safety net, which fires on pathological score-tie cycles. Exact score ties
+/// break to the lowest function index, then the lowest *dense* object index
+/// (first-seen wins in table order), matching the oracle's deterministic
+/// order.
 fn global_best_pair(
     problem: &Problem,
     f_remaining: &[u32],
-    o_remaining: &HashMap<RecordId, u32>,
+    o_remaining: &[u32],
 ) -> Option<(usize, RecordId, f64)> {
     let mut best: Option<(usize, RecordId, f64)> = None;
     for (fi, f) in problem.functions().iter().enumerate() {
         if f_remaining[fi] == 0 {
             continue;
         }
-        for o in problem.objects() {
-            if o_remaining.get(&o.id).copied().unwrap_or(0) == 0 {
+        for (oi, o) in problem.objects().iter().enumerate() {
+            if o_remaining[oi] == 0 {
                 continue;
             }
             let score = f.function.score(&o.point);

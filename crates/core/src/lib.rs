@@ -59,6 +59,7 @@ mod chain;
 mod matching;
 mod metrics;
 mod oracle;
+mod pairing;
 mod problem;
 mod sb;
 mod sbalt;

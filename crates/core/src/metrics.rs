@@ -12,8 +12,11 @@ use std::time::Duration;
 pub struct RunMetrics {
     /// I/O performed on the object R-tree (the paper's headline metric).
     pub object_io: IoStats,
-    /// I/O performed on auxiliary disk structures (the disk-resident function
-    /// lists of SB-alt); zero for the in-memory function index.
+    /// I/O performed on auxiliary structures, i.e. everything that is not the
+    /// object R-tree: the sorted-list accesses of SB's TA searches, the
+    /// disk-resident function lists of SB-alt, and Chain's function R-tree.
+    /// Only the exhaustive-scan variants (which touch no auxiliary index)
+    /// report zero here.
     pub aux_io: IoStats,
     /// Wall-clock CPU time of the run (the run is single-threaded, so
     /// wall-clock equals CPU time).

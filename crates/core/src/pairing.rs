@@ -1,0 +1,99 @@
+//! The shared stamp-slab reciprocal-pair step of the SB solvers.
+//!
+//! Both `sb` and `sb_alt` end each loop the same way: given every skyline
+//! object's best function (`object_best`), find every candidate function's
+//! best skyline object, keep the reciprocal pairs (Property 2), fall back to
+//! the single best `(function, its best object)` entry when exact score ties
+//! make the argmax choices cyclic, and emit the pairs in descending score
+//! order. The two solvers differ only in how a function scores a point, so
+//! that is passed in as a closure. Keeping one implementation here is what
+//! guarantees the two solvers cannot drift apart on tie-breaking.
+
+use pref_geom::Point;
+use pref_rtree::RecordId;
+
+/// Computes the loop's stable pairs `(function, dense object index, score)`.
+///
+/// * `sky_views` — the loop's skyline entries as `(dense index, record,
+///   &point)` views,
+/// * `object_best[oi]` — `(stamp, best function, score)` slab, valid for this
+///   loop where the stamp matches,
+/// * `function_best` — scratch slab, overwritten here,
+/// * `candidate_functions` — the functions named by some `object_best` entry;
+///   sorted in place so every scan below is deterministic.
+///
+/// Exact score ties break to the lowest *dense* object index (functions
+/// picking objects) and the lowest function index (the fallback entry and the
+/// output order) — the same order in which [`crate::oracle::oracle`] consumes
+/// its sorted score list, so tied instances reproduce the oracle's canonical
+/// matching even when record ids are not in table order.
+pub(crate) fn reciprocal_pairs(
+    stamp: u64,
+    sky_views: &[(usize, RecordId, &Point)],
+    object_best: &[(u64, usize, f64)],
+    function_best: &mut [(u64, usize, f64)],
+    candidate_functions: &mut [usize],
+    score: impl Fn(usize, &Point) -> f64,
+) -> Vec<(usize, usize, f64)> {
+    // --- best skyline object for every candidate function -------------------
+    candidate_functions.sort_unstable();
+    for &fi in candidate_functions.iter() {
+        let mut best: Option<(usize, f64)> = None;
+        for &(oi, _, point) in sky_views {
+            let s = score(fi, point);
+            let better = match best {
+                None => true,
+                // exact score ties break to the lowest dense object index
+                Some((best_oi, bs)) => s > bs || (s == bs && oi < best_oi),
+            };
+            if better {
+                best = Some((oi, s));
+            }
+        }
+        if let Some((oi, s)) = best {
+            function_best[fi] = (stamp, oi, s);
+        }
+    }
+
+    // --- reciprocal pairs are stable (Property 2) ---------------------------
+    let mut pairs: Vec<(usize, usize, f64)> = Vec::new();
+    for &fi in candidate_functions.iter() {
+        let (st, oi, score) = function_best[fi];
+        if st != stamp {
+            continue;
+        }
+        let (ost, best_f, _) = object_best[oi];
+        if ost == stamp && best_f == fi {
+            pairs.push((fi, oi, score));
+        }
+    }
+    if pairs.is_empty() {
+        // Exact score ties can make the argmax choices cyclic, leaving no
+        // reciprocal pair. The highest-scoring (function, its best object)
+        // entry is still stable — no strictly better partner exists for
+        // either side — so emit it to guarantee progress. Candidates are
+        // sorted, so ties resolve to the lowest function index.
+        let mut fallback: Option<(usize, usize, f64)> = None;
+        for &fi in candidate_functions.iter() {
+            let (st, oi, score) = function_best[fi];
+            if st != stamp {
+                continue;
+            }
+            if fallback.is_none_or(|(_, _, bs)| score > bs) {
+                fallback = Some((fi, oi, score));
+            }
+        }
+        if let Some(pair) = fallback {
+            pairs.push(pair);
+        }
+    }
+    // descending score order (the order in which the iterative definition of
+    // Section 3 would establish the pairs); exact ties in ascending function
+    // order for determinism
+    pairs.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    pairs
+}

@@ -3,6 +3,7 @@
 use pref_geom::{LinearFunction, Point};
 use pref_rtree::{RTree, RTreeConfig, RecordId};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 
 /// Identifier of a preference function (a user / query).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -97,12 +98,78 @@ impl std::fmt::Display for ProblemError {
 
 impl std::error::Error for ProblemError {}
 
+/// Sentinel marking an absent slot in a direct-lookup id table.
+const NO_INDEX: u32 = u32::MAX;
+
+/// `RecordId → dense index` map, built once per [`Problem`].
+///
+/// Record ids drawn from a small range (the overwhelmingly common case:
+/// generators and loaders assign sequential ids) get a flat lookup table so
+/// the solver hot paths pay one bounds-checked array read per translation;
+/// genuinely sparse id spaces fall back to hashing.
+#[derive(Debug, Clone)]
+enum ObjectIndexMap {
+    /// `table[id] = dense index`, `NO_INDEX` where absent.
+    Direct(Vec<u32>),
+    Hashed(HashMap<RecordId, usize>),
+}
+
+impl ObjectIndexMap {
+    /// Builds the direct table when the id range is at most `2·n + 1024`
+    /// slots (bounded waste), the hash map otherwise. Returns `None` when two
+    /// objects share an id — this doubles as the duplicate-id check.
+    fn build(objects: &[ObjectRecord]) -> Option<Self> {
+        let max_id = objects.iter().map(|o| o.id.0).max().unwrap_or(0);
+        let budget = 2 * objects.len() as u64 + 1024;
+        if max_id < budget && max_id < u64::from(NO_INDEX) {
+            let mut table = vec![NO_INDEX; max_id as usize + 1];
+            for (i, o) in objects.iter().enumerate() {
+                let slot = &mut table[o.id.0 as usize];
+                if *slot != NO_INDEX {
+                    return None;
+                }
+                *slot = i as u32;
+            }
+            Some(ObjectIndexMap::Direct(table))
+        } else {
+            let mut map = HashMap::with_capacity(objects.len());
+            for (i, o) in objects.iter().enumerate() {
+                if map.insert(o.id, i).is_some() {
+                    return None;
+                }
+            }
+            Some(ObjectIndexMap::Hashed(map))
+        }
+    }
+
+    #[inline]
+    fn get(&self, id: RecordId) -> Option<usize> {
+        match self {
+            ObjectIndexMap::Direct(table) => match table.get(id.0 as usize) {
+                Some(&slot) if slot != NO_INDEX => Some(slot as usize),
+                _ => None,
+            },
+            ObjectIndexMap::Hashed(map) => map.get(&id).copied(),
+        }
+    }
+}
+
 /// A fair-assignment problem instance: the function set `F` (kept in memory)
 /// and the object set `O` (to be indexed by an R-tree).
+///
+/// Both sets are stored in contiguous tables; alongside them the constructor
+/// builds, exactly once, the `RecordId → dense index` and
+/// `FunctionId → dense index` maps that let the solver hot paths keep all
+/// per-object / per-function state in plain `Vec` slabs instead of hashing
+/// external ids on every access.
 #[derive(Debug, Clone)]
 pub struct Problem {
     functions: Vec<PreferenceFunction>,
     objects: Vec<ObjectRecord>,
+    /// `RecordId → index into `objects``, built once at construction.
+    object_index: ObjectIndexMap,
+    /// `FunctionId → index into `functions``, built once at construction.
+    function_index: HashMap<FunctionId, usize>,
     dims: usize,
 }
 
@@ -134,19 +201,19 @@ impl Problem {
                 )));
             }
         }
-        let mut fids: Vec<usize> = functions.iter().map(|f| f.id.0).collect();
-        fids.sort_unstable();
-        if fids.windows(2).any(|w| w[0] == w[1]) {
-            return Err(ProblemError::DuplicateId("function ids".into()));
+        let mut function_index = HashMap::with_capacity(functions.len());
+        for (i, f) in functions.iter().enumerate() {
+            if function_index.insert(f.id, i).is_some() {
+                return Err(ProblemError::DuplicateId("function ids".into()));
+            }
         }
-        let mut oids: Vec<u64> = objects.iter().map(|o| o.id.0).collect();
-        oids.sort_unstable();
-        if oids.windows(2).any(|w| w[0] == w[1]) {
-            return Err(ProblemError::DuplicateId("object ids".into()));
-        }
+        let object_index = ObjectIndexMap::build(&objects)
+            .ok_or_else(|| ProblemError::DuplicateId("object ids".into()))?;
         Ok(Self {
             functions,
             objects,
+            object_index,
+            function_index,
             dims,
         })
     }
@@ -222,14 +289,23 @@ impl Problem {
             .any(|f| (f.function.priority() - 1.0).abs() > f64::EPSILON)
     }
 
-    /// Looks up a function by id.
+    /// Looks up a function by id in `O(1)`.
     pub fn function(&self, id: FunctionId) -> Option<&PreferenceFunction> {
-        self.functions.iter().find(|f| f.id == id)
+        self.function_index.get(&id).map(|&i| &self.functions[i])
     }
 
-    /// Looks up an object by id.
+    /// Looks up an object by id in `O(1)`.
     pub fn object(&self, id: RecordId) -> Option<&ObjectRecord> {
-        self.objects.iter().find(|o| o.id == id)
+        self.object_index.get(id).map(|i| &self.objects[i])
+    }
+
+    /// Dense index of an object: its position in [`Problem::objects`]. The map
+    /// is built once at construction; the solvers use it to keep per-object
+    /// state in contiguous `Vec` slabs. Compact id spaces resolve with one
+    /// array read, sparse ones with one hash lookup.
+    #[inline]
+    pub fn object_index(&self, id: RecordId) -> Option<usize> {
+        self.object_index.get(id)
     }
 
     /// Score of a function applied to an object, by id. `None` if either id is
@@ -347,6 +423,42 @@ mod tests {
         assert_eq!(tree.len(), 4);
         assert_eq!(tree.stats().logical_reads, 0);
         assert_eq!(tree.scan().len(), 4);
+    }
+
+    #[test]
+    fn dense_indices_match_table_positions() {
+        let fs = vec![
+            LinearFunction::new(vec![0.5, 0.5]).unwrap(),
+            LinearFunction::new(vec![0.9, 0.1]).unwrap(),
+        ];
+        // non-contiguous record ids: dense indices must still be 0, 1, 2
+        let os = vec![
+            (RecordId(42), Point::from_slice(&[0.5, 0.5])),
+            (RecordId(7), Point::from_slice(&[0.2, 0.4])),
+            (RecordId(1000), Point::from_slice(&[0.9, 0.1])),
+        ];
+        let p = Problem::from_parts(fs, os).unwrap();
+        for (i, o) in p.objects().iter().enumerate() {
+            assert_eq!(p.object_index(o.id), Some(i));
+            assert_eq!(p.object(o.id).unwrap().id, o.id);
+        }
+        assert_eq!(p.object_index(RecordId(9999)), None);
+    }
+
+    #[test]
+    fn sparse_record_ids_fall_back_to_hashing() {
+        // a huge id blows the direct-table budget: the hashed map must give
+        // identical answers
+        let fs = vec![LinearFunction::new(vec![0.5, 0.5]).unwrap()];
+        let os = vec![
+            (RecordId(3), Point::from_slice(&[0.5, 0.5])),
+            (RecordId(u64::MAX - 1), Point::from_slice(&[0.2, 0.4])),
+        ];
+        let p = Problem::from_parts(fs, os).unwrap();
+        assert_eq!(p.object_index(RecordId(3)), Some(0));
+        assert_eq!(p.object_index(RecordId(u64::MAX - 1)), Some(1));
+        assert_eq!(p.object_index(RecordId(4)), None);
+        assert_eq!(p.object(RecordId(u64::MAX - 1)).unwrap().id.0, u64::MAX - 1);
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::problem::Problem;
 use pref_geom::Point;
 use pref_rtree::{RTree, RecordId};
 use pref_skyline::{compute_skyline_bbs, delta_sky_update, skyline_sfs, update_skyline, Skyline};
+use pref_storage::IoStats;
 use pref_topk::{FunctionLists, ReverseTopOne};
-use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// How the skyline is maintained after assigned objects are removed.
@@ -108,6 +108,16 @@ impl SbOptions {
 }
 
 /// Runs the SB assignment algorithm with the given options.
+///
+/// The hot path keeps every piece of per-object and per-function state in
+/// dense `Vec` slabs indexed by the [`Problem`]'s contiguous tables (via the
+/// `RecordId → dense index` map built once at problem construction): remaining
+/// capacities, resumable TA states, exclusion flags and the per-loop argmax
+/// results all live in flat arrays, and the per-loop argmax slabs are
+/// invalidated with a loop stamp instead of being cleared. Skyline points are
+/// read through borrowed [`Skyline::entry_views`] — nothing is cloned per
+/// loop. Sorted-list accesses performed by the TA searches are charged to
+/// [`RunMetrics::aux_io`], matching the paper's cost model.
 pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> AssignmentResult {
     let start = Instant::now();
     let stats_before = tree.stats();
@@ -125,34 +135,52 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         _ => problem.num_functions().max(1),
     };
 
+    let n_fun = problem.num_functions();
+    let n_obj = problem.num_objects();
+
     let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
-    let mut o_remaining: HashMap<RecordId, u32> = problem
-        .objects()
-        .iter()
-        .map(|o| (o.id, o.capacity))
-        .collect();
+    // dense per-object slabs, indexed by the problem's dense object index
+    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
+    let mut ta_states: Vec<Option<ReverseTopOne>> = vec![None; n_obj];
+    let mut excluded: Vec<bool> = vec![false; n_obj];
+
     let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
-    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
 
     let mut skyline: Skyline = compute_skyline_bbs(tree);
-    let mut ta_states: HashMap<RecordId, ReverseTopOne> = HashMap::new();
-    let mut excluded: HashSet<RecordId> = HashSet::new();
+
+    // per-loop argmax slabs, invalidated by stamp (no clearing between loops):
+    // object_best[oi] = (stamp, best function, score)
+    // function_best[fi] = (stamp, best dense object index, score)
+    let mut object_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_obj];
+    let mut function_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_fun];
+    let mut candidate_stamp: Vec<u64> = vec![0; n_fun];
+    let mut candidate_functions: Vec<usize> = Vec::new();
 
     let mut assignment = Assignment::new();
     let mut gauge = MemoryGauge::new();
     let mut loops: u64 = 0;
     let mut searches: u64 = 0;
+    let mut aux_reads: u64 = 0;
 
     while demand > 0 && supply > 0 && !skyline.is_empty() {
         loops += 1;
+        let stamp = loops;
 
         // --- best function for every skyline object -------------------------
-        let sky_objects: Vec<(RecordId, Point)> = skyline
-            .data_entries()
-            .map(|d| (d.record, d.point.clone()))
+        // Borrowed entry views: (dense index, record, &point), no cloning.
+        let sky_views: Vec<(usize, RecordId, &Point)> = skyline
+            .entry_views()
+            .map(|(record, point)| {
+                let oi = problem
+                    .object_index(record)
+                    .expect("skyline records are problem objects");
+                (oi, record, point)
+            })
             .collect();
-        // candidate function set for the two-skyline strategy
-        let function_skyline: Option<HashSet<usize>> = match options.best_pair {
+        // candidate function set for the two-skyline strategy, sorted so that
+        // exact score ties resolve to the lowest function index
+        let function_skyline: Option<Vec<usize>> = match options.best_pair {
             BestPairStrategy::TwoSkylines => {
                 let alive: Vec<(RecordId, Point)> = lists
                     .alive_functions()
@@ -164,39 +192,46 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
                         )
                     })
                     .collect();
-                Some(
-                    skyline_sfs(&alive)
-                        .into_iter()
-                        .map(|r| r.0 as usize)
-                        .collect(),
-                )
+                let mut sky_fns: Vec<usize> = skyline_sfs(&alive)
+                    .into_iter()
+                    .map(|r| r.0 as usize)
+                    .collect();
+                sky_fns.sort_unstable();
+                Some(sky_fns)
             }
             _ => None,
         };
 
-        let mut object_best: HashMap<RecordId, (usize, f64)> = HashMap::new();
-        for (record, point) in &sky_objects {
+        candidate_functions.clear();
+        let mut any_best = false;
+        for &(oi, _, point) in &sky_views {
             searches += 1;
             let best = match options.best_pair {
                 BestPairStrategy::ResumableTa { .. } => {
-                    let state = ta_states
-                        .entry(*record)
-                        .or_insert_with(|| ReverseTopOne::new(point.clone(), omega));
-                    state.best(&lists)
+                    let state = ta_states[oi]
+                        .get_or_insert_with(|| ReverseTopOne::new(point.clone(), omega));
+                    let before = state.sorted_accesses();
+                    let best = state.best(&lists);
+                    aux_reads += state.sorted_accesses() - before;
+                    best
                 }
                 BestPairStrategy::FreshTa => {
-                    let mut state = ReverseTopOne::new(point.clone(), problem.num_functions());
-                    state.best(&lists)
+                    let mut state = ReverseTopOne::new(point.clone(), n_fun);
+                    let best = state.best(&lists);
+                    aux_reads += state.sorted_accesses();
+                    best
                 }
                 BestPairStrategy::ExhaustiveScan => lists.best_by_scan(point),
                 BestPairStrategy::TwoSkylines => {
-                    let candidates = function_skyline.as_ref().expect("computed above");
+                    let candidates = function_skyline.as_deref().expect("computed above");
                     let mut best: Option<(usize, f64)> = None;
                     for &fi in candidates {
                         if !lists.is_alive(fi) {
                             continue;
                         }
                         let s = lists.score(fi, point);
+                        // candidates are sorted ascending: strict `>` keeps
+                        // the lowest function index on exact ties
                         if best.is_none_or(|(_, bs)| s > bs) {
                             best = Some((fi, s));
                         }
@@ -205,80 +240,56 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
                 }
             };
             match best {
-                Some(pair) => {
-                    object_best.insert(*record, pair);
+                Some((fi, score)) => {
+                    object_best[oi] = (stamp, fi, score);
+                    any_best = true;
+                    if candidate_stamp[fi] != stamp {
+                        candidate_stamp[fi] = stamp;
+                        candidate_functions.push(fi);
+                    }
                 }
                 None => break, // no functions remain
             }
         }
-        if object_best.is_empty() {
+        if !any_best {
             break;
         }
 
-        // --- best skyline object for every candidate function ---------------
-        let candidate_functions: HashSet<usize> = object_best.values().map(|&(f, _)| f).collect();
-        let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
-        for &fi in &candidate_functions {
-            let mut best: Option<(RecordId, f64)> = None;
-            for (record, point) in &sky_objects {
-                let s = lists.score(fi, point);
-                if best.is_none_or(|(_, bs)| s > bs) {
-                    best = Some((*record, s));
-                }
-            }
-            if let Some(b) = best {
-                function_best.insert(fi, b);
-            }
-        }
-
-        // --- reciprocal pairs are stable (Property 2) -----------------------
-        let mut pairs: Vec<(usize, RecordId, f64)> = Vec::new();
-        for (&fi, &(obj, score)) in &function_best {
-            if object_best.get(&obj).map(|&(f, _)| f) == Some(fi) {
-                pairs.push((fi, obj, score));
-            }
-        }
+        // --- reciprocal pairs (shared with sb_alt, see `pairing`) -----------
+        let mut pairs = crate::pairing::reciprocal_pairs(
+            stamp,
+            &sky_views,
+            &object_best,
+            &mut function_best,
+            &mut candidate_functions,
+            |fi, point| lists.score(fi, point),
+        );
         if pairs.is_empty() {
-            // Exact score ties can make the argmax choices cyclic, leaving no
-            // reciprocal pair. The highest-scoring (function, its best object)
-            // entry is still stable — no strictly better partner exists for
-            // either side — so emit it to guarantee progress.
-            if let Some((&fi, &(obj, score))) = function_best.iter().max_by(|a, b| {
-                a.1 .1
-                    .partial_cmp(&b.1 .1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            }) {
-                pairs.push((fi, obj, score));
-            } else {
-                break;
-            }
+            break;
         }
-        // report pairs in descending score order (the order in which the
-        // iterative definition of Section 3 would establish them)
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         if !options.multiple_pairs_per_loop {
             pairs.truncate(1);
         }
 
         // --- assign and update capacities -----------------------------------
         let mut removed_objects = Vec::new();
-        for (fi, obj, score) in pairs {
+        for (fi, oi, score) in pairs {
             if demand == 0 || supply == 0 {
                 break;
             }
-            assignment.push(problem.functions()[fi].id, obj, score);
+            let record = problem.objects()[oi].id;
+            assignment.push(problem.functions()[fi].id, record, score);
             demand -= 1;
             supply -= 1;
             f_remaining[fi] -= 1;
             if f_remaining[fi] == 0 {
                 lists.remove(fi);
             }
-            let oc = o_remaining.get_mut(&obj).expect("object exists");
-            *oc -= 1;
-            if *oc == 0 {
-                excluded.insert(obj);
-                ta_states.remove(&obj);
-                if let Some(sky_obj) = skyline.remove(obj) {
+            o_remaining[oi] -= 1;
+            if o_remaining[oi] == 0 {
+                excluded[oi] = true;
+                ta_states[oi] = None;
+                if let Some(sky_obj) = skyline.remove(record) {
                     removed_objects.push(sky_obj);
                 }
             }
@@ -291,19 +302,31 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
                     update_skyline(tree, &mut skyline, removed_objects)
                 }
                 MaintenanceStrategy::DeltaSky => {
-                    delta_sky_update(tree, &mut skyline, removed_objects, &excluded)
+                    delta_sky_update(tree, &mut skyline, removed_objects, &|r: RecordId| {
+                        problem.object_index(r).is_some_and(|i| excluded[i])
+                    })
                 }
             }
         }
 
         // --- memory accounting ----------------------------------------------
-        let ta_mem: u64 = ta_states.values().map(ReverseTopOne::memory_bytes).sum();
+        let ta_mem: u64 = ta_states
+            .iter()
+            .flatten()
+            .map(ReverseTopOne::memory_bytes)
+            .sum();
         gauge.observe(skyline.memory_bytes() + ta_mem);
     }
 
     let metrics = RunMetrics {
         object_io: tree.stats().since(&stats_before),
-        aux_io: Default::default(),
+        // the paper's cost model charges the TA searches' sorted-list accesses
+        // as auxiliary I/O (the function lists have no buffer in front)
+        aux_io: IoStats {
+            logical_reads: aux_reads,
+            physical_reads: aux_reads,
+            ..IoStats::default()
+        },
         cpu_time: start.elapsed(),
         peak_memory_bytes: gauge.peak(),
         loops,
@@ -519,5 +542,42 @@ mod tests {
         assert!(result.metrics.loops > 0);
         assert!(result.metrics.searches > 0);
         assert!(result.metrics.peak_memory_bytes > 0);
+        // the resumable-TA searches must charge their sorted-list accesses
+        assert!(
+            result.metrics.aux_io.io_accesses() > 0,
+            "ResumableTa must report its sorted accesses as aux I/O"
+        );
+        assert!(result.metrics.total_io() > result.metrics.object_io.io_accesses());
+    }
+
+    #[test]
+    fn fresh_ta_charges_aux_io_per_loop() {
+        let functions = uniform_weight_functions(30, 3, 105);
+        let objects = independent_objects(200, 3, 106);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut tree_fresh = p.build_tree(Some(16), 0.02);
+        let mut tree_resume = p.build_tree(Some(16), 0.02);
+        let fresh = sb(&p, &mut tree_fresh, &SbOptions::update_skyline_only());
+        let resume = sb(&p, &mut tree_resume, &SbOptions::default());
+        assert!(fresh.metrics.aux_io.io_accesses() > 0);
+        // restarting every search from scratch costs more sorted accesses
+        // than resuming — the very point of the paper's Section 5.1
+        assert!(
+            fresh.metrics.aux_io.io_accesses() > resume.metrics.aux_io.io_accesses(),
+            "FreshTa {} vs ResumableTa {}",
+            fresh.metrics.aux_io.io_accesses(),
+            resume.metrics.aux_io.io_accesses()
+        );
+        // exhaustive scans never touch the sorted lists
+        let mut tree_scan = p.build_tree(Some(16), 0.02);
+        let scan = sb(
+            &p,
+            &mut tree_scan,
+            &SbOptions {
+                best_pair: BestPairStrategy::ExhaustiveScan,
+                ..SbOptions::default()
+            },
+        );
+        assert_eq!(scan.metrics.aux_io.io_accesses(), 0);
     }
 }

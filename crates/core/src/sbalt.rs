@@ -10,10 +10,9 @@ use crate::matching::Assignment;
 use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
 use crate::problem::Problem;
 use pref_geom::Point;
-use pref_rtree::{RTree, RecordId};
+use pref_rtree::RTree;
 use pref_skyline::{compute_skyline_bbs, update_skyline, Skyline};
 use pref_topk::{batch_best_functions, DiskFunctionLists};
-use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Runs the SB-alt assignment algorithm. `list_buffer_frames` is the size (in
@@ -30,18 +29,22 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
         .collect();
     let mut disk = DiskFunctionLists::new(&functions, list_buffer_frames);
 
+    let n_fun = problem.num_functions();
+    let n_obj = problem.num_objects();
+
     let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
-    let mut o_remaining: HashMap<RecordId, u32> = problem
-        .objects()
-        .iter()
-        .map(|o| (o.id, o.capacity))
-        .collect();
+    // dense per-object capacities, indexed by the problem's dense object index
+    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
     let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
-    let mut supply: u64 = o_remaining.values().map(|&c| c as u64).sum();
+    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
 
     let mut skyline: Skyline = compute_skyline_bbs(tree);
-    let mut excluded: HashSet<RecordId> = HashSet::new();
-    let _ = &excluded;
+
+    // per-loop argmax slabs, invalidated by stamp (see `sb`)
+    let mut object_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_obj];
+    let mut function_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_fun];
+    let mut candidate_stamp: Vec<u64> = vec![0; n_fun];
+    let mut candidate_functions: Vec<usize> = Vec::new();
 
     let mut assignment = Assignment::new();
     let mut gauge = MemoryGauge::new();
@@ -50,78 +53,69 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
 
     while demand > 0 && supply > 0 && !skyline.is_empty() {
         loops += 1;
-        let sky_objects: Vec<(RecordId, Point)> = skyline
-            .data_entries()
-            .map(|d| (d.record, d.point.clone()))
+        let stamp = loops;
+        let sky_views: Vec<(usize, pref_rtree::RecordId, &Point)> = skyline
+            .entry_views()
+            .map(|(record, point)| {
+                let oi = problem
+                    .object_index(record)
+                    .expect("skyline records are problem objects");
+                (oi, record, point)
+            })
             .collect();
-        let points: Vec<Point> = sky_objects.iter().map(|(_, p)| p.clone()).collect();
+        // the batch scanner needs the query points as one owned slice
+        let points: Vec<Point> = sky_views.iter().map(|&(_, _, p)| p.clone()).collect();
         searches += 1;
         let best = batch_best_functions(&mut disk, &points);
 
-        let mut object_best: HashMap<RecordId, (usize, f64)> = HashMap::new();
-        for ((record, _), best) in sky_objects.iter().zip(best) {
+        candidate_functions.clear();
+        let mut any_best = false;
+        for (&(oi, _, _), best) in sky_views.iter().zip(best) {
             match best {
-                Some(pair) => {
-                    object_best.insert(*record, pair);
+                Some((fi, score)) => {
+                    object_best[oi] = (stamp, fi, score);
+                    any_best = true;
+                    if candidate_stamp[fi] != stamp {
+                        candidate_stamp[fi] = stamp;
+                        candidate_functions.push(fi);
+                    }
                 }
                 None => break,
             }
         }
-        if object_best.is_empty() {
+        if !any_best {
             break;
         }
 
-        let candidate_functions: HashSet<usize> = object_best.values().map(|&(f, _)| f).collect();
-        let mut function_best: HashMap<usize, (RecordId, f64)> = HashMap::new();
-        for &fi in &candidate_functions {
-            let mut best: Option<(RecordId, f64)> = None;
-            for (record, point) in &sky_objects {
-                let s = disk.inner().score(fi, point);
-                if best.is_none_or(|(_, bs)| s > bs) {
-                    best = Some((*record, s));
-                }
-            }
-            if let Some(b) = best {
-                function_best.insert(fi, b);
-            }
-        }
-
-        let mut pairs: Vec<(usize, RecordId, f64)> = Vec::new();
-        for (&fi, &(obj, score)) in &function_best {
-            if object_best.get(&obj).map(|&(f, _)| f) == Some(fi) {
-                pairs.push((fi, obj, score));
-            }
-        }
+        // --- reciprocal pairs (shared with sb, see `pairing`) ---------------
+        let pairs = crate::pairing::reciprocal_pairs(
+            stamp,
+            &sky_views,
+            &object_best,
+            &mut function_best,
+            &mut candidate_functions,
+            |fi, point| disk.inner().score(fi, point),
+        );
         if pairs.is_empty() {
-            if let Some((&fi, &(obj, score))) = function_best.iter().max_by(|a, b| {
-                a.1 .1
-                    .partial_cmp(&b.1 .1)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            }) {
-                pairs.push((fi, obj, score));
-            } else {
-                break;
-            }
+            break;
         }
 
-        pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
         let mut removed_objects = Vec::new();
-        for (fi, obj, score) in pairs {
+        for (fi, oi, score) in pairs {
             if demand == 0 || supply == 0 {
                 break;
             }
-            assignment.push(problem.functions()[fi].id, obj, score);
+            let record = problem.objects()[oi].id;
+            assignment.push(problem.functions()[fi].id, record, score);
             demand -= 1;
             supply -= 1;
             f_remaining[fi] -= 1;
             if f_remaining[fi] == 0 {
                 disk.remove(fi);
             }
-            let oc = o_remaining.get_mut(&obj).expect("object exists");
-            *oc -= 1;
-            if *oc == 0 {
-                excluded.insert(obj);
-                if let Some(sky_obj) = skyline.remove(obj) {
+            o_remaining[oi] -= 1;
+            if o_remaining[oi] == 0 {
+                if let Some(sky_obj) = skyline.remove(record) {
                     removed_objects.push(sky_obj);
                 }
             }

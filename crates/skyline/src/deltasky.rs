@@ -12,20 +12,22 @@ use crate::set::{Skyline, SkylineObject};
 use pref_geom::edr::mbr_may_intersect_edr;
 use pref_geom::Point;
 use pref_rtree::{NodeEntry, RTree, RecordId};
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::BinaryHeap;
 
 /// Maintains `skyline` after removing the given skyline objects, using a
 /// DeltaSky-style constrained re-traversal per removed object.
 ///
-/// `excluded` must contain the record ids of *every* object removed from the
-/// problem so far (the assigned objects), because — unlike UpdateSkyline —
+/// `excluded` is a predicate returning `true` for *every* object removed from
+/// the problem so far (the assigned objects), because — unlike UpdateSkyline —
 /// this baseline re-reads R-tree nodes and would otherwise rediscover them.
-/// The pruned lists carried by `removed` are ignored.
-pub fn delta_sky_update(
+/// Callers with a `HashSet` pass `&|r| set.contains(&r)`; the SB solver passes
+/// a closure over its dense per-object exclusion slab. The pruned lists
+/// carried by `removed` are ignored.
+pub fn delta_sky_update<F: Fn(RecordId) -> bool>(
     tree: &mut RTree,
     skyline: &mut Skyline,
     removed: Vec<SkylineObject>,
-    excluded: &HashSet<RecordId>,
+    excluded: &F,
 ) {
     for object in removed {
         single_removal(tree, skyline, &object.data.point, excluded);
@@ -34,11 +36,11 @@ pub fn delta_sky_update(
 
 /// Processes one removed skyline point: a constrained BBS over the part of the
 /// space that the removed point exclusively dominated.
-fn single_removal(
+fn single_removal<F: Fn(RecordId) -> bool>(
     tree: &mut RTree,
     skyline: &mut Skyline,
     removed_point: &Point,
-    excluded: &HashSet<RecordId>,
+    excluded: &F,
 ) {
     let Some((_, root_entries)) = tree.root_entries() else {
         return;
@@ -75,15 +77,15 @@ fn single_removal(
 
 /// `true` iff the entry may still contribute a new skyline point located in
 /// the exclusive dominance region of `removed_point`.
-fn may_be_relevant(
+fn may_be_relevant<F: Fn(RecordId) -> bool>(
     entry: &NodeEntry,
     removed_point: &Point,
     skyline: &Skyline,
-    excluded: &HashSet<RecordId>,
+    excluded: &F,
 ) -> bool {
     match entry {
         NodeEntry::Data(d) => {
-            !excluded.contains(&d.record)
+            !excluded(d.record)
                 && !skyline.contains(d.record)
                 && removed_point.dominates_or_equal(&d.point)
                 && !skyline.dominates_point(&d.point)
@@ -102,6 +104,7 @@ mod tests {
     use crate::memory::skyline_naive;
     use pref_rtree::RTreeConfig;
     use rand::{rngs::StdRng, Rng, SeedableRng};
+    use std::collections::HashSet;
 
     fn random_points(n: u64, dims: usize, seed: u64) -> Vec<(RecordId, Point)> {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -144,7 +147,7 @@ mod tests {
                 let obj = sky.remove(victim).unwrap();
                 excluded.insert(victim);
                 remaining.retain(|(r, _)| *r != victim);
-                delta_sky_update(&mut tree, &mut sky, vec![obj], &excluded);
+                delta_sky_update(&mut tree, &mut sky, vec![obj], &|r| excluded.contains(&r));
                 let mut got: Vec<u64> = sky.records().iter().map(|r| r.0).collect();
                 got.sort_unstable();
                 let mut want: Vec<u64> = skyline_naive(&remaining).iter().map(|r| r.0).collect();
@@ -173,7 +176,9 @@ mod tests {
             let obj_a = sky_a.remove(victim).unwrap();
             let obj_b = sky_b.remove(victim).unwrap();
             update_skyline(&mut tree_a, &mut sky_a, vec![obj_a]);
-            delta_sky_update(&mut tree_b, &mut sky_b, vec![obj_b], &excluded);
+            delta_sky_update(&mut tree_b, &mut sky_b, vec![obj_b], &|r| {
+                excluded.contains(&r)
+            });
             let mut a: Vec<u64> = sky_a.records().iter().map(|r| r.0).collect();
             let mut b: Vec<u64> = sky_b.records().iter().map(|r| r.0).collect();
             a.sort_unstable();
@@ -215,7 +220,9 @@ mod tests {
             let obj_a = sky_a.remove(victim).unwrap();
             let obj_b = sky_b.remove(victim).unwrap();
             update_skyline(&mut tree_a, &mut sky_a, vec![obj_a]);
-            delta_sky_update(&mut tree_b, &mut sky_b, vec![obj_b], &excluded);
+            delta_sky_update(&mut tree_b, &mut sky_b, vec![obj_b], &|r| {
+                excluded.contains(&r)
+            });
         }
         let update_io = tree_a.stats().logical_reads;
         let delta_io = tree_b.stats().logical_reads;

@@ -68,6 +68,14 @@ impl Skyline {
         self.objects.iter().map(|o| &o.data)
     }
 
+    /// Borrowed views of the skyline entries: `(record, &point)` pairs in
+    /// skyline order, without cloning any point. The solver hot paths iterate
+    /// these views once per loop instead of materializing an owned copy of the
+    /// whole point set.
+    pub fn entry_views(&self) -> impl Iterator<Item = (RecordId, &pref_geom::Point)> {
+        self.data_entries().map(|d| (d.record, &d.point))
+    }
+
     /// Record ids of the skyline objects.
     pub fn records(&self) -> Vec<RecordId> {
         self.objects.iter().map(|o| o.data.record).collect()

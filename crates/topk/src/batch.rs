@@ -167,9 +167,14 @@ pub fn batch_best_functions(
                         continue;
                     }
                     let score = disk.inner().score(func, obj);
-                    match best[i] {
-                        Some((_, s)) if s >= score => {}
-                        _ => best[i] = Some((func, score)),
+                    // exact score ties break to the lowest function index —
+                    // the same deterministic rule as the per-object TA search
+                    let better = match best[i] {
+                        None => true,
+                        Some((bf, bs)) => score > bs || (score == bs && func < bf),
+                    };
+                    if better {
+                        best[i] = Some((func, score));
                     }
                 }
             }
@@ -250,6 +255,21 @@ mod tests {
         for res in results.iter().flatten() {
             assert_ne!(res.0, banned);
         }
+    }
+
+    #[test]
+    fn exact_ties_resolve_to_the_lowest_function_index() {
+        // functions 0 and 1 are identical, so they tie exactly on any object;
+        // the batch scan must return the lower index deterministically
+        let functions = vec![
+            LinearFunction::new(vec![0.6, 0.4]).unwrap(),
+            LinearFunction::new(vec![0.6, 0.4]).unwrap(),
+            LinearFunction::new(vec![0.1, 0.9]).unwrap(),
+        ];
+        let objects = vec![Point::from_slice(&[0.9, 0.1])];
+        let mut disk = DiskFunctionLists::new(&functions, 2);
+        let res = batch_best_functions(&mut disk, &objects);
+        assert_eq!(res[0].unwrap().0, 0);
     }
 
     #[test]

@@ -121,16 +121,19 @@ impl ReverseTopOne {
         }
     }
 
-    /// Removes dead (assigned) functions from the front of the candidate
-    /// queue, shrinking the capacity by one per removal as in the paper.
+    /// Removes dead (assigned) functions from the *whole* candidate queue,
+    /// shrinking the capacity by one per removal as in the paper. Purging only
+    /// the front would leave dead entries buried mid-queue occupying Ω slots:
+    /// they crowd alive candidates out of the capped queue at insertion time
+    /// and trigger premature restarts. The per-removal decrement is what keeps
+    /// the capped queue sound — every candidate discarded by truncation was
+    /// dominated by `cap` entries at the time, so after `cap` removals the
+    /// guarantee is gone and [`ReverseTopOne::best`] restarts.
     fn drop_dead_candidates(&mut self, lists: &FunctionLists) {
-        while let Some(&(_, func)) = self.candidates.first() {
-            if lists.is_alive(func) {
-                break;
-            }
-            self.candidates.remove(0);
-            self.cap = self.cap.saturating_sub(1);
-        }
+        let before = self.candidates.len();
+        self.candidates.retain(|&(_, func)| lists.is_alive(func));
+        let removed = before - self.candidates.len();
+        self.cap = self.cap.saturating_sub(removed);
     }
 
     fn restart(&mut self) {
@@ -204,8 +207,13 @@ impl ReverseTopOne {
         }
     }
 
+    /// Inserts in (score desc, function index asc) order so that exact score
+    /// ties resolve to the lowest function index — the same deterministic rule
+    /// the solver's argmax scans use.
     fn insert_candidate(&mut self, score: f64, func: usize) {
-        let pos = self.candidates.partition_point(|&(s, _)| s >= score);
+        let pos = self
+            .candidates
+            .partition_point(|&(s, f)| s > score || (s == score && f < func));
         self.candidates.insert(pos, (score, func));
         if self.candidates.len() > self.cap {
             self.candidates.truncate(self.cap);
@@ -347,6 +355,59 @@ mod tests {
         }
         let mut search = ReverseTopOne::new(Point::from_slice(&[0.5, 0.5, 0.5]), 10);
         assert!(search.best(&lists).is_none());
+    }
+
+    #[test]
+    fn mid_queue_deaths_do_not_block_the_queue() {
+        // Kill functions that are NOT the current best, so under the old
+        // front-only purge they would sit dead in the middle of the queue.
+        // The search must keep returning the true best without restarting as
+        // long as the capacity allows.
+        let functions = random_functions(120, 3, 41);
+        let mut lists = FunctionLists::new(&functions);
+        let object = Point::from_slice(&[0.6, 0.3, 0.8]);
+        let mut search = ReverseTopOne::new(object.clone(), 60);
+        let mut rng = StdRng::seed_from_u64(42);
+        for round in 0..40 {
+            let expect = lists.best_by_scan(&object);
+            let got = search.best(&lists);
+            match (expect, got) {
+                (None, None) => break,
+                (Some((_, es)), Some((gf, gs))) => {
+                    assert!((es - gs).abs() < 1e-9, "round {round}: score mismatch");
+                    // remove a random *non-best* alive function: it dies while
+                    // buried somewhere inside the candidate queue
+                    let alive: Vec<usize> = lists
+                        .alive_functions()
+                        .into_iter()
+                        .filter(|&f| f != gf)
+                        .collect();
+                    if alive.is_empty() {
+                        break;
+                    }
+                    lists.remove(alive[rng.gen_range(0..alive.len())]);
+                }
+                other => panic!("oracle and search disagree on existence: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn exact_score_ties_resolve_to_the_lowest_function_index() {
+        // two identical functions (an exact score tie by construction): the
+        // candidate queue must order them by index, so the returned best is
+        // deterministic on exact ties
+        let functions = vec![
+            LinearFunction::from_normalized(vec![0.5, 0.5]).unwrap(),
+            LinearFunction::from_normalized(vec![0.5, 0.5]).unwrap(),
+            LinearFunction::from_normalized(vec![0.9, 0.1]).unwrap(),
+        ];
+        let lists = FunctionLists::new(&functions);
+        let object = Point::from_slice(&[0.2, 0.8]);
+        let mut search = ReverseTopOne::new(object, 10);
+        let (func, score) = search.best(&lists).unwrap();
+        assert!((score - 0.5).abs() < 1e-12);
+        assert_eq!(func, 0, "ties must break to the lowest function index");
     }
 
     #[test]

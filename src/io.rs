@@ -194,12 +194,20 @@ pub fn write_assignment_csv<W: Write>(
 }
 
 /// Reads an assignment previously written by [`write_assignment_csv`].
+///
+/// The reader is strict: every data row must have exactly the three fields
+/// `function_id,object_id,score` (rows with extra columns are rejected rather
+/// than silently truncated), and line 1 is only skipped when it actually *is*
+/// the header — a headerless file whose first line is data parses fully.
 pub fn read_assignment_csv<R: Read>(reader: R) -> Result<Assignment, IoFormatError> {
     let mut assignment = Assignment::new();
     for (lineno, line) in BufReader::new(reader).lines().enumerate() {
         let line = line?;
-        if lineno == 0 || line.trim().is_empty() {
-            continue; // header / trailing blank
+        if line.trim().is_empty() {
+            continue; // trailing blank
+        }
+        if lineno == 0 && is_assignment_csv_header(&line) {
+            continue;
         }
         let mut parts = line.split(',');
         let err = || IoFormatError::Invalid(format!("malformed CSV line {}", lineno + 1));
@@ -221,9 +229,25 @@ pub fn read_assignment_csv<R: Read>(reader: R) -> Result<Assignment, IoFormatErr
             .trim()
             .parse()
             .map_err(|_| err())?;
+        if parts.next().is_some() {
+            return Err(IoFormatError::Invalid(format!(
+                "CSV line {} has more than 3 fields",
+                lineno + 1
+            )));
+        }
         assignment.push(crate::FunctionId(function), RecordId(object), score);
     }
     Ok(assignment)
+}
+
+/// `true` iff the line is the `function_id,object_id,score` header written by
+/// [`write_assignment_csv`] (fields compared after trimming).
+fn is_assignment_csv_header(line: &str) -> bool {
+    let mut fields = line.split(',').map(str::trim);
+    fields.next() == Some("function_id")
+        && fields.next() == Some("object_id")
+        && fields.next() == Some("score")
+        && fields.next().is_none()
 }
 
 #[cfg(test)]
@@ -346,5 +370,31 @@ mod tests {
         // blank trailing lines are fine
         let ok = "function_id,object_id,score\n1,2,0.5\n\n";
         assert_eq!(read_assignment_csv(ok.as_bytes()).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn extra_columns_are_rejected() {
+        let extra = "function_id,object_id,score\n1,2,0.5,surprise\n";
+        let err = read_assignment_csv(extra.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("more than 3 fields"), "{err}");
+        // a trailing comma is an (empty) fourth field too
+        let trailing = "function_id,object_id,score\n1,2,0.5,\n";
+        assert!(read_assignment_csv(trailing.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn headerless_first_line_is_parsed_as_data() {
+        // line 1 is data, not the header: it must not be silently skipped
+        let headerless = "3,7,0.25\n1,2,0.5\n";
+        let a = read_assignment_csv(headerless.as_bytes()).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.pairs()[0].function.0, 3);
+        assert_eq!(a.pairs()[0].object.0, 7);
+        // a malformed non-header first line is an error, not a skipped header
+        let bad_first = "not,a,header\n1,2,0.5\n";
+        assert!(read_assignment_csv(bad_first.as_bytes()).is_err());
+        // header with surrounding spaces still counts as the header
+        let spaced = " function_id , object_id , score \n1,2,0.5\n";
+        assert_eq!(read_assignment_csv(spaced.as_bytes()).unwrap().len(), 1);
     }
 }

@@ -11,29 +11,33 @@ fn workload(num_functions: usize, num_objects: usize, dims: usize) -> Problem {
 }
 
 /// Figures 9–11: SB incurs orders of magnitude fewer I/Os than Brute Force and
-/// Chain, and Brute Force needs fewer top-1 searches than Chain.
+/// Chain, and Brute Force needs fewer top-1 searches than Chain. The paper's
+/// headline I/O metric is object R-tree node accesses (`object_io`); auxiliary
+/// accesses (SB's memory-resident sorted lists, Chain's main-memory function
+/// tree) are reported separately in `aux_io` and not compared here.
 #[test]
 fn sb_dominates_competitors_on_io() {
     let problem = workload(150, 5_000, 3);
     let mut tree = problem.build_tree(None, 0.02);
     let sb_io = sb(&problem, &mut tree, &SbOptions::default())
         .metrics
-        .total_io();
+        .object_io
+        .io_accesses();
     let mut tree = problem.build_tree(None, 0.02);
     let bf = brute_force(&problem, &mut tree);
     let mut tree = problem.build_tree(None, 0.02);
     let ch = chain(&problem, &mut tree);
     assert!(
-        sb_io * 10 < bf.metrics.total_io(),
+        sb_io * 10 < bf.metrics.object_io.io_accesses(),
         "SB {} vs Brute Force {}",
         sb_io,
-        bf.metrics.total_io()
+        bf.metrics.object_io.io_accesses()
     );
     assert!(
-        sb_io * 10 < ch.metrics.total_io(),
+        sb_io * 10 < ch.metrics.object_io.io_accesses(),
         "SB {} vs Chain {}",
         sb_io,
-        ch.metrics.total_io()
+        ch.metrics.object_io.io_accesses()
     );
     assert!(
         ch.metrics.searches > bf.metrics.searches,
@@ -51,11 +55,14 @@ fn sb_io_is_flat_in_function_cardinality() {
     let large = workload(400, 4_000, 3);
     let io = |p: &Problem| {
         let mut tree = p.build_tree(None, 0.02);
-        sb(p, &mut tree, &SbOptions::default()).metrics.total_io()
+        sb(p, &mut tree, &SbOptions::default())
+            .metrics
+            .object_io
+            .io_accesses()
     };
     let bf_io = |p: &Problem| {
         let mut tree = p.build_tree(None, 0.02);
-        brute_force(p, &mut tree).metrics.total_io()
+        brute_force(p, &mut tree).metrics.object_io.io_accesses()
     };
     let sb_growth = io(&large) as f64 / io(&small).max(1) as f64;
     let bf_growth = bf_io(&large) as f64 / bf_io(&small).max(1) as f64;
@@ -74,7 +81,8 @@ fn buffer_size_barely_affects_sb() {
         let mut tree = problem.build_tree(None, fraction);
         sb(&problem, &mut tree, &SbOptions::default())
             .metrics
-            .total_io()
+            .object_io
+            .io_accesses()
     };
     let no_buffer = run_sb(0.0);
     let big_buffer = run_sb(0.10);
@@ -108,14 +116,22 @@ fn cpu_optimizations_pay_off() {
         optimized.metrics.loops,
         plain.metrics.loops
     );
-    // same maintenance strategy => essentially the same I/O (Figure 8(a):
-    // the CPU-side optimizations are not supposed to change the I/O cost)
+    // same maintenance strategy => essentially the same object-tree I/O
+    // (Figure 8(a): the CPU-side optimizations do not change the R-tree cost)
     let (a, b) = (
-        optimized.metrics.total_io() as f64,
-        plain.metrics.total_io() as f64,
+        optimized.metrics.object_io.io_accesses() as f64,
+        plain.metrics.object_io.io_accesses() as f64,
     );
     assert!(
         (a - b).abs() <= 0.2 * b + 8.0,
-        "I/O should be unaffected by the CPU optimizations: {a} vs {b}"
+        "object I/O should be unaffected by the CPU optimizations: {a} vs {b}"
+    );
+    // the resumable searches are the CPU-side win: they touch the sorted
+    // lists far less than restarting every search from scratch each loop
+    assert!(
+        optimized.metrics.aux_io.io_accesses() < plain.metrics.aux_io.io_accesses(),
+        "resumable TA aux accesses {} should undercut fresh TA {}",
+        optimized.metrics.aux_io.io_accesses(),
+        plain.metrics.aux_io.io_accesses()
     );
 }

@@ -4,7 +4,8 @@
 
 use fair_assignment::geom::{LinearFunction, Point};
 use fair_assignment::{
-    oracle, sb, verify_stable, ObjectRecord, PreferenceFunction, Problem, SbOptions,
+    oracle, sb, sb_alt, verify_stable, BestPairStrategy, ObjectRecord, PreferenceFunction, Problem,
+    SbOptions,
 };
 use proptest::prelude::*;
 
@@ -45,6 +46,38 @@ fn arb_problem() -> impl Strategy<Value = Problem> {
     })
 }
 
+/// Instances engineered to contain exact score ties: every weight vector and
+/// every object point appears (at least) twice. `LinearFunction::new`
+/// normalizes, so duplicated raw weights yield bit-identical functions.
+/// Record ids are assigned in *reverse* table order so that id order and
+/// dense-index order disagree — tie-breaking must follow the oracle's dense
+/// order, not the ids.
+fn arb_tied_problem() -> impl Strategy<Value = Problem> {
+    let dims = 2usize..4;
+    dims.prop_flat_map(|d| {
+        let functions = proptest::collection::vec(proptest::collection::vec(0.01f64..1.0, d), 1..5);
+        let objects = proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, d), 1..8);
+        (functions, objects).prop_map(|(fs, os)| {
+            let functions: Vec<PreferenceFunction> = fs
+                .iter()
+                .chain(fs.iter())
+                .enumerate()
+                .map(|(i, w)| PreferenceFunction::new(i, LinearFunction::new(w.clone()).unwrap()))
+                .collect();
+            let n = 2 * os.len();
+            let objects: Vec<ObjectRecord> = os
+                .iter()
+                .chain(os.iter())
+                .enumerate()
+                .map(|(i, coords)| {
+                    ObjectRecord::new((n - 1 - i) as u64, Point::new(coords.clone()).unwrap())
+                })
+                .collect();
+            Problem::new(functions, objects).unwrap()
+        })
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -62,6 +95,39 @@ proptest! {
         got.sort_unstable();
         want.sort_unstable();
         prop_assert_eq!(got, want);
+    }
+
+    /// On instances with duplicate object points and duplicate weight vectors
+    /// (exact score ties everywhere), every maintenance / best-pair variant —
+    /// a tiny Ω that forces TA restarts, the DeltaSky ablation, and the dense
+    /// default — must reproduce the oracle's canonical matching exactly: the
+    /// deterministic tie-breaks (lowest function index, lowest record id) make
+    /// the output independent of iteration order.
+    #[test]
+    fn tied_instances_match_the_oracle_in_every_variant(problem in arb_tied_problem()) {
+        let want = oracle(&problem).canonical();
+        let variants = [
+            // Ω = 1: the candidate queue restarts constantly
+            SbOptions {
+                best_pair: BestPairStrategy::ResumableTa { omega_fraction: 1e-9 },
+                ..SbOptions::default()
+            },
+            SbOptions::delta_sky(),
+            SbOptions::default(),
+        ];
+        for opts in variants {
+            let mut tree = problem.build_tree(Some(8), 0.0);
+            let result = sb(&problem, &mut tree, &opts);
+            prop_assert!(verify_stable(&problem, &result.assignment).is_ok(),
+                "stability violated by {:?}: {:?}", opts,
+                verify_stable(&problem, &result.assignment));
+            prop_assert_eq!(result.assignment.canonical(), want.clone(),
+                "variant {:?}", opts);
+        }
+        // the batched disk-list variant shares the tie-break rules too
+        let mut tree = problem.build_tree(Some(8), 0.0);
+        let alt = sb_alt(&problem, &mut tree, 4);
+        prop_assert_eq!(alt.assignment.canonical(), want, "sb_alt");
     }
 
     #[test]
