@@ -1,6 +1,9 @@
 //! The competitor algorithms measured by the experiments.
 
-use pref_assign::{brute_force, chain, sb, sb_alt, AssignmentResult, Problem, SbOptions};
+use pref_assign::{
+    AssignmentResult, BruteForceSolver, ChainSolver, Problem, SbAltSolver, SbOptions, SbSolver,
+    Solver,
+};
 use pref_rtree::RTree;
 
 /// The algorithms compared in the paper's evaluation, plus the SB ablation
@@ -62,39 +65,43 @@ impl AlgorithmKind {
         ]
     }
 
-    /// Runs the algorithm on a problem and its object R-tree.
+    /// Materializes the [`Solver`] this kind stands for. `omega_fraction`
+    /// parameterizes the fully optimized SB variant (ignored by the others).
+    pub fn solver(&self, omega_fraction: f64) -> Box<dyn Solver> {
+        match self {
+            AlgorithmKind::BruteForce => Box::new(BruteForceSolver),
+            AlgorithmKind::Chain => Box::new(ChainSolver),
+            AlgorithmKind::Sb => Box::new(SbSolver::with_omega(omega_fraction)),
+            AlgorithmKind::SbUpdateSkyline => Box::new(SbSolver {
+                options: SbOptions::update_skyline_only(),
+            }),
+            AlgorithmKind::SbDeltaSky => Box::new(SbSolver {
+                options: SbOptions::delta_sky(),
+            }),
+            AlgorithmKind::SbSinglePair => Box::new(SbSolver {
+                options: SbOptions {
+                    multiple_pairs_per_loop: false,
+                    ..SbOptions::default()
+                },
+            }),
+            AlgorithmKind::SbTwoSkylines => Box::new(SbSolver {
+                options: SbOptions::two_skylines(),
+            }),
+            AlgorithmKind::SbAlt { list_buffer_frames } => Box::new(SbAltSolver {
+                list_buffer_frames: *list_buffer_frames,
+            }),
+        }
+    }
+
+    /// Runs the algorithm on a problem and its object R-tree (dispatches
+    /// through the [`Solver`] trait).
     pub fn run(
         &self,
         problem: &Problem,
         tree: &mut RTree,
         omega_fraction: f64,
     ) -> AssignmentResult {
-        match self {
-            AlgorithmKind::BruteForce => brute_force(problem, tree),
-            AlgorithmKind::Chain => chain(problem, tree),
-            AlgorithmKind::Sb => sb(
-                problem,
-                tree,
-                &SbOptions {
-                    best_pair: pref_assign::BestPairStrategy::ResumableTa { omega_fraction },
-                    ..SbOptions::default()
-                },
-            ),
-            AlgorithmKind::SbUpdateSkyline => sb(problem, tree, &SbOptions::update_skyline_only()),
-            AlgorithmKind::SbDeltaSky => sb(problem, tree, &SbOptions::delta_sky()),
-            AlgorithmKind::SbSinglePair => sb(
-                problem,
-                tree,
-                &SbOptions {
-                    multiple_pairs_per_loop: false,
-                    ..SbOptions::default()
-                },
-            ),
-            AlgorithmKind::SbTwoSkylines => sb(problem, tree, &SbOptions::two_skylines()),
-            AlgorithmKind::SbAlt { list_buffer_frames } => {
-                sb_alt(problem, tree, *list_buffer_frames)
-            }
-        }
+        self.solver(omega_fraction).solve(problem, tree)
     }
 }
 
@@ -121,6 +128,30 @@ mod tests {
         labels.sort_unstable();
         labels.dedup();
         assert_eq!(labels.len(), all.len());
+    }
+
+    #[test]
+    fn solver_dispatch_equals_run() {
+        let functions = uniform_weight_functions(20, 3, 5);
+        let objects = independent_objects(100, 3, 6);
+        let problem = Problem::from_parts(functions, objects).unwrap();
+        for algo in [
+            AlgorithmKind::Sb,
+            AlgorithmKind::SbAlt {
+                list_buffer_frames: 4,
+            },
+            AlgorithmKind::Chain,
+            AlgorithmKind::BruteForce,
+        ] {
+            let mut tree_a = problem.build_tree(Some(8), 0.02);
+            let mut tree_b = problem.build_tree(Some(8), 0.02);
+            let via_run = algo.run(&problem, &mut tree_a, 0.025);
+            let via_solver = algo.solver(0.025).solve(&problem, &mut tree_b);
+            assert_eq!(
+                via_run.assignment.canonical(),
+                via_solver.assignment.canonical()
+            );
+        }
     }
 
     #[test]

@@ -1,18 +1,79 @@
-//! Runs every figure experiment in sequence and writes all JSON reports.
-use pref_bench::{experiments, CliOptions};
+//! Runs every figure experiment and writes all JSON reports.
+//!
+//! With `--jobs N` the experiments are distributed over `N` worker threads
+//! (each experiment is self-contained: it generates its own workloads and
+//! trees). Every report's JSON is written the moment its experiment
+//! completes — an interrupted sweep keeps the figures finished so far — while
+//! the measurement tables are printed in the canonical figure order, so
+//! stdout is identical to a sequential run.
+
+use pref_bench::{experiments, CliOptions, Report, Scale};
+use std::path::Path;
+use std::sync::Mutex;
+
+const FIGURES: [&str; 11] = [
+    "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+    "omega",
+];
 
 fn main() {
     let cli = CliOptions::from_args();
-    for name in [
-        "fig08", "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
-        "omega",
-    ] {
-        eprintln!("=== running {name} ({}) ===", cli.scale.label());
-        let report = experiments::by_name(name, cli.scale).expect("known experiment");
+    let reports = if cli.jobs <= 1 {
+        FIGURES
+            .iter()
+            .map(|name| {
+                eprintln!("=== running {name} ({}) ===", cli.scale.label());
+                run_and_write(name, cli.scale, &cli.output_dir)
+            })
+            .collect()
+    } else {
+        run_parallel(cli.scale, cli.jobs, &cli.output_dir)
+    };
+    for report in reports {
         report.print();
-        match report.write_json(&cli.output_dir, name) {
-            Ok(path) => eprintln!("wrote {}", path.display()),
-            Err(err) => eprintln!("could not write JSON results: {err}"),
-        }
     }
+}
+
+/// Runs one experiment and immediately persists its JSON, so partial sweeps
+/// keep their completed figures.
+fn run_and_write(name: &str, scale: Scale, output_dir: &Path) -> Report {
+    let report = experiments::by_name(name, scale).expect("known experiment");
+    match report.write_json(output_dir, name) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(err) => eprintln!("could not write JSON results: {err}"),
+    }
+    report
+}
+
+/// Work-stealing fan-out over `jobs` std::thread workers: a shared cursor
+/// hands out figure indices, results land in their canonical slots.
+fn run_parallel(scale: Scale, jobs: usize, output_dir: &Path) -> Vec<Report> {
+    let cursor = Mutex::new(0usize);
+    let slots: Vec<Mutex<Option<Report>>> = FIGURES.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs.min(FIGURES.len()) {
+            scope.spawn(|| loop {
+                let idx = {
+                    let mut cursor = cursor.lock().expect("cursor lock");
+                    let idx = *cursor;
+                    *cursor += 1;
+                    idx
+                };
+                let Some(name) = FIGURES.get(idx) else {
+                    break;
+                };
+                eprintln!("=== running {name} ({}) ===", scale.label());
+                let report = run_and_write(name, scale, output_dir);
+                *slots[idx].lock().expect("slot lock") = Some(report);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every figure ran")
+        })
+        .collect()
 }

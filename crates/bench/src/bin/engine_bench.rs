@@ -1,0 +1,242 @@
+//! engine_bench — incremental repair vs. full recompute under update streams.
+//!
+//! For every workload cell (object distribution × update-rate) the harness
+//! builds an initial problem, feeds a deterministic arrival/departure stream
+//! through a long-lived [`AssignmentEngine`], and after **every** update also
+//! re-solves the current snapshot from scratch with the batch SB solver
+//! (fresh R-tree, fresh BBS). It compares the two matchings canonically — any
+//! divergence is a correctness bug and fails the process — and accumulates
+//! both sides' object-tree I/O and wall time into `BENCH_engine.json`.
+//!
+//! Usage: `engine_bench [--smoke] [--out <path>]`
+//!
+//! CI runs `--smoke` as a gate: non-zero exit on oracle divergence, on an
+//! unstable engine matching, or if incremental repair fails to strictly
+//! undercut the recompute baseline's total update-phase I/O in any cell.
+
+use pref_assign::{verify_stable, Problem, SbSolver, Solver};
+use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
+use pref_engine::{AssignmentEngine, EngineOptions};
+use pref_rtree::RecordId;
+use serde::Serialize;
+use std::path::PathBuf;
+use std::time::Instant;
+
+const DIMS: usize = 3;
+const SEED: u64 = 20_090_824; // the paper's VLDB publication date
+
+/// One workload cell of the sweep.
+struct Cell {
+    distribution: ObjectDistribution,
+    num_functions: usize,
+    num_objects: usize,
+    num_events: usize,
+}
+
+/// One measurement row of the emitted JSON.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRow {
+    workload: String,
+    num_functions: usize,
+    num_objects: usize,
+    num_events: usize,
+    /// Object-tree I/O of the engine's initial BBS + stabilization.
+    engine_initial_io: u64,
+    /// Object-tree I/O the engine spent across the whole update stream.
+    engine_update_io: u64,
+    /// Wall time the engine spent applying the whole update stream.
+    engine_update_wall_s: f64,
+    /// Summed object-tree I/O of one full SB recompute per update.
+    recompute_io: u64,
+    /// Summed wall time of one full SB recompute per update (solve only,
+    /// index construction excluded — charitable to the baseline).
+    recompute_wall_s: f64,
+    /// Pairs the engine retracted (departures + repair displacements) across
+    /// the engine's lifetime; each retraction is balanced by at most one
+    /// re-establishment, so this is the repair-volume measure of the cell.
+    pairs_retracted: u64,
+    /// `recompute_io / max(engine_update_io, 1)`.
+    io_savings_factor: f64,
+    /// Engine matched the recompute canonically after every single update.
+    matches_oracle: bool,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    scale: String,
+    created_unix_s: u64,
+    rows: Vec<BenchRow>,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_engine.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a path; try --help");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: engine_bench [--smoke] [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let distributions = [
+        ObjectDistribution::Independent,
+        ObjectDistribution::Correlated,
+        ObjectDistribution::AntiCorrelated,
+    ];
+    // update-rate sweep: events per stream against a fixed base population
+    let (num_functions, num_objects, rates): (usize, usize, &[usize]) = if smoke {
+        (40, 800, &[8, 24])
+    } else {
+        (100, 5_000, &[16, 64, 128])
+    };
+    let cells: Vec<Cell> = distributions
+        .iter()
+        .flat_map(|&distribution| {
+            rates.iter().map(move |&num_events| Cell {
+                distribution,
+                num_functions,
+                num_objects,
+                num_events,
+            })
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+
+    for cell in &cells {
+        let workload = cell.distribution.label().to_string();
+        eprintln!(
+            "== {} |F|={} |O|={} events={} ==",
+            workload, cell.num_functions, cell.num_objects, cell.num_events
+        );
+        let problem = build_problem(cell);
+        let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+        let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+        let events = update_stream(
+            &UpdateStreamConfig {
+                num_events: cell.num_events,
+                dims: DIMS,
+                distribution: cell.distribution,
+                insert_fraction: 0.5,
+                object_fraction: 0.7,
+                min_objects: 1,
+                min_functions: 1,
+                seed: SEED ^ cell.num_events as u64,
+            },
+            &live_objects,
+            &live_functions,
+        );
+
+        let mut engine = AssignmentEngine::new(&problem, &EngineOptions::default()).unwrap();
+        let solver = SbSolver::default();
+        let mut engine_wall = 0.0f64;
+        let mut recompute_io = 0u64;
+        let mut recompute_wall = 0.0f64;
+        let mut matches = true;
+        for (step, event) in events.iter().enumerate() {
+            let started = Instant::now();
+            engine.apply(event).expect("stream events are valid");
+            engine_wall += started.elapsed().as_secs_f64();
+
+            // full recompute baseline on the current snapshot
+            let snapshot = engine
+                .snapshot_problem()
+                .expect("populations stay non-empty");
+            let mut tree = snapshot.build_tree(None, 0.02);
+            let started = Instant::now();
+            let batch = solver.solve(&snapshot, &mut tree);
+            recompute_wall += started.elapsed().as_secs_f64();
+            recompute_io += batch.metrics.object_io.io_accesses();
+
+            if batch.assignment.canonical() != engine.assignment().canonical() {
+                matches = false;
+                failed = true;
+                eprintln!("!! divergence on {workload} at update #{step} ({event:?})");
+            }
+            if smoke || step % 16 == 0 || step + 1 == events.len() {
+                if let Err(violation) = verify_stable(&snapshot, &engine.assignment()) {
+                    matches = false;
+                    failed = true;
+                    eprintln!("!! unstable on {workload} at update #{step}: {violation}");
+                }
+            }
+        }
+
+        let stats = engine.stats();
+        let engine_update_io = engine.update_object_io().io_accesses();
+        if engine_update_io >= recompute_io {
+            failed = true;
+            eprintln!(
+                "!! incremental repair did not undercut recompute on {workload}: {engine_update_io} vs {recompute_io}"
+            );
+        }
+        let row = BenchRow {
+            workload,
+            num_functions: cell.num_functions,
+            num_objects: cell.num_objects,
+            num_events: cell.num_events,
+            engine_initial_io: engine.initial_object_io().io_accesses(),
+            engine_update_io,
+            engine_update_wall_s: engine_wall,
+            recompute_io,
+            recompute_wall_s: recompute_wall,
+            pairs_retracted: stats.pairs_retracted,
+            io_savings_factor: recompute_io as f64 / engine_update_io.max(1) as f64,
+            matches_oracle: matches,
+        };
+        eprintln!(
+            "  engine: update_io={} wall={:.4}s | recompute: io={} wall={:.4}s | savings x{:.1}",
+            row.engine_update_io,
+            row.engine_update_wall_s,
+            row.recompute_io,
+            row.recompute_wall_s,
+            row.io_savings_factor
+        );
+        rows.push(row);
+    }
+
+    let report = BenchReport {
+        bench: "engine".to_string(),
+        scale: if smoke { "smoke" } else { "default" }.to_string(),
+        created_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        rows,
+    };
+    let file = std::fs::File::create(&out).expect("create bench output file");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    eprintln!("wrote {}", out.display());
+
+    if failed {
+        eprintln!("FAILED: divergence, instability, or no I/O savings (see log above)");
+        std::process::exit(1);
+    }
+}
+
+/// Deterministic initial workload (same recipe as `solver_bench`).
+fn build_problem(cell: &Cell) -> Problem {
+    let functions = pref_datagen::uniform_weight_functions(cell.num_functions, DIMS, SEED ^ 0x00f1);
+    let objects = cell
+        .distribution
+        .generate(cell.num_objects, DIMS, SEED ^ 0x0bad);
+    Problem::from_parts(functions, objects).expect("generated workloads are valid")
+}

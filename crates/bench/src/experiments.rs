@@ -195,9 +195,16 @@ pub fn fig15(scale: Scale) -> Report {
 /// |O|, (c, d) NBA-like objects with capacitated functions.
 pub fn fig16(scale: Scale) -> Report {
     let params = Params::defaults(scale);
+    // the setup line must describe the workloads the cells actually run —
+    // the real-data stand-ins force D=5 regardless of the configured dims
+    let zillow_setup = {
+        let mut p = params.clone();
+        p.distribution = ObjectDistribution::ZillowLike;
+        p.describe()
+    };
     let mut report = Report::new(
         "Figure 16: real datasets (synthetic stand-ins)",
-        params.describe(),
+        zillow_setup,
     );
     for &no in &scale.objects_sweep() {
         let mut p = params.clone();

@@ -17,6 +17,13 @@
 //! * [`sb_hash_baseline`] — the pre-refactor hash-map SB, kept so the
 //!   `solver_bench` binary can measure what the dense-ID rewrite bought
 //!   (results land in `BENCH_solver.json`, the repo's perf trajectory).
+//!
+//! Beyond the paper's figures, two standing harness binaries gate the repo:
+//! `solver_bench` (every solver vs. the exact oracle across workload shapes)
+//! and `engine_bench` (the long-lived assignment engine's incremental repair
+//! vs. a full SB recompute per update, written to `BENCH_engine.json`). Both
+//! exit non-zero on divergence; the `all_figures` sweep accepts `--jobs N` to
+//! fan the figure experiments out over worker threads.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -44,13 +51,19 @@ pub struct CliOptions {
     pub scale: Scale,
     /// Where to write the JSON results (defaults to `results/`).
     pub output_dir: PathBuf,
+    /// Worker threads for sweep binaries that support parallel execution
+    /// (`all_figures --jobs N`); the per-figure binaries run single-threaded
+    /// and ignore it.
+    pub jobs: usize,
 }
 
 impl CliOptions {
-    /// Parses the common flags: `--quick`, `--paper-scale`, `--out <dir>`.
+    /// Parses the common flags: `--quick`, `--paper-scale`, `--out <dir>`,
+    /// `--jobs <n>`.
     pub fn from_args() -> Self {
         let mut scale = Scale::Default;
         let mut output_dir = PathBuf::from("results");
+        let mut jobs = 1usize;
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             match arg.as_str() {
@@ -61,9 +74,16 @@ impl CliOptions {
                         output_dir = PathBuf::from(dir);
                     }
                 }
+                "--jobs" => match args.next().map(|n| n.parse::<usize>()) {
+                    Some(Ok(n)) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs requires a positive integer; try --help");
+                        std::process::exit(2);
+                    }
+                },
                 "--help" | "-h" => {
                     eprintln!(
-                        "options: --quick | --paper-scale   workload scale (default: laptop scale)\n         --out <dir>              directory for JSON results (default: results/)"
+                        "options: --quick | --paper-scale   workload scale (default: laptop scale)\n         --out <dir>              directory for JSON results (default: results/)\n         --jobs <n>               worker threads for the all_figures sweep (default: 1)"
                     );
                     std::process::exit(0);
                 }
@@ -73,6 +93,10 @@ impl CliOptions {
                 }
             }
         }
-        Self { scale, output_dir }
+        Self {
+            scale,
+            output_dir,
+            jobs,
+        }
     }
 }

@@ -146,13 +146,33 @@ impl Params {
         }
     }
 
+    /// The dimensionality the generated workload will actually have: the
+    /// real-data stand-ins (Zillow-like, NBA-like) are inherently
+    /// 5-dimensional and override [`Params::dims`]. Workload construction and
+    /// reporting both go through this accessor, so figure output is labeled
+    /// with the dimensionality that was really used.
+    pub fn effective_dims(&self) -> usize {
+        match self.distribution {
+            ObjectDistribution::ZillowLike | ObjectDistribution::NbaLike => 5,
+            _ => self.dims,
+        }
+    }
+
     /// A short description of the non-default parameters, for table headers.
+    /// Reports the *effective* dimensionality (and flags when the real-data
+    /// stand-ins overrode the configured one).
     pub fn describe(&self) -> String {
+        let effective = self.effective_dims();
+        let dims = if effective == self.dims {
+            format!("{effective}")
+        } else {
+            format!("{effective} (fixed by {})", self.distribution.label())
+        };
         format!(
             "|F|={} |O|={} D={} dist={} buffer={:.0}% fcap={} ocap={} gamma={}",
             self.num_functions,
             self.num_objects,
-            self.dims,
+            dims,
             self.distribution.label(),
             self.buffer_fraction * 100.0,
             self.function_capacity,
@@ -196,5 +216,27 @@ mod tests {
         let d = p.describe();
         assert!(d.contains("|F|=200"));
         assert!(d.contains("anti-correlated"));
+        assert!(d.contains("D=4"));
+    }
+
+    #[test]
+    fn describe_reports_the_effective_dimensionality() {
+        let mut p = Params::defaults(Scale::Quick);
+        p.dims = 3;
+        assert_eq!(p.effective_dims(), 3);
+        p.distribution = ObjectDistribution::NbaLike;
+        assert_eq!(p.effective_dims(), 5);
+        let d = p.describe();
+        assert!(
+            d.contains("D=5 (fixed by nba-like)"),
+            "describe must expose the override: {d}"
+        );
+        assert!(!d.contains("D=3"));
+        p.distribution = ObjectDistribution::ZillowLike;
+        assert_eq!(p.effective_dims(), 5);
+        // when the configured dims already match, no override flag is shown
+        p.dims = 5;
+        assert!(p.describe().contains("D=5 "));
+        assert!(!p.describe().contains("fixed by"));
     }
 }

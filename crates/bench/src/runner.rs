@@ -4,18 +4,15 @@ use crate::algorithms::AlgorithmKind;
 use crate::params::Params;
 use crate::report::Row;
 use pref_assign::{ObjectRecord, PreferenceFunction, Problem};
-use pref_datagen::{
-    clustered_weight_functions, random_priorities, uniform_weight_functions, ObjectDistribution,
-};
+use pref_datagen::{clustered_weight_functions, random_priorities, uniform_weight_functions};
 use pref_rtree::RTree;
 
 /// Generates the problem instance described by `params` (deterministic in the
 /// seed).
 pub fn build_problem(params: &Params) -> Problem {
-    let dims = match params.distribution {
-        ObjectDistribution::ZillowLike | ObjectDistribution::NbaLike => 5,
-        _ => params.dims,
-    };
+    // the real-data stand-ins fix the dimensionality; `Params::describe`
+    // reports the same effective value so figure output stays truthful
+    let dims = params.effective_dims();
     let mut functions = match params.weight_clusters {
         Some(clusters) => clustered_weight_functions(
             params.num_functions,
@@ -78,6 +75,7 @@ pub fn run_cell(experiment: &str, x: &str, params: &Params, algo: AlgorithmKind)
 mod tests {
     use super::*;
     use crate::params::Scale;
+    use pref_datagen::ObjectDistribution;
 
     fn tiny_params() -> Params {
         Params {

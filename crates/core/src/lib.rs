@@ -21,6 +21,13 @@
 //!   two-skyline search) and the batch variant [`sb_alt`] for disk-resident
 //!   function sets (Section 7.6).
 //!
+//! All of them are also available behind the common [`Solver`] trait
+//! ([`SbSolver`], [`SbAltSolver`], [`ChainSolver`], [`BruteForceSolver`]), so
+//! harnesses and the streaming engine can treat "a way to compute the stable
+//! matching" as a value; `sb` and `sb_alt` share one stable-loop scaffolding
+//! underneath, which pins their capacity bookkeeping and tie handling
+//! together by construction.
+//!
 //! The [`oracle`] module computes the exact stable matching by brute force and
 //! [`verify_stable`] checks Property 2 directly; both are used heavily by the
 //! test-suite.
@@ -63,6 +70,8 @@ mod pairing;
 mod problem;
 mod sb;
 mod sbalt;
+mod scaffold;
+mod solver;
 
 pub use brute::brute_force;
 pub use chain::chain;
@@ -72,12 +81,22 @@ pub use oracle::oracle;
 pub use problem::{FunctionId, ObjectRecord, PreferenceFunction, Problem, ProblemError};
 pub use sb::{sb, BestPairStrategy, MaintenanceStrategy, SbOptions};
 pub use sbalt::sb_alt;
+pub use solver::{all_solvers, BruteForceSolver, ChainSolver, SbAltSolver, SbSolver, Solver};
 
 use pref_rtree::RTree;
 
 /// Solves a problem with the fully optimized SB algorithm and a default
-/// object index (the convenience entry point used by the examples).
-pub fn solve(problem: &Problem) -> Assignment {
+/// object index, returning the full [`AssignmentResult`] — the matching plus
+/// the [`RunMetrics`] (I/O, CPU, memory, loop counts) collected along the way.
+pub fn solve_with_metrics(problem: &Problem) -> AssignmentResult {
     let mut tree: RTree = problem.build_tree(None, 0.02);
-    sb(problem, &mut tree, &SbOptions::default()).assignment
+    sb(problem, &mut tree, &SbOptions::default())
+}
+
+/// Solves a problem with the fully optimized SB algorithm and a default
+/// object index (the convenience entry point used by the examples). A thin
+/// wrapper over [`solve_with_metrics`] for callers that only want the
+/// matching; use the latter when the run's measurements matter.
+pub fn solve(problem: &Problem) -> Assignment {
+    solve_with_metrics(problem).assignment
 }

@@ -18,8 +18,11 @@ pub struct RunMetrics {
     /// Only the exhaustive-scan variants (which touch no auxiliary index)
     /// report zero here.
     pub aux_io: IoStats,
-    /// Wall-clock CPU time of the run (the run is single-threaded, so
-    /// wall-clock equals CPU time).
+    /// Wall-clock time of the run. Each batch solver runs single-threaded, so
+    /// for one `Solver::solve` call this still equals CPU time; it stops being
+    /// a CPU measure when runs execute concurrently (the `--jobs` figure
+    /// sweeps) or when the assignment engine batches repair work between
+    /// reads — treat it as elapsed time, not as a cross-thread CPU total.
     #[serde(with = "duration_serde")]
     pub cpu_time: Duration,
     /// Peak size of the algorithm's search structures, in bytes.

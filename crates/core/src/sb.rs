@@ -12,9 +12,9 @@
 //! stripped-down variants used in the paper's Figure 8 ablation, and enables
 //! the two-skyline technique for prioritized functions (Section 6.2).
 
-use crate::matching::Assignment;
 use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
 use crate::problem::Problem;
+use crate::scaffold::StableLoop;
 use pref_geom::Point;
 use pref_rtree::{RTree, RecordId};
 use pref_skyline::{compute_skyline_bbs, delta_sky_update, skyline_sfs, update_skyline, Skyline};
@@ -138,46 +138,23 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
     let n_fun = problem.num_functions();
     let n_obj = problem.num_objects();
 
-    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
-    // dense per-object slabs, indexed by the problem's dense object index
-    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
+    // solver-specific per-object search state, indexed by the dense index
     let mut ta_states: Vec<Option<ReverseTopOne>> = vec![None; n_obj];
     let mut excluded: Vec<bool> = vec![false; n_obj];
 
-    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
-    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
-
     let mut skyline: Skyline = compute_skyline_bbs(tree);
 
-    // per-loop argmax slabs, invalidated by stamp (no clearing between loops):
-    // object_best[oi] = (stamp, best function, score)
-    // function_best[fi] = (stamp, best dense object index, score)
-    let mut object_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_obj];
-    let mut function_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_fun];
-    let mut candidate_stamp: Vec<u64> = vec![0; n_fun];
-    let mut candidate_functions: Vec<usize> = Vec::new();
-
-    let mut assignment = Assignment::new();
+    let mut state = StableLoop::new(problem);
     let mut gauge = MemoryGauge::new();
-    let mut loops: u64 = 0;
     let mut searches: u64 = 0;
     let mut aux_reads: u64 = 0;
 
-    while demand > 0 && supply > 0 && !skyline.is_empty() {
-        loops += 1;
-        let stamp = loops;
+    while state.active(&skyline) {
+        let stamp = state.begin_loop();
 
         // --- best function for every skyline object -------------------------
         // Borrowed entry views: (dense index, record, &point), no cloning.
-        let sky_views: Vec<(usize, RecordId, &Point)> = skyline
-            .entry_views()
-            .map(|(record, point)| {
-                let oi = problem
-                    .object_index(record)
-                    .expect("skyline records are problem objects");
-                (oi, record, point)
-            })
-            .collect();
+        let sky_views: Vec<(usize, RecordId, &Point)> = state.sky_views(problem, &skyline);
         // candidate function set for the two-skyline strategy, sorted so that
         // exact score ties resolve to the lowest function index
         let function_skyline: Option<Vec<usize>> = match options.best_pair {
@@ -202,7 +179,6 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
             _ => None,
         };
 
-        candidate_functions.clear();
         let mut any_best = false;
         for &(oi, _, point) in &sky_views {
             searches += 1;
@@ -241,12 +217,8 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
             };
             match best {
                 Some((fi, score)) => {
-                    object_best[oi] = (stamp, fi, score);
+                    state.note_best(stamp, oi, fi, score);
                     any_best = true;
-                    if candidate_stamp[fi] != stamp {
-                        candidate_stamp[fi] = stamp;
-                        candidate_functions.push(fi);
-                    }
                 }
                 None => break, // no functions remain
             }
@@ -256,14 +228,8 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         }
 
         // --- reciprocal pairs (shared with sb_alt, see `pairing`) -----------
-        let mut pairs = crate::pairing::reciprocal_pairs(
-            stamp,
-            &sky_views,
-            &object_best,
-            &mut function_best,
-            &mut candidate_functions,
-            |fi, point| lists.score(fi, point),
-        );
+        let mut pairs =
+            state.reciprocal_pairs(stamp, &sky_views, |fi, point| lists.score(fi, point));
         if pairs.is_empty() {
             break;
         }
@@ -272,28 +238,18 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         }
 
         // --- assign and update capacities -----------------------------------
-        let mut removed_objects = Vec::new();
-        for (fi, oi, score) in pairs {
-            if demand == 0 || supply == 0 {
-                break;
-            }
-            let record = problem.objects()[oi].id;
-            assignment.push(problem.functions()[fi].id, record, score);
-            demand -= 1;
-            supply -= 1;
-            f_remaining[fi] -= 1;
-            if f_remaining[fi] == 0 {
+        let removed_objects = state.commit(
+            problem,
+            pairs,
+            &mut skyline,
+            |fi| {
                 lists.remove(fi);
-            }
-            o_remaining[oi] -= 1;
-            if o_remaining[oi] == 0 {
+            },
+            |oi| {
                 excluded[oi] = true;
                 ta_states[oi] = None;
-                if let Some(sky_obj) = skyline.remove(record) {
-                    removed_objects.push(sky_obj);
-                }
-            }
-        }
+            },
+        );
 
         // --- skyline maintenance ---------------------------------------------
         if !removed_objects.is_empty() {
@@ -329,11 +285,11 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         },
         cpu_time: start.elapsed(),
         peak_memory_bytes: gauge.peak(),
-        loops,
+        loops: state.loops,
         searches,
     };
     AssignmentResult {
-        assignment,
+        assignment: state.assignment,
         metrics,
     }
 }

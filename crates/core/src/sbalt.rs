@@ -6,9 +6,9 @@
 //! loop, instead of per-object TA searches. List I/O is charged explicitly and
 //! reported in [`RunMetrics::aux_io`].
 
-use crate::matching::Assignment;
 use crate::metrics::{AssignmentResult, MemoryGauge, RunMetrics};
 use crate::problem::Problem;
+use crate::scaffold::StableLoop;
 use pref_geom::Point;
 use pref_rtree::RTree;
 use pref_skyline::{compute_skyline_bbs, update_skyline, Skyline};
@@ -29,56 +29,27 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
         .collect();
     let mut disk = DiskFunctionLists::new(&functions, list_buffer_frames);
 
-    let n_fun = problem.num_functions();
-    let n_obj = problem.num_objects();
-
-    let mut f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
-    // dense per-object capacities, indexed by the problem's dense object index
-    let mut o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
-    let mut demand: u64 = f_remaining.iter().map(|&c| c as u64).sum();
-    let mut supply: u64 = o_remaining.iter().map(|&c| c as u64).sum();
-
     let mut skyline: Skyline = compute_skyline_bbs(tree);
 
-    // per-loop argmax slabs, invalidated by stamp (see `sb`)
-    let mut object_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_obj];
-    let mut function_best: Vec<(u64, usize, f64)> = vec![(0, 0, 0.0); n_fun];
-    let mut candidate_stamp: Vec<u64> = vec![0; n_fun];
-    let mut candidate_functions: Vec<usize> = Vec::new();
-
-    let mut assignment = Assignment::new();
+    let mut state = StableLoop::new(problem);
     let mut gauge = MemoryGauge::new();
-    let mut loops: u64 = 0;
     let mut searches: u64 = 0;
 
-    while demand > 0 && supply > 0 && !skyline.is_empty() {
-        loops += 1;
-        let stamp = loops;
-        let sky_views: Vec<(usize, pref_rtree::RecordId, &Point)> = skyline
-            .entry_views()
-            .map(|(record, point)| {
-                let oi = problem
-                    .object_index(record)
-                    .expect("skyline records are problem objects");
-                (oi, record, point)
-            })
-            .collect();
+    while state.active(&skyline) {
+        let stamp = state.begin_loop();
+        let sky_views: Vec<(usize, pref_rtree::RecordId, &Point)> =
+            state.sky_views(problem, &skyline);
         // the batch scanner needs the query points as one owned slice
         let points: Vec<Point> = sky_views.iter().map(|&(_, _, p)| p.clone()).collect();
         searches += 1;
         let best = batch_best_functions(&mut disk, &points);
 
-        candidate_functions.clear();
         let mut any_best = false;
         for (&(oi, _, _), best) in sky_views.iter().zip(best) {
             match best {
                 Some((fi, score)) => {
-                    object_best[oi] = (stamp, fi, score);
+                    state.note_best(stamp, oi, fi, score);
                     any_best = true;
-                    if candidate_stamp[fi] != stamp {
-                        candidate_stamp[fi] = stamp;
-                        candidate_functions.push(fi);
-                    }
                 }
                 None => break,
             }
@@ -88,38 +59,21 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
         }
 
         // --- reciprocal pairs (shared with sb, see `pairing`) ---------------
-        let pairs = crate::pairing::reciprocal_pairs(
-            stamp,
-            &sky_views,
-            &object_best,
-            &mut function_best,
-            &mut candidate_functions,
-            |fi, point| disk.inner().score(fi, point),
-        );
+        let pairs =
+            state.reciprocal_pairs(stamp, &sky_views, |fi, point| disk.inner().score(fi, point));
         if pairs.is_empty() {
             break;
         }
 
-        let mut removed_objects = Vec::new();
-        for (fi, oi, score) in pairs {
-            if demand == 0 || supply == 0 {
-                break;
-            }
-            let record = problem.objects()[oi].id;
-            assignment.push(problem.functions()[fi].id, record, score);
-            demand -= 1;
-            supply -= 1;
-            f_remaining[fi] -= 1;
-            if f_remaining[fi] == 0 {
+        let removed_objects = state.commit(
+            problem,
+            pairs,
+            &mut skyline,
+            |fi| {
                 disk.remove(fi);
-            }
-            o_remaining[oi] -= 1;
-            if o_remaining[oi] == 0 {
-                if let Some(sky_obj) = skyline.remove(record) {
-                    removed_objects.push(sky_obj);
-                }
-            }
-        }
+            },
+            |_| {},
+        );
         if !removed_objects.is_empty() {
             update_skyline(tree, &mut skyline, removed_objects);
         }
@@ -131,11 +85,11 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
         aux_io: disk.stats(),
         cpu_time: start.elapsed(),
         peak_memory_bytes: gauge.peak(),
-        loops,
+        loops: state.loops,
         searches,
     };
     AssignmentResult {
-        assignment,
+        assignment: state.assignment,
         metrics,
     }
 }

@@ -1,0 +1,164 @@
+//! The stable-loop scaffolding shared by the skyline-based solvers.
+//!
+//! `sb` and `sb_alt` run the same outer loop: keep dense per-function and
+//! per-object capacity slabs, find every skyline object's best function, keep
+//! the reciprocal pairs, commit them, and hand the removed skyline objects to
+//! the maintenance module. They differ only in *how* the best function for a
+//! skyline point is located (per-object TA searches vs. one batched scan of
+//! disk-resident lists). This module owns the shared state and the shared
+//! steps, so the [`crate::solver::Solver`] implementations cannot drift apart
+//! on capacity bookkeeping or tie handling.
+
+use crate::matching::Assignment;
+use crate::problem::Problem;
+use pref_geom::Point;
+use pref_rtree::RecordId;
+use pref_skyline::{Skyline, SkylineObject};
+
+/// Dense per-run state of the skyline-based stable loop.
+///
+/// All slabs are indexed by the [`Problem`]'s dense function / object indices;
+/// the per-loop argmax slabs (`object_best`, `function_best`) are invalidated
+/// by a loop stamp instead of being cleared between loops.
+pub(crate) struct StableLoop {
+    /// Remaining capacity per function (dense index).
+    pub f_remaining: Vec<u32>,
+    /// Remaining capacity per object (dense index).
+    pub o_remaining: Vec<u32>,
+    /// Total remaining demand (sum of `f_remaining`).
+    pub demand: u64,
+    /// Total remaining supply (sum of `o_remaining`).
+    pub supply: u64,
+    /// `object_best[oi] = (stamp, best function, score)`.
+    pub object_best: Vec<(u64, usize, f64)>,
+    /// `function_best[fi] = (stamp, best dense object index, score)`.
+    function_best: Vec<(u64, usize, f64)>,
+    /// Stamp guard deduplicating `candidate_functions` per loop.
+    candidate_stamp: Vec<u64>,
+    /// Functions named by some `object_best` entry this loop.
+    candidate_functions: Vec<usize>,
+    /// Pairs established so far.
+    pub assignment: Assignment,
+    /// Outer loops executed.
+    pub loops: u64,
+}
+
+impl StableLoop {
+    pub(crate) fn new(problem: &Problem) -> Self {
+        let f_remaining: Vec<u32> = problem.functions().iter().map(|f| f.capacity).collect();
+        let o_remaining: Vec<u32> = problem.objects().iter().map(|o| o.capacity).collect();
+        let demand = f_remaining.iter().map(|&c| c as u64).sum();
+        let supply = o_remaining.iter().map(|&c| c as u64).sum();
+        let n_fun = problem.num_functions();
+        let n_obj = problem.num_objects();
+        Self {
+            f_remaining,
+            o_remaining,
+            demand,
+            supply,
+            object_best: vec![(0, 0, 0.0); n_obj],
+            function_best: vec![(0, 0, 0.0); n_fun],
+            candidate_stamp: vec![0; n_fun],
+            candidate_functions: Vec::new(),
+            assignment: Assignment::new(),
+            loops: 0,
+        }
+    }
+
+    /// `true` while another loop can still establish pairs.
+    pub(crate) fn active(&self, skyline: &Skyline) -> bool {
+        self.demand > 0 && self.supply > 0 && !skyline.is_empty()
+    }
+
+    /// Starts a loop and returns its stamp.
+    pub(crate) fn begin_loop(&mut self) -> u64 {
+        self.loops += 1;
+        self.candidate_functions.clear();
+        self.loops
+    }
+
+    /// Borrowed views of the current skyline as `(dense index, record,
+    /// &point)` triples — the per-loop working set of both solvers.
+    pub(crate) fn sky_views<'a>(
+        &self,
+        problem: &Problem,
+        skyline: &'a Skyline,
+    ) -> Vec<(usize, RecordId, &'a Point)> {
+        skyline
+            .entry_views()
+            .map(|(record, point)| {
+                let oi = problem
+                    .object_index(record)
+                    .expect("skyline records are problem objects");
+                (oi, record, point)
+            })
+            .collect()
+    }
+
+    /// Records a skyline object's best function for the stamped loop.
+    pub(crate) fn note_best(&mut self, stamp: u64, oi: usize, fi: usize, score: f64) {
+        self.object_best[oi] = (stamp, fi, score);
+        if self.candidate_stamp[fi] != stamp {
+            self.candidate_stamp[fi] = stamp;
+            self.candidate_functions.push(fi);
+        }
+    }
+
+    /// Completes the loop's argmax exchange: finds every candidate function's
+    /// best skyline object and returns the reciprocal (stable) pairs in
+    /// descending score order (see [`crate::pairing::reciprocal_pairs`] for
+    /// the tie rules).
+    pub(crate) fn reciprocal_pairs(
+        &mut self,
+        stamp: u64,
+        sky_views: &[(usize, RecordId, &Point)],
+        score: impl Fn(usize, &Point) -> f64,
+    ) -> Vec<(usize, usize, f64)> {
+        crate::pairing::reciprocal_pairs(
+            stamp,
+            sky_views,
+            &self.object_best,
+            &mut self.function_best,
+            &mut self.candidate_functions,
+            score,
+        )
+    }
+
+    /// Commits the loop's pairs: pushes them onto the assignment, updates the
+    /// capacity slabs, removes exhausted objects from the skyline and returns
+    /// them (with their pruned lists) for the maintenance module.
+    /// `on_function_exhausted` / `on_object_exhausted` let the solver retire
+    /// its per-function / per-object search state (sorted lists, TA states).
+    pub(crate) fn commit(
+        &mut self,
+        problem: &Problem,
+        pairs: Vec<(usize, usize, f64)>,
+        skyline: &mut Skyline,
+        mut on_function_exhausted: impl FnMut(usize),
+        mut on_object_exhausted: impl FnMut(usize),
+    ) -> Vec<SkylineObject> {
+        let mut removed_objects = Vec::new();
+        for (fi, oi, score) in pairs {
+            if self.demand == 0 || self.supply == 0 {
+                break;
+            }
+            let record = problem.objects()[oi].id;
+            self.assignment
+                .push(problem.functions()[fi].id, record, score);
+            self.demand -= 1;
+            self.supply -= 1;
+            self.f_remaining[fi] -= 1;
+            if self.f_remaining[fi] == 0 {
+                on_function_exhausted(fi);
+            }
+            self.o_remaining[oi] -= 1;
+            if self.o_remaining[oi] == 0 {
+                on_object_exhausted(oi);
+                if let Some(sky_obj) = skyline.remove(record) {
+                    removed_objects.push(sky_obj);
+                }
+            }
+        }
+        removed_objects
+    }
+}

@@ -10,6 +10,10 @@
 //! (Gaussian around `C` random centers, σ = 0.05, as in Figure 12), priorities
 //! and capacities.
 //!
+//! For the long-lived assignment engine the crate additionally generates
+//! deterministic **update streams** ([`update_stream`]): seeded sequences of
+//! object / function arrivals and departures with population floors.
+//!
 //! All generators are deterministic given a seed.
 
 #![warn(missing_docs)]
@@ -19,6 +23,7 @@ mod functions;
 mod objects;
 mod real_like;
 mod rng_ext;
+mod stream;
 
 pub use functions::{
     clustered_weight_functions, random_capacities, random_priorities, uniform_weight_functions,
@@ -26,6 +31,7 @@ pub use functions::{
 pub use objects::{anti_correlated_objects, correlated_objects, independent_objects};
 pub use real_like::{nba_like_objects, zillow_like_objects, NBA_DIMS, NBA_SIZE, ZILLOW_DIMS};
 pub use rng_ext::standard_normal;
+pub use stream::{update_stream, UpdateEvent, UpdateStreamConfig};
 
 use pref_geom::Point;
 use pref_rtree::RecordId;

@@ -1,0 +1,277 @@
+//! Deterministic update-stream workloads for the long-lived assignment
+//! engine: seeded sequences of object / function arrivals and departures.
+//!
+//! A stream is generated against a snapshot of the live id populations, so
+//! every departure names an id that is guaranteed to be alive at that point
+//! of the sequence and every arrival mints a fresh id — the consumer can
+//! apply the events blindly. Points for arriving objects follow any
+//! [`ObjectDistribution`]; weights for arriving functions are uniform, like
+//! the paper's default function workload.
+
+use crate::{uniform_weight_functions, ObjectDistribution};
+use pref_geom::{LinearFunction, Point};
+use pref_rtree::RecordId;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// One update of the streamed assignment problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateEvent {
+    /// A new object arrives.
+    InsertObject {
+        /// Freshly minted record id (never reused within the stream).
+        id: RecordId,
+        /// Feature vector, normalized to `[0, 1]`.
+        point: Point,
+    },
+    /// A live object departs.
+    RemoveObject {
+        /// Id of the departing object.
+        id: RecordId,
+    },
+    /// A new preference function (user) arrives.
+    InsertFunction {
+        /// Freshly minted function id (never reused within the stream).
+        id: u64,
+        /// The arriving preference function.
+        function: LinearFunction,
+    },
+    /// A live preference function departs.
+    RemoveFunction {
+        /// Id of the departing function.
+        id: u64,
+    },
+}
+
+/// Configuration of [`update_stream`].
+#[derive(Debug, Clone)]
+pub struct UpdateStreamConfig {
+    /// Number of events to generate.
+    pub num_events: usize,
+    /// Dimensionality of arriving objects and functions.
+    pub dims: usize,
+    /// Distribution of arriving object points.
+    pub distribution: ObjectDistribution,
+    /// Probability that an event is an arrival (vs. a departure).
+    pub insert_fraction: f64,
+    /// Probability that an event targets the object side (vs. functions).
+    pub object_fraction: f64,
+    /// Departures never shrink the object population below this floor.
+    pub min_objects: usize,
+    /// Departures never shrink the function population below this floor.
+    pub min_functions: usize,
+    /// RNG seed; equal seeds give byte-identical streams.
+    pub seed: u64,
+}
+
+impl Default for UpdateStreamConfig {
+    fn default() -> Self {
+        Self {
+            num_events: 64,
+            dims: 3,
+            distribution: ObjectDistribution::Independent,
+            insert_fraction: 0.5,
+            object_fraction: 0.7,
+            min_objects: 1,
+            min_functions: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Generates a deterministic update stream against the given live
+/// populations.
+///
+/// `live_objects` / `live_functions` are the ids alive before the first
+/// event; arrivals mint ids strictly greater than every id ever seen, so the
+/// stream never collides with the initial populations or with itself.
+pub fn update_stream(
+    config: &UpdateStreamConfig,
+    live_objects: &[RecordId],
+    live_functions: &[u64],
+) -> Vec<UpdateEvent> {
+    assert!(config.dims > 0, "streams need at least one dimension");
+    assert!(
+        live_objects.len() >= config.min_objects,
+        "initial object population is below the configured floor"
+    );
+    assert!(
+        live_functions.len() >= config.min_functions,
+        "initial function population is below the configured floor"
+    );
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut objects: Vec<RecordId> = live_objects.to_vec();
+    let mut functions: Vec<u64> = live_functions.to_vec();
+    let mut next_object_id = objects.iter().map(|r| r.0 + 1).max().unwrap_or(0);
+    let mut next_function_id = functions.iter().map(|&f| f + 1).max().unwrap_or(0);
+
+    // pre-drawn pools keep the per-event cost flat and the stream reproducible
+    let arriving_points: Vec<Point> = config
+        .distribution
+        .generate(config.num_events, config.dims, config.seed ^ 0x0a11)
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect();
+    let arriving_functions: Vec<LinearFunction> =
+        uniform_weight_functions(config.num_events, config.dims, config.seed ^ 0x0f11);
+
+    let mut events = Vec::with_capacity(config.num_events);
+    for step in 0..config.num_events {
+        let object_side = rng.gen_bool(config.object_fraction.clamp(0.0, 1.0));
+        let mut insert = rng.gen_bool(config.insert_fraction.clamp(0.0, 1.0));
+        // a departure that would break the population floor flips to an arrival
+        if !insert {
+            let at_floor = if object_side {
+                objects.len() <= config.min_objects
+            } else {
+                functions.len() <= config.min_functions
+            };
+            if at_floor {
+                insert = true;
+            }
+        }
+        let event = match (object_side, insert) {
+            (true, true) => {
+                let id = RecordId(next_object_id);
+                next_object_id += 1;
+                objects.push(id);
+                UpdateEvent::InsertObject {
+                    id,
+                    point: arriving_points[step].clone(),
+                }
+            }
+            (true, false) => {
+                let id = objects.swap_remove(rng.gen_range(0..objects.len()));
+                UpdateEvent::RemoveObject { id }
+            }
+            (false, true) => {
+                let id = next_function_id;
+                next_function_id += 1;
+                functions.push(id);
+                UpdateEvent::InsertFunction {
+                    id,
+                    function: arriving_functions[step].clone(),
+                }
+            }
+            (false, false) => {
+                let id = functions.swap_remove(rng.gen_range(0..functions.len()));
+                UpdateEvent::RemoveFunction { id }
+            }
+        };
+        events.push(event);
+    }
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn base_config() -> UpdateStreamConfig {
+        UpdateStreamConfig {
+            num_events: 200,
+            seed: 42,
+            ..UpdateStreamConfig::default()
+        }
+    }
+
+    fn initial() -> (Vec<RecordId>, Vec<u64>) {
+        ((0..20).map(RecordId).collect(), (0..5).collect())
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let (objs, funs) = initial();
+        let a = update_stream(&base_config(), &objs, &funs);
+        let b = update_stream(&base_config(), &objs, &funs);
+        assert_eq!(a, b);
+        let c = update_stream(
+            &UpdateStreamConfig {
+                seed: 43,
+                ..base_config()
+            },
+            &objs,
+            &funs,
+        );
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 200);
+    }
+
+    #[test]
+    fn departures_only_name_live_ids_and_floors_hold() {
+        let (objs, funs) = initial();
+        let config = UpdateStreamConfig {
+            min_objects: 3,
+            min_functions: 2,
+            insert_fraction: 0.3, // departure-heavy: floors must engage
+            ..base_config()
+        };
+        let events = update_stream(&config, &objs, &funs);
+        let mut live_o: HashSet<u64> = objs.iter().map(|r| r.0).collect();
+        let mut live_f: HashSet<u64> = funs.iter().copied().collect();
+        for e in &events {
+            match e {
+                UpdateEvent::InsertObject { id, point } => {
+                    assert!(live_o.insert(id.0), "object id {id} reused");
+                    assert_eq!(point.dims(), config.dims);
+                }
+                UpdateEvent::RemoveObject { id } => {
+                    assert!(live_o.remove(&id.0), "removed unknown object {id}");
+                    assert!(live_o.len() >= config.min_objects);
+                }
+                UpdateEvent::InsertFunction { id, function } => {
+                    assert!(live_f.insert(*id), "function id {id} reused");
+                    assert_eq!(function.dims(), config.dims);
+                }
+                UpdateEvent::RemoveFunction { id } => {
+                    assert!(live_f.remove(id), "removed unknown function {id}");
+                    assert!(live_f.len() >= config.min_functions);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_ids_never_collide_with_initial_populations() {
+        let objs: Vec<RecordId> = [7u64, 100, 3].into_iter().map(RecordId).collect();
+        let funs: Vec<u64> = vec![11, 2];
+        let events = update_stream(&base_config(), &objs, &funs);
+        for e in &events {
+            match e {
+                UpdateEvent::InsertObject { id, .. } => assert!(id.0 > 100),
+                UpdateEvent::InsertFunction { id, .. } => assert!(*id > 11),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn insert_only_streams_never_remove() {
+        let (objs, funs) = initial();
+        let config = UpdateStreamConfig {
+            insert_fraction: 1.0,
+            ..base_config()
+        };
+        let events = update_stream(&config, &objs, &funs);
+        assert!(events.iter().all(|e| matches!(
+            e,
+            UpdateEvent::InsertObject { .. } | UpdateEvent::InsertFunction { .. }
+        )));
+    }
+
+    #[test]
+    fn arrival_points_follow_the_configured_distribution_bounds() {
+        let (objs, funs) = initial();
+        let config = UpdateStreamConfig {
+            distribution: ObjectDistribution::AntiCorrelated,
+            insert_fraction: 1.0,
+            object_fraction: 1.0,
+            ..base_config()
+        };
+        for e in update_stream(&config, &objs, &funs) {
+            if let UpdateEvent::InsertObject { point, .. } = e {
+                assert!(point.coords().iter().all(|c| (0.0..=1.0).contains(c)));
+            }
+        }
+    }
+}

@@ -1,0 +1,629 @@
+//! The incremental engine: state, update operations and the repair loop.
+
+use pref_assign::{Assignment, FunctionId, ObjectRecord, PreferenceFunction, Problem};
+use pref_datagen::UpdateEvent;
+use pref_geom::Point;
+use pref_rtree::{DataEntry, NodeEntry, RTree, RecordId};
+use pref_skyline::{compute_skyline_bbs, insert_skyline, update_skyline_filtered, Skyline};
+use pref_storage::IoStats;
+use std::collections::HashMap;
+
+/// Configuration of an [`AssignmentEngine`].
+#[derive(Debug, Clone)]
+pub struct EngineOptions {
+    /// R-tree fanout override (`None` = the page-size derived default).
+    pub fanout: Option<usize>,
+    /// LRU buffer size as a fraction of the built tree (paper default: 2%).
+    pub buffer_fraction: f64,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        Self {
+            fanout: None,
+            buffer_fraction: 0.02,
+        }
+    }
+}
+
+/// Errors raised by the engine's update operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// The arriving object / function does not match the engine's
+    /// dimensionality.
+    DimensionMismatch {
+        /// The engine's dimensionality.
+        expected: usize,
+        /// The arrival's dimensionality.
+        got: usize,
+    },
+    /// The record id was already registered (alive or departed — ids are
+    /// never reused, because departed objects leave a tombstone in the
+    /// R-tree).
+    DuplicateObject(RecordId),
+    /// The function id was already registered (alive or departed).
+    DuplicateFunction(FunctionId),
+    /// No live object carries this id.
+    UnknownObject(RecordId),
+    /// No live function carries this id.
+    UnknownFunction(FunctionId),
+    /// The live population is empty, so no problem snapshot exists.
+    EmptyProblem,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            EngineError::DuplicateObject(id) => write!(f, "duplicate object id {id}"),
+            EngineError::DuplicateFunction(id) => write!(f, "duplicate function id {id}"),
+            EngineError::UnknownObject(id) => write!(f, "unknown object id {id}"),
+            EngineError::UnknownFunction(id) => write!(f, "unknown function id {id}"),
+            EngineError::EmptyProblem => write!(f, "the live population is empty"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Cumulative counters of the engine's lifetime.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EngineStats {
+    /// Updates applied (all four kinds).
+    pub updates: u64,
+    /// Object arrivals.
+    pub object_inserts: u64,
+    /// Object departures.
+    pub object_removes: u64,
+    /// Function arrivals.
+    pub function_inserts: u64,
+    /// Function departures.
+    pub function_removes: u64,
+    /// Pairs established, including the initial stabilization.
+    pub pairs_established: u64,
+    /// Pairs retracted by departures and repairs.
+    pub pairs_retracted: u64,
+    /// Repair-loop iterations executed (one per established pair).
+    pub repair_rounds: u64,
+}
+
+/// Dense per-object state.
+#[derive(Debug, Clone)]
+struct ObjState {
+    record: ObjectRecord,
+    remaining: u32,
+    alive: bool,
+}
+
+/// Dense per-function state.
+#[derive(Debug, Clone)]
+struct FunState {
+    pref: PreferenceFunction,
+    remaining: u32,
+    alive: bool,
+}
+
+/// How the repair loop acquires the object slot of a new pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SlotKind {
+    /// The object has free capacity (it is on the free-pool skyline).
+    Free,
+    /// The object is saturated: its worst-scoring pair is displaced.
+    Steal,
+}
+
+/// One candidate repair step.
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    fi: usize,
+    oi: usize,
+    score: f64,
+    kind: SlotKind,
+}
+
+impl Candidate {
+    /// Deterministic preference: higher score, then filling a free slot over
+    /// displacing a pair, then lowest function / object index — mirroring the
+    /// oracle's greedy consumption order.
+    fn beats(&self, other: &Candidate) -> bool {
+        if self.score != other.score {
+            return self.score > other.score;
+        }
+        if self.kind != other.kind {
+            return self.kind == SlotKind::Free;
+        }
+        (self.fi, self.oi) < (other.fi, other.oi)
+    }
+}
+
+/// A long-lived stable-assignment engine.
+///
+/// Owns the live problem state (functions, objects, capacities), the object
+/// R-tree, the maintained skyline of the **free pool** (live objects with
+/// unassigned capacity), and the current stable matching. All four update
+/// operations re-stabilize incrementally; [`AssignmentEngine::assignment`]
+/// always returns a matching that is stable for the current snapshot.
+///
+/// # Index maintenance strategy
+///
+/// Arrivals are inserted into the R-tree dynamically
+/// ([`RTree::insert_tracked`]); the node splits this causes are patched into
+/// the skyline's pruned lists, which keeps the `UpdateSkyline` machinery
+/// I/O-optimal and correct across arrivals. Departures are *logical*
+/// (tombstoned): physically deleting from the R-tree would condense and
+/// re-insert sibling nodes, invalidating the page references held by pruned
+/// lists. Tombstones cost no I/O — departed records are filtered out of the
+/// maintenance stream — and a service with heavy churn can periodically
+/// rebuild the index from [`AssignmentEngine::snapshot_problem`].
+#[derive(Debug)]
+pub struct AssignmentEngine {
+    dims: usize,
+    objects: Vec<ObjState>,
+    obj_index: HashMap<RecordId, usize>,
+    functions: Vec<FunState>,
+    fun_index: HashMap<FunctionId, usize>,
+    tree: RTree,
+    skyline: Skyline,
+    /// Current matching as `(dense function index, dense object index, score)`.
+    pairs: Vec<(usize, usize, f64)>,
+    stats: EngineStats,
+    /// Tree I/O at the end of the initial stabilization.
+    initial_io: IoStats,
+}
+
+impl AssignmentEngine {
+    /// Builds the engine from an initial problem: bulk-loads the R-tree,
+    /// computes the initial skyline with BBS and stabilizes the matching.
+    /// Index construction is not charged I/O (as in the batch experiments);
+    /// the initial BBS + stable loop is, and is reported separately by
+    /// [`AssignmentEngine::initial_object_io`].
+    pub fn new(problem: &Problem, options: &EngineOptions) -> Result<Self, EngineError> {
+        let tree = problem.build_tree(options.fanout, options.buffer_fraction);
+        let objects: Vec<ObjState> = problem
+            .objects()
+            .iter()
+            .map(|o| ObjState {
+                record: o.clone(),
+                remaining: o.capacity,
+                alive: true,
+            })
+            .collect();
+        let obj_index: HashMap<RecordId, usize> = objects
+            .iter()
+            .enumerate()
+            .map(|(i, o)| (o.record.id, i))
+            .collect();
+        let functions: Vec<FunState> = problem
+            .functions()
+            .iter()
+            .map(|f| FunState {
+                pref: f.clone(),
+                remaining: f.capacity,
+                alive: true,
+            })
+            .collect();
+        let fun_index: HashMap<FunctionId, usize> = functions
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.pref.id, i))
+            .collect();
+        let mut engine = Self {
+            dims: problem.dims(),
+            objects,
+            obj_index,
+            functions,
+            fun_index,
+            tree,
+            skyline: Skyline::new(),
+            pairs: Vec::new(),
+            stats: EngineStats::default(),
+            initial_io: IoStats::default(),
+        };
+        engine.skyline = compute_skyline_bbs(&mut engine.tree);
+        engine.restabilize();
+        engine.initial_io = engine.tree.stats();
+        Ok(engine)
+    }
+
+    /// Dimensionality of the engine's problem.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of live objects.
+    pub fn num_objects(&self) -> usize {
+        self.objects.iter().filter(|o| o.alive).count()
+    }
+
+    /// Number of live functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.iter().filter(|f| f.alive).count()
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Cumulative object R-tree I/O (initial stabilization + all updates).
+    pub fn total_object_io(&self) -> IoStats {
+        self.tree.stats()
+    }
+
+    /// Object R-tree I/O of the initial BBS + stabilization.
+    pub fn initial_object_io(&self) -> IoStats {
+        self.initial_io
+    }
+
+    /// Object R-tree I/O spent on updates since the initial stabilization.
+    pub fn update_object_io(&self) -> IoStats {
+        self.tree.stats().since(&self.initial_io)
+    }
+
+    /// The current stable matching (pairs in establishment order; functions
+    /// with spare capacity or an empty pool may be unmatched, exactly as in
+    /// the batch solvers).
+    pub fn assignment(&self) -> Assignment {
+        let mut assignment = Assignment::new();
+        for &(fi, oi, score) in &self.pairs {
+            assignment.push(
+                self.functions[fi].pref.id,
+                self.objects[oi].record.id,
+                score,
+            );
+        }
+        assignment
+    }
+
+    /// A [`Problem`] snapshot of the live population (full capacities), e.g.
+    /// for oracle comparison or an index rebuild.
+    pub fn snapshot_problem(&self) -> Result<Problem, EngineError> {
+        let functions: Vec<PreferenceFunction> = self
+            .functions
+            .iter()
+            .filter(|f| f.alive)
+            .map(|f| f.pref.clone())
+            .collect();
+        let objects: Vec<ObjectRecord> = self
+            .objects
+            .iter()
+            .filter(|o| o.alive)
+            .map(|o| o.record.clone())
+            .collect();
+        Problem::new(functions, objects).map_err(|_| EngineError::EmptyProblem)
+    }
+
+    /// Applies one [`UpdateEvent`] from a datagen update stream.
+    pub fn apply(&mut self, event: &UpdateEvent) -> Result<(), EngineError> {
+        match event {
+            UpdateEvent::InsertObject { id, point } => {
+                self.insert_object(ObjectRecord::new(id.0, point.clone()))
+            }
+            UpdateEvent::RemoveObject { id } => self.remove_object(*id),
+            UpdateEvent::InsertFunction { id, function } => {
+                self.insert_function(PreferenceFunction::new(*id as usize, function.clone()))
+            }
+            UpdateEvent::RemoveFunction { id } => self.remove_function(FunctionId(*id as usize)),
+        }
+    }
+
+    /// An object arrives: it is inserted into the R-tree (splits are patched
+    /// into the skyline's pruned lists), classified against the maintained
+    /// skyline in memory, and the reverse top-1 repair re-establishes only
+    /// the pairs it destabilizes.
+    pub fn insert_object(&mut self, object: ObjectRecord) -> Result<(), EngineError> {
+        if object.point.dims() != self.dims {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.dims,
+                got: object.point.dims(),
+            });
+        }
+        if self.obj_index.contains_key(&object.id) {
+            return Err(EngineError::DuplicateObject(object.id));
+        }
+        let splits = self
+            .tree
+            .insert_tracked(object.id, object.point.clone())
+            .expect("dimensionality was checked");
+        for split in &splits {
+            // Pre-existing entries that moved to the sibling must stay
+            // reachable through the pruned lists; the new point's
+            // authoritative copy is classified below, and its duplicate
+            // tree-resident copy is dropped by the filtered resume loop.
+            self.skyline.patch_page_split(
+                split.old_page,
+                NodeEntry::Child {
+                    mbr: split.new_mbr.clone(),
+                    page: split.new_page,
+                },
+            );
+        }
+        let oi = self.objects.len();
+        self.obj_index.insert(object.id, oi);
+        let data = DataEntry::new(object.id, object.point.clone());
+        self.objects.push(ObjState {
+            remaining: object.capacity,
+            record: object,
+            alive: true,
+        });
+        insert_skyline(&mut self.skyline, data);
+        self.stats.updates += 1;
+        self.stats.object_inserts += 1;
+        self.restabilize();
+        Ok(())
+    }
+
+    /// An object departs: its pairs are retracted (freeing function
+    /// capacity), it is tombstoned in the R-tree, the free-pool skyline is
+    /// replenished via `UpdateSkyline`, and the stable loop resumes for the
+    /// freed functions.
+    pub fn remove_object(&mut self, id: RecordId) -> Result<(), EngineError> {
+        let oi = match self.obj_index.get(&id) {
+            Some(&oi) if self.objects[oi].alive => oi,
+            _ => return Err(EngineError::UnknownObject(id)),
+        };
+        // retract every pair holding the departing object
+        let mut i = 0;
+        while i < self.pairs.len() {
+            if self.pairs[i].1 == oi {
+                let (fi, _, _) = self.pairs.swap_remove(i);
+                self.functions[fi].remaining += 1;
+                self.stats.pairs_retracted += 1;
+            } else {
+                i += 1;
+            }
+        }
+        self.objects[oi].alive = false;
+        self.objects[oi].remaining = 0;
+        if let Some(removed) = self.skyline.remove(id) {
+            self.replenish_skyline(vec![removed]);
+        }
+        self.stats.updates += 1;
+        self.stats.object_removes += 1;
+        self.restabilize();
+        Ok(())
+    }
+
+    /// A function (user) arrives: a reverse top-1 probe over the free pool
+    /// and the current pairs finds its best attainable object; the
+    /// displacement cascade repairs the rest.
+    pub fn insert_function(&mut self, function: PreferenceFunction) -> Result<(), EngineError> {
+        if function.function.dims() != self.dims {
+            return Err(EngineError::DimensionMismatch {
+                expected: self.dims,
+                got: function.function.dims(),
+            });
+        }
+        if self.fun_index.contains_key(&function.id) {
+            return Err(EngineError::DuplicateFunction(function.id));
+        }
+        let fi = self.functions.len();
+        self.fun_index.insert(function.id, fi);
+        self.functions.push(FunState {
+            remaining: function.capacity,
+            pref: function,
+            alive: true,
+        });
+        self.stats.updates += 1;
+        self.stats.function_inserts += 1;
+        self.restabilize();
+        Ok(())
+    }
+
+    /// A function departs: its pairs are retracted and the freed objects
+    /// return to the free pool (in-memory skyline insertion, no I/O), where
+    /// the stable loop re-offers them to the remaining functions.
+    pub fn remove_function(&mut self, id: FunctionId) -> Result<(), EngineError> {
+        let fi = match self.fun_index.get(&id) {
+            Some(&fi) if self.functions[fi].alive => fi,
+            _ => return Err(EngineError::UnknownFunction(id)),
+        };
+        let mut i = 0;
+        while i < self.pairs.len() {
+            if self.pairs[i].0 == fi {
+                let (_, oi, _) = self.pairs.swap_remove(i);
+                self.free_object_slot(oi);
+                self.stats.pairs_retracted += 1;
+            } else {
+                i += 1;
+            }
+        }
+        self.functions[fi].alive = false;
+        self.functions[fi].remaining = 0;
+        self.stats.updates += 1;
+        self.stats.function_removes += 1;
+        self.restabilize();
+        Ok(())
+    }
+
+    /// Returns one unit of an object's capacity to the free pool; an object
+    /// coming back from full saturation re-enters the maintained skyline
+    /// in memory.
+    fn free_object_slot(&mut self, oi: usize) {
+        self.objects[oi].remaining += 1;
+        if self.objects[oi].alive && self.objects[oi].remaining == 1 {
+            let data = DataEntry::new(
+                self.objects[oi].record.id,
+                self.objects[oi].record.point.clone(),
+            );
+            insert_skyline(&mut self.skyline, data);
+        }
+    }
+
+    /// Replenishes the free-pool skyline after removing skyline objects,
+    /// filtering departed and saturated records out of the candidate stream.
+    fn replenish_skyline(&mut self, removed: Vec<pref_skyline::SkylineObject>) {
+        let objects = &self.objects;
+        let obj_index = &self.obj_index;
+        let drop = |r: RecordId| match obj_index.get(&r) {
+            Some(&oi) => !objects[oi].alive || objects[oi].remaining == 0,
+            None => true,
+        };
+        update_skyline_filtered(&mut self.tree, &mut self.skyline, removed, &drop);
+    }
+
+    /// The incremental stable loop: repeatedly finds the highest-scoring
+    /// admissible pair — a function with spare capacity or an upgrade over a
+    /// side's worst pair — and establishes it, displacing at most one pair on
+    /// each side. Every established pair outscores everything it displaces,
+    /// so the loop replays the tail of the greedy trace of Section 3 and
+    /// terminates with the matching of the batch solvers.
+    ///
+    /// The best free object per function is read off the maintained skyline
+    /// (the free pool's maxima live there); saturated objects are probed
+    /// through the current pairs. Neither probe touches the R-tree — the only
+    /// I/O in the repair path is `UpdateSkyline` replenishment when a free
+    /// object becomes saturated.
+    fn restabilize(&mut self) {
+        while let Some(best) = self.best_candidate() {
+            self.establish(best);
+            self.stats.repair_rounds += 1;
+        }
+    }
+
+    /// Finds the highest-scoring admissible candidate, or `None` when the
+    /// matching is stable.
+    fn best_candidate(&self) -> Option<Candidate> {
+        // per-function admission threshold: -inf with spare capacity,
+        // otherwise the function's worst pair score
+        let mut f_threshold: Vec<f64> = self
+            .functions
+            .iter()
+            .map(|f| {
+                if f.alive && f.remaining > 0 {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .collect();
+        // per-object worst pair score (saturated slot displacement targets)
+        let mut o_worst: HashMap<usize, f64> = HashMap::new();
+        for &(fi, oi, score) in &self.pairs {
+            if f_threshold[fi] > score {
+                f_threshold[fi] = score;
+            }
+            let w = o_worst.entry(oi).or_insert(f64::INFINITY);
+            if score < *w {
+                *w = score;
+            }
+        }
+        let sky: Vec<(usize, &Point)> = self
+            .skyline
+            .entry_views()
+            .map(|(record, point)| {
+                (
+                    *self
+                        .obj_index
+                        .get(&record)
+                        .expect("skyline records are registered"),
+                    point,
+                )
+            })
+            .collect();
+        let steal_targets: Vec<(usize, f64)> = o_worst.into_iter().collect();
+
+        let mut best: Option<Candidate> = None;
+        for (fi, f) in self.functions.iter().enumerate() {
+            if !f.alive {
+                continue;
+            }
+            let threshold = f_threshold[fi];
+            if f.remaining == 0 && threshold == f64::INFINITY {
+                // dead weight: saturated with no pairs cannot happen, but a
+                // function with capacity 0 pairs and no remaining is inert
+                continue;
+            }
+            // free slots: the free pool's maxima are on the skyline
+            for &(oi, point) in &sky {
+                let score = f.pref.function.score(point);
+                if score <= threshold {
+                    continue;
+                }
+                let cand = Candidate {
+                    fi,
+                    oi,
+                    score,
+                    kind: SlotKind::Free,
+                };
+                if best.as_ref().is_none_or(|b| cand.beats(b)) {
+                    best = Some(cand);
+                }
+            }
+            // saturated slots: displace an object's worst pair
+            for &(oi, worst) in &steal_targets {
+                if self.objects[oi].remaining > 0 {
+                    // the object still has free capacity; the skyline path
+                    // covers it without displacing anyone
+                    continue;
+                }
+                let score = f.pref.function.score(&self.objects[oi].record.point);
+                if score <= threshold || score <= worst {
+                    continue;
+                }
+                let cand = Candidate {
+                    fi,
+                    oi,
+                    score,
+                    kind: SlotKind::Steal,
+                };
+                if best.as_ref().is_none_or(|b| cand.beats(b)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
+    }
+
+    /// Establishes a candidate pair, displacing the necessary worst pairs.
+    fn establish(&mut self, cand: Candidate) {
+        // make room on the function side
+        if self.functions[cand.fi].remaining == 0 {
+            let victim = self
+                .worst_pair_index(|&(fi, _, _)| fi == cand.fi)
+                .expect("saturated function has pairs");
+            let (_, oi, _) = self.pairs.swap_remove(victim);
+            self.functions[cand.fi].remaining += 1;
+            self.free_object_slot(oi);
+            self.stats.pairs_retracted += 1;
+        }
+        // make room on the object side
+        if cand.kind == SlotKind::Steal {
+            let victim = self
+                .worst_pair_index(|&(_, oi, _)| oi == cand.oi)
+                .expect("stolen object has pairs");
+            let (fi, _, _) = self.pairs.swap_remove(victim);
+            self.functions[fi].remaining += 1;
+            self.objects[cand.oi].remaining += 1;
+            self.stats.pairs_retracted += 1;
+        }
+        // establish
+        self.functions[cand.fi].remaining -= 1;
+        self.objects[cand.oi].remaining -= 1;
+        self.pairs.push((cand.fi, cand.oi, cand.score));
+        self.stats.pairs_established += 1;
+        if self.objects[cand.oi].remaining == 0 {
+            let record = self.objects[cand.oi].record.id;
+            if let Some(removed) = self.skyline.remove(record) {
+                self.replenish_skyline(vec![removed]);
+            }
+        }
+    }
+
+    /// Index of the minimum-score pair among those matching `filter`
+    /// (ties: first in pair order, which is deterministic per run).
+    fn worst_pair_index(&self, filter: impl Fn(&(usize, usize, f64)) -> bool) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, pair) in self.pairs.iter().enumerate() {
+            if !filter(pair) {
+                continue;
+            }
+            if best.is_none_or(|(_, s)| pair.2 < s) {
+                best = Some((i, pair.2));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+}

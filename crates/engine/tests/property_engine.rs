@@ -1,0 +1,240 @@
+//! Property tests: after any seeded sequence of updates, the engine's
+//! incrementally repaired matching is stable and identical to the batch
+//! result on the current problem snapshot — checked against the exact oracle
+//! after every single update, and against every [`Solver`] variant on the
+//! final snapshot.
+
+use pref_assign::{all_solvers, oracle, verify_stable, ObjectRecord, PreferenceFunction, Problem};
+use pref_datagen::{
+    independent_objects, uniform_weight_functions, update_stream, ObjectDistribution, UpdateEvent,
+    UpdateStreamConfig,
+};
+use pref_engine::{AssignmentEngine, EngineOptions};
+use pref_rtree::RecordId;
+
+fn build_problem(num_functions: usize, num_objects: usize, dims: usize, seed: u64) -> Problem {
+    let functions = uniform_weight_functions(num_functions, dims, seed);
+    let objects = independent_objects(num_objects, dims, seed + 1000);
+    Problem::from_parts(functions, objects).unwrap()
+}
+
+fn stream_for(problem: &Problem, config: UpdateStreamConfig) -> Vec<UpdateEvent> {
+    let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+    let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+    update_stream(&config, &live_objects, &live_functions)
+}
+
+/// Applies every event, checking stability and oracle equality after each.
+fn check_sequence(problem: Problem, config: UpdateStreamConfig) {
+    let events = stream_for(&problem, config.clone());
+    let mut engine = AssignmentEngine::new(&problem, &EngineOptions::default()).unwrap();
+    // the initial stabilization must already match the oracle
+    assert_eq!(
+        engine.assignment().canonical(),
+        oracle(&problem).canonical(),
+        "initial stabilization diverges (seed {})",
+        config.seed
+    );
+    for (step, event) in events.iter().enumerate() {
+        engine.apply(event).unwrap();
+        let snapshot = engine.snapshot_problem().unwrap();
+        let assignment = engine.assignment();
+        verify_stable(&snapshot, &assignment)
+            .unwrap_or_else(|v| panic!("unstable after step {step} ({event:?}): {v}"));
+        assert_eq!(
+            assignment.canonical(),
+            oracle(&snapshot).canonical(),
+            "oracle divergence after step {step} ({event:?}) seed {}",
+            config.seed
+        );
+    }
+    // the final snapshot re-solved through every Solver variant agrees too
+    let snapshot = engine.snapshot_problem().unwrap();
+    let want = engine.assignment().canonical();
+    for solver in all_solvers() {
+        let mut tree = snapshot.build_tree(Some(8), 0.02);
+        let result = solver.solve(&snapshot, &mut tree);
+        assert_eq!(
+            result.assignment.canonical(),
+            want,
+            "solver {} diverges from the engine on the final snapshot (seed {})",
+            solver.name(),
+            config.seed
+        );
+    }
+}
+
+#[test]
+fn random_update_sequences_match_the_oracle_independent() {
+    for seed in [1u64, 2, 3] {
+        let problem = build_problem(8, 40, 3, seed * 17);
+        check_sequence(
+            problem,
+            UpdateStreamConfig {
+                num_events: 30,
+                dims: 3,
+                seed,
+                ..UpdateStreamConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn departure_heavy_sequences_match_the_oracle() {
+    for seed in [11u64, 12] {
+        let problem = build_problem(10, 50, 2, seed * 31);
+        check_sequence(
+            problem,
+            UpdateStreamConfig {
+                num_events: 40,
+                dims: 2,
+                insert_fraction: 0.25,
+                min_objects: 2,
+                min_functions: 1,
+                seed,
+                ..UpdateStreamConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn arrival_heavy_anti_correlated_sequences_match_the_oracle() {
+    for seed in [21u64, 22] {
+        let problem = build_problem(6, 30, 3, seed * 13);
+        check_sequence(
+            problem,
+            UpdateStreamConfig {
+                num_events: 35,
+                dims: 3,
+                distribution: ObjectDistribution::AntiCorrelated,
+                insert_fraction: 0.75,
+                seed,
+                ..UpdateStreamConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn function_churn_sequences_match_the_oracle() {
+    for seed in [31u64, 32] {
+        let problem = build_problem(12, 35, 3, seed * 7);
+        check_sequence(
+            problem,
+            UpdateStreamConfig {
+                num_events: 30,
+                dims: 3,
+                object_fraction: 0.2, // mostly function arrivals/departures
+                seed,
+                ..UpdateStreamConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn capacitated_problems_repair_correctly() {
+    for seed in [41u64, 42] {
+        let functions: Vec<PreferenceFunction> = uniform_weight_functions(6, 3, seed)
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| PreferenceFunction::new(i, f).with_capacity(1 + (i as u32 % 3)))
+            .collect();
+        let objects: Vec<ObjectRecord> = independent_objects(30, 3, seed + 5)
+            .into_iter()
+            .map(|(id, p)| ObjectRecord {
+                id,
+                point: p,
+                capacity: 1 + (id.0 as u32 % 2),
+            })
+            .collect();
+        let problem = Problem::new(functions, objects).unwrap();
+        check_sequence(
+            problem,
+            UpdateStreamConfig {
+                num_events: 25,
+                dims: 3,
+                seed,
+                ..UpdateStreamConfig::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn engine_update_io_stays_below_full_recompute() {
+    // the headline property: repairing across a stream costs less object-tree
+    // I/O than re-running SB from scratch on every snapshot
+    let problem = build_problem(20, 400, 3, 777);
+    let config = UpdateStreamConfig {
+        num_events: 40,
+        dims: 3,
+        seed: 9,
+        ..UpdateStreamConfig::default()
+    };
+    let events = stream_for(&problem, config);
+    let mut engine = AssignmentEngine::new(&problem, &EngineOptions::default()).unwrap();
+    let mut recompute_io = 0u64;
+    for event in &events {
+        engine.apply(event).unwrap();
+        let snapshot = engine.snapshot_problem().unwrap();
+        let mut tree = snapshot.build_tree(None, 0.02);
+        let result = pref_assign::SbSolver::default();
+        use pref_assign::Solver;
+        let r = result.solve(&snapshot, &mut tree);
+        recompute_io += r.metrics.object_io.io_accesses();
+        assert_eq!(r.assignment.canonical(), engine.assignment().canonical());
+    }
+    let update_io = engine.update_object_io().io_accesses();
+    assert!(
+        update_io < recompute_io,
+        "incremental update I/O ({update_io}) must undercut full recompute ({recompute_io})"
+    );
+}
+
+#[test]
+fn engine_rejects_invalid_updates() {
+    let problem = build_problem(4, 10, 2, 5);
+    let mut engine = AssignmentEngine::new(&problem, &EngineOptions::default()).unwrap();
+    use pref_assign::FunctionId;
+    use pref_engine::EngineError;
+    use pref_geom::{LinearFunction, Point};
+
+    // duplicate object id (ids are never reused)
+    assert!(matches!(
+        engine.insert_object(ObjectRecord::new(0, Point::from_slice(&[0.5, 0.5]))),
+        Err(EngineError::DuplicateObject(_))
+    ));
+    // wrong dimensionality
+    assert!(matches!(
+        engine.insert_object(ObjectRecord::new(99, Point::from_slice(&[0.5, 0.5, 0.5]))),
+        Err(EngineError::DimensionMismatch { .. })
+    ));
+    assert!(matches!(
+        engine.insert_function(PreferenceFunction::new(
+            50,
+            LinearFunction::new(vec![0.3, 0.3, 0.4]).unwrap()
+        )),
+        Err(EngineError::DimensionMismatch { .. })
+    ));
+    // unknown ids
+    assert!(matches!(
+        engine.remove_object(RecordId(555)),
+        Err(EngineError::UnknownObject(_))
+    ));
+    assert!(matches!(
+        engine.remove_function(FunctionId(555)),
+        Err(EngineError::UnknownFunction(_))
+    ));
+    // removing twice fails the second time
+    engine.remove_object(RecordId(3)).unwrap();
+    assert!(matches!(
+        engine.remove_object(RecordId(3)),
+        Err(EngineError::UnknownObject(_))
+    ));
+    // the state is still coherent afterwards
+    let snapshot = engine.snapshot_problem().unwrap();
+    verify_stable(&snapshot, &engine.assignment()).unwrap();
+}

@@ -5,6 +5,25 @@ use crate::tree::{RTree, RTreeError};
 use pref_geom::{Mbr, Point};
 use pref_storage::PageId;
 
+/// One node split performed during a tracked insertion: `old_page` kept one
+/// half of its entries and handed the other half to the freshly allocated
+/// `new_page` (covered by `new_mbr`).
+///
+/// Structures that hold references to un-expanded R-tree pages across
+/// insertions — the skyline pruned lists of the maintained
+/// `pref_skyline::Skyline` — use this report to learn that part of
+/// `old_page`'s content now lives in `new_page`.
+#[derive(Debug, Clone)]
+pub struct PageSplit {
+    /// The page that was split (it keeps the left half of its entries).
+    pub old_page: PageId,
+    /// The newly allocated sibling holding the right half of the entries.
+    pub new_page: PageId,
+    /// The sibling's MBR (it may include the region of the entry whose
+    /// arrival caused the split).
+    pub new_mbr: Mbr,
+}
+
 impl RTree {
     /// Inserts a record into the tree.
     ///
@@ -12,17 +31,41 @@ impl RTree {
     /// statistics — the competitors of the paper (Brute Force, Chain) pay for
     /// their index maintenance, and so does this implementation.
     pub fn insert(&mut self, record: RecordId, point: Point) -> Result<(), RTreeError> {
+        self.insert_tracked(record, point).map(|_| ())
+    }
+
+    /// Inserts a record and reports every node split the insertion performed
+    /// (bottom-up order). Callers that keep references to un-expanded pages —
+    /// the engine's maintained skyline with its pruned lists — must patch
+    /// those references with the reported [`PageSplit`]s, otherwise entries
+    /// moved to the new sibling pages would escape later maintenance.
+    pub fn insert_tracked(
+        &mut self,
+        record: RecordId,
+        point: Point,
+    ) -> Result<Vec<PageSplit>, RTreeError> {
         self.check_dims(&point)?;
         let entry = NodeEntry::Data(DataEntry::new(record, point));
-        self.insert_entry(entry, 0);
+        let mut splits = Vec::new();
+        self.insert_entry_tracked(entry, 0, &mut splits);
         self.len += 1;
-        Ok(())
+        Ok(splits)
     }
 
     /// Inserts an arbitrary entry at the node level `target_level`
     /// (0 = leaves). Used by [`RTree::insert`] and by the re-insertion phase
     /// of deletion.
     pub(crate) fn insert_entry(&mut self, entry: NodeEntry, target_level: u32) {
+        let mut splits = Vec::new();
+        self.insert_entry_tracked(entry, target_level, &mut splits);
+    }
+
+    fn insert_entry_tracked(
+        &mut self,
+        entry: NodeEntry,
+        target_level: u32,
+        splits: &mut Vec<PageSplit>,
+    ) {
         match self.root {
             None => {
                 debug_assert_eq!(target_level, 0, "first entry must be a data entry");
@@ -35,7 +78,7 @@ impl RTree {
                 self.height = 1;
             }
             Some(root) => {
-                if let Some(sibling) = self.insert_recurse(root, entry, target_level) {
+                if let Some(sibling) = self.insert_recurse(root, entry, target_level, splits) {
                     self.grow_root(sibling);
                 }
             }
@@ -69,6 +112,7 @@ impl RTree {
         page: PageId,
         entry: NodeEntry,
         target_level: u32,
+        splits: &mut Vec<PageSplit>,
     ) -> Option<NodeEntry> {
         let (level, mut entries) = {
             let node = self.store.read(page);
@@ -76,14 +120,14 @@ impl RTree {
         };
         if level == target_level {
             entries.push(entry);
-            return self.write_or_split(page, level, entries);
+            return self.write_or_split(page, level, entries, splits);
         }
         debug_assert!(level > target_level, "descended past the target level");
         let idx = Self::choose_subtree(&entries, &entry.mbr());
         let child_page = entries[idx]
             .child_page()
             .expect("non-leaf entries are child pointers");
-        let split = self.insert_recurse(child_page, entry, target_level);
+        let split = self.insert_recurse(child_page, entry, target_level, splits);
         // Refresh the child's MBR after the subtree changed. The up-to-date
         // MBR is available in memory (AdjustTree carries it upward), so this
         // does not charge another node access.
@@ -99,7 +143,7 @@ impl RTree {
         if let Some(sibling) = split {
             entries.push(sibling);
         }
-        self.write_or_split(page, level, entries)
+        self.write_or_split(page, level, entries, splits)
     }
 
     /// Writes `entries` back to `page`, splitting the node if it overflows.
@@ -109,6 +153,7 @@ impl RTree {
         page: PageId,
         level: u32,
         entries: Vec<NodeEntry>,
+        splits: &mut Vec<PageSplit>,
     ) -> Option<NodeEntry> {
         if entries.len() <= self.config.max_entries {
             self.store.write(page, Node { level, entries });
@@ -128,6 +173,11 @@ impl RTree {
                 entries: left,
             },
         );
+        splits.push(PageSplit {
+            old_page: page,
+            new_page: right_page,
+            new_mbr: right_mbr.clone(),
+        });
         Some(NodeEntry::Child {
             mbr: right_mbr,
             page: right_page,
@@ -330,6 +380,44 @@ mod tests {
         let stats = t.stats();
         assert!(stats.logical_reads > 0);
         assert!(stats.physical_writes > 0);
+    }
+
+    #[test]
+    fn tracked_insert_reports_every_split() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(4));
+        let mut total_splits = 0usize;
+        for i in 0..300 {
+            let splits = t.insert_tracked(RecordId(i), pt(&mut rng, 2)).unwrap();
+            for s in &splits {
+                // the sibling is a live page whose contents fit the report
+                let (_, entries) = t.node_entries(s.new_page);
+                assert!(!entries.is_empty());
+                for e in &entries {
+                    assert!(
+                        s.new_mbr.contains_mbr(&e.mbr()),
+                        "sibling entry escapes the reported MBR"
+                    );
+                }
+                assert_ne!(s.old_page, s.new_page);
+            }
+            total_splits += splits.len();
+        }
+        // fanout 4 with 300 points must split many times, incl. inner nodes
+        assert!(total_splits > 50, "only {total_splits} splits reported");
+        t.check_invariants().unwrap();
+        assert_eq!(t.all_data_unaccounted().len(), 300);
+    }
+
+    #[test]
+    fn tracked_insert_without_overflow_reports_nothing() {
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(8));
+        for i in 0..4 {
+            let splits = t
+                .insert_tracked(RecordId(i), Point::from_slice(&[0.1 * i as f64, 0.5]))
+                .unwrap();
+            assert!(splits.is_empty());
+        }
     }
 
     #[test]

@@ -31,4 +31,5 @@ mod query;
 mod tree;
 
 pub use entry::{DataEntry, Node, NodeEntry, RecordId};
+pub use insert::PageSplit;
 pub use tree::{RTree, RTreeConfig, RTreeError};

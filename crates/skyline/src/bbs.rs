@@ -1,7 +1,7 @@
 //! Branch-and-Bound Skyline (BBS) with pruned-entry tracking.
 
 use crate::set::{Skyline, SkylineObject};
-use pref_rtree::{NodeEntry, RTree};
+use pref_rtree::{NodeEntry, RTree, RecordId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -67,7 +67,29 @@ pub(crate) fn resume_skyline(
     skyline: &mut Skyline,
     heap: &mut BinaryHeap<HeapEntry>,
 ) {
+    resume_skyline_filtered(tree, skyline, heap, &|_| false);
+}
+
+/// [`resume_skyline`] with a drop filter: data entries for which `drop`
+/// returns `true` are discarded instead of joining the skyline or a pruned
+/// list. The long-lived assignment engine uses the filter to keep departed and
+/// fully assigned objects out of the maintained free-pool skyline; records
+/// already on the skyline are likewise skipped, which makes the loop
+/// idempotent in the face of the duplicate data entries a dynamically
+/// maintained R-tree can surface (an inserted object is tracked in memory
+/// *and* lands on a tree page that may sit un-expanded in a pruned list).
+pub(crate) fn resume_skyline_filtered(
+    tree: &mut RTree,
+    skyline: &mut Skyline,
+    heap: &mut BinaryHeap<HeapEntry>,
+    drop: &dyn Fn(RecordId) -> bool,
+) {
     while let Some(HeapEntry { entry, .. }) = heap.pop() {
+        if let NodeEntry::Data(data) = &entry {
+            if drop(data.record) || skyline.contains(data.record) {
+                continue;
+            }
+        }
         // If a skyline object dominates the entry, move it to that object's
         // pruned list and continue.
         let entry = match skyline.attach_to_dominator(entry) {

@@ -6,11 +6,15 @@
 //! * an initial skyline computation over the object R-tree — Branch-and-Bound
 //!   Skyline (**BBS**, Papadias et al.), modified to remember which pruned
 //!   entry went into which skyline object's *pruned list* (`plist`), and
-//! * an incremental, deletion-only maintenance module — **UpdateSkyline**
+//! * an incremental, deletion-side maintenance module — **UpdateSkyline**
 //!   (Algorithm 2 of the paper), which is I/O-optimal: it only ever visits
 //!   nodes that intersect the exclusive dominance region of the removed
 //!   objects and never reads the same R-tree node twice over the whole
-//!   assignment computation (Theorem 1).
+//!   assignment computation (Theorem 1), and
+//! * an insertion-side maintenance module — [`insert_skyline`] — used by the
+//!   long-lived assignment engine: classifying a new arrival against the
+//!   maintained skyline (attach to a dominator's pruned list, or join the
+//!   skyline and demote what it dominates) needs no R-tree I/O at all.
 //!
 //! For comparison the crate also implements a **DeltaSky-style** baseline that
 //! re-traverses the tree from the root for every removed skyline object, plus
@@ -22,12 +26,14 @@
 
 mod bbs;
 mod deltasky;
+mod insert;
 mod maintain;
 mod memory;
 mod set;
 
 pub use bbs::compute_skyline_bbs;
 pub use deltasky::delta_sky_update;
-pub use maintain::update_skyline;
+pub use insert::{insert_skyline, SkylineInsertion};
+pub use maintain::{update_skyline, update_skyline_filtered};
 pub use memory::{k_skyband, skyline_bnl, skyline_naive, skyline_of_entries, skyline_sfs};
 pub use set::{Skyline, SkylineObject};

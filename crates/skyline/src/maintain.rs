@@ -1,9 +1,9 @@
 //! UpdateSkyline — the paper's I/O-optimal incremental maintenance module
 //! (Algorithm 2).
 
-use crate::bbs::{resume_skyline, HeapEntry};
+use crate::bbs::{resume_skyline_filtered, HeapEntry};
 use crate::set::{Skyline, SkylineObject};
-use pref_rtree::RTree;
+use pref_rtree::{RTree, RecordId};
 use std::collections::BinaryHeap;
 
 /// Incrementally maintains the skyline after one or more skyline objects have
@@ -21,16 +21,40 @@ use std::collections::BinaryHeap;
 /// from both the candidate heap and every pruned list, no R-tree node is read
 /// twice across the whole sequence of maintenance calls.
 pub fn update_skyline(tree: &mut RTree, skyline: &mut Skyline, removed: Vec<SkylineObject>) {
+    update_skyline_filtered(tree, skyline, removed, &|_| false);
+}
+
+/// [`update_skyline`] with a drop filter: data entries for which `drop`
+/// returns `true` never (re-)enter the skyline or a pruned list.
+///
+/// The long-lived assignment engine maintains the skyline of its *free pool*
+/// over a dynamically updated R-tree, where the candidate stream can carry
+/// records that must stay out of the pool: objects that departed the problem,
+/// objects whose capacity is fully assigned, and the duplicate tree-resident
+/// copies of objects the engine already tracks in memory. Batch SB keeps
+/// using the unfiltered wrapper — its candidate stream visits every entry
+/// exactly once (Theorem 1), so no filter is needed there.
+pub fn update_skyline_filtered(
+    tree: &mut RTree,
+    skyline: &mut Skyline,
+    removed: Vec<SkylineObject>,
+    drop: &dyn Fn(RecordId) -> bool,
+) {
     let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::new();
     for object in removed {
         for entry in object.plist {
+            if let Some(data) = entry.as_data() {
+                if drop(data.record) || skyline.contains(data.record) {
+                    continue;
+                }
+            }
             match skyline.attach_to_dominator(entry) {
                 Ok(()) => {}
                 Err(entry) => heap.push(HeapEntry::new(entry)),
             }
         }
     }
-    resume_skyline(tree, skyline, &mut heap);
+    resume_skyline_filtered(tree, skyline, &mut heap, drop);
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! The maintained skyline set and its bookkeeping.
 
 use pref_rtree::{DataEntry, NodeEntry, RecordId};
-use pref_storage::PeakTracker;
+use pref_storage::{PageId, PeakTracker};
 
 /// A skyline object together with its pruned list.
 ///
@@ -134,6 +134,34 @@ impl Skyline {
     /// `true` iff some skyline object dominates the given point.
     pub fn dominates_point(&self, point: &pref_geom::Point) -> bool {
         self.objects.iter().any(|o| o.data.point.dominates(point))
+    }
+
+    /// Repairs the pruned lists after an R-tree node split: if `old_page` is
+    /// referenced by some pruned list (i.e. it was pruned but never expanded),
+    /// the given entry for the newly created sibling page is appended to the
+    /// same list, so the entries that moved to the sibling stay reachable by
+    /// later `UpdateSkyline` calls. Returns `true` when a patch was applied.
+    ///
+    /// Every *pre-existing* record reachable through the old reference was
+    /// dominated by the owning skyline object and stays reachable through
+    /// `{old, patched}` together. The sibling's MBR may additionally cover
+    /// the just-inserted point, whose top corner the owner need not dominate;
+    /// that over-coverage is benign — the arrival's authoritative copy is
+    /// classified against the skyline at insertion time, and the filtered
+    /// resume loop drops duplicate data entries when the page is eventually
+    /// expanded.
+    pub fn patch_page_split(&mut self, old_page: PageId, new_entry: NodeEntry) -> bool {
+        for object in &mut self.objects {
+            let referenced = object
+                .plist
+                .iter()
+                .any(|e| matches!(e, NodeEntry::Child { page, .. } if *page == old_page));
+            if referenced {
+                object.plist.push(new_entry);
+                return true;
+            }
+        }
+        false
     }
 
     /// Total approximate memory of the skyline and all pruned lists, in bytes.

@@ -17,11 +17,13 @@
 //! | [`rtree`] | disk-style R-tree (STR bulk load, insert, delete, queries) |
 //! | [`skyline`] | BNL/SFS/BBS skylines, UpdateSkyline, DeltaSky baseline |
 //! | [`topk`] | BRS ranked search, TA reverse top-1, batch best-pair search |
-//! | [`assign`] | the assignment algorithms: Brute Force, Chain, **SB**, SB-alt |
-//! | [`datagen`] | synthetic workloads (independent / correlated / anti-correlated, Zillow/NBA stand-ins) |
+//! | [`assign`] | the assignment algorithms behind the [`Solver`] trait: Brute Force, Chain, **SB**, SB-alt |
+//! | [`datagen`] | synthetic workloads (independent / correlated / anti-correlated, Zillow/NBA stand-ins, update streams) |
+//! | [`engine`] | the long-lived [`AssignmentEngine`]: incremental re-stabilization under arrivals/departures |
 //!
 //! The most convenient entry points are re-exported at the top level:
-//! [`Problem`], [`solve`], [`sb`], [`verify_stable`].
+//! [`Problem`], [`solve`] / [`solve_with_metrics`], [`sb`], [`verify_stable`],
+//! [`AssignmentEngine`].
 //!
 //! ```
 //! use fair_assignment::{solve, Problem, PreferenceFunction, ObjectRecord};
@@ -49,6 +51,7 @@ pub mod io;
 
 pub use pref_assign as assign;
 pub use pref_datagen as datagen;
+pub use pref_engine as engine;
 pub use pref_geom as geom;
 pub use pref_rtree as rtree;
 pub use pref_skyline as skyline;
@@ -56,10 +59,12 @@ pub use pref_storage as storage;
 pub use pref_topk as topk;
 
 pub use pref_assign::{
-    brute_force, chain, oracle, sb, sb_alt, solve, verify_stable, Assignment, AssignmentResult,
-    BestPairStrategy, FunctionId, MaintenanceStrategy, MatchPair, ObjectRecord, PreferenceFunction,
-    Problem, RunMetrics, SbOptions, StabilityViolation,
+    brute_force, chain, oracle, sb, sb_alt, solve, solve_with_metrics, verify_stable, Assignment,
+    AssignmentResult, BestPairStrategy, BruteForceSolver, ChainSolver, FunctionId,
+    MaintenanceStrategy, MatchPair, ObjectRecord, PreferenceFunction, Problem, RunMetrics,
+    SbAltSolver, SbOptions, SbSolver, Solver, StabilityViolation,
 };
+pub use pref_engine::{AssignmentEngine, EngineOptions};
 
 #[cfg(test)]
 mod tests {
@@ -74,6 +79,39 @@ mod tests {
         let assignment = solve(&problem);
         assert_eq!(assignment.len(), 10);
         verify_stable(&problem, &assignment).unwrap();
+    }
+
+    #[test]
+    fn solve_with_metrics_exposes_the_run_measurements() {
+        let functions = datagen::uniform_weight_functions(12, 3, 5);
+        let objects = datagen::independent_objects(80, 3, 6);
+        let problem = Problem::from_parts(functions, objects).unwrap();
+        let result = solve_with_metrics(&problem);
+        assert_eq!(result.assignment.len(), 12);
+        assert!(result.metrics.object_io.io_accesses() > 0);
+        assert!(result.metrics.loops > 0);
+        // `solve` is a thin wrapper: same matching, metrics discarded
+        assert_eq!(solve(&problem).canonical(), result.assignment.canonical());
+    }
+
+    #[test]
+    fn streaming_engine_is_reachable_through_the_facade() {
+        let functions = datagen::uniform_weight_functions(6, 2, 7);
+        let objects = datagen::independent_objects(30, 2, 8);
+        let problem = Problem::from_parts(functions, objects).unwrap();
+        let mut engine = AssignmentEngine::new(&problem, &EngineOptions::default()).unwrap();
+        engine
+            .insert_object(ObjectRecord::new(
+                1_000,
+                geom::Point::from_slice(&[0.95, 0.95]),
+            ))
+            .unwrap();
+        let snapshot = engine.snapshot_problem().unwrap();
+        verify_stable(&snapshot, &engine.assignment()).unwrap();
+        assert_eq!(
+            engine.assignment().canonical(),
+            oracle(&snapshot).canonical()
+        );
     }
 
     #[test]
