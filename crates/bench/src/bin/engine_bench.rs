@@ -8,13 +8,21 @@
 //! divergence is a correctness bug and fails the process — and accumulates
 //! both sides' object-tree I/O and wall time into `BENCH_engine.json`.
 //!
+//! A separate **churn-soak** cell drives a long 50%-churn object stream
+//! through two engines — compaction enabled (default) vs. tombstone-only —
+//! verifying canonical oracle equality after every update and measuring
+//! whether the R-tree and the per-update object I/O stay bounded as the
+//! stream ages. It fails the process if the compacting engine's index grows
+//! beyond a constant factor of the live population or if late-stream
+//! per-update I/O degrades versus the early stream.
+//!
 //! Usage: `engine_bench [--smoke] [--out <path>]`
 //!
 //! CI runs `--smoke` as a gate: non-zero exit on oracle divergence, on an
 //! unstable engine matching, or if incremental repair fails to strictly
 //! undercut the recompute baseline's total update-phase I/O in any cell.
 
-use pref_assign::{verify_stable, Problem, SbSolver, Solver};
+use pref_assign::{oracle, verify_stable, Problem, SbSolver, Solver};
 use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
 use pref_engine::{AssignmentEngine, EngineOptions};
 use pref_rtree::RecordId;
@@ -61,12 +69,45 @@ struct BenchRow {
     matches_oracle: bool,
 }
 
+/// The churn-soak measurement: one long 50%-churn stream, compaction
+/// enabled vs. tombstone-only.
+#[derive(Debug, Clone, Serialize)]
+struct ChurnRow {
+    workload: String,
+    num_functions: usize,
+    num_objects: usize,
+    num_events: usize,
+    /// Live objects at the end of the stream.
+    live_objects_end: u64,
+    /// R-tree records / nodes at the end, compaction enabled.
+    compacted_tree_records: u64,
+    compacted_tree_pages: u64,
+    /// R-tree records / nodes at the end, tombstone-only (monotonic growth).
+    tombstone_tree_records: u64,
+    tombstone_tree_pages: u64,
+    /// Tombstone ratio of the compacting engine at the end (≤ threshold).
+    tombstone_ratio_end: f64,
+    compaction_batches: u64,
+    physical_deletes: u64,
+    /// Freed pages that were resident in the LRU buffer when compaction
+    /// dropped them (wired through `PagedStore::free`).
+    buffer_invalidations: u64,
+    /// Mean per-update object-tree I/O over the first / last quarter of the
+    /// stream (compaction enabled). Boundedness means the last quarter does
+    /// not degrade versus the first.
+    io_per_update_first_quarter: f64,
+    io_per_update_last_quarter: f64,
+    /// Engine matched the exact oracle canonically after every update.
+    matches_oracle: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
     scale: String,
     created_unix_s: u64,
     rows: Vec<BenchRow>,
+    churn: Vec<ChurnRow>,
 }
 
 fn main() {
@@ -212,6 +253,9 @@ fn main() {
         rows.push(row);
     }
 
+    let (churn_row, churn_failed) = run_churn_soak(smoke);
+    failed |= churn_failed;
+
     let report = BenchReport {
         bench: "engine".to_string(),
         scale: if smoke { "smoke" } else { "default" }.to_string(),
@@ -220,6 +264,7 @@ fn main() {
             .map(|d| d.as_secs())
             .unwrap_or(0),
         rows,
+        churn: vec![churn_row],
     };
     let file = std::fs::File::create(&out).expect("create bench output file");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
@@ -230,6 +275,143 @@ fn main() {
         eprintln!("FAILED: divergence, instability, or no I/O savings (see log above)");
         std::process::exit(1);
     }
+}
+
+/// Drives the churn-soak cell: a long 50%-churn object stream through a
+/// compacting engine and a tombstone-only twin. Returns the measurement row
+/// and whether any gate failed (divergence, instability, unbounded index
+/// growth, or late-stream I/O degradation).
+fn run_churn_soak(smoke: bool) -> (ChurnRow, bool) {
+    let (num_functions, num_objects, num_events) = if smoke {
+        (24usize, 320usize, 400usize)
+    } else {
+        (32, 640, 2_400)
+    };
+    eprintln!("== churn-soak |F|={num_functions} |O|={num_objects} events={num_events} ==");
+    let problem = build_problem(&Cell {
+        distribution: ObjectDistribution::Independent,
+        num_functions,
+        num_objects,
+        num_events,
+    });
+    let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+    let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+    let events = update_stream(
+        &UpdateStreamConfig {
+            num_events,
+            dims: DIMS,
+            distribution: ObjectDistribution::Independent,
+            insert_fraction: 0.5,
+            object_fraction: 0.9,
+            min_objects: num_objects / 4,
+            min_functions: 4,
+            seed: SEED ^ 0xc4u64,
+        },
+        &live_objects,
+        &live_functions,
+    );
+
+    let compacting = EngineOptions::default();
+    let tombstoning = EngineOptions {
+        compaction_threshold: None,
+        ..EngineOptions::default()
+    };
+    let mut engine = AssignmentEngine::new(&problem, &compacting).unwrap();
+    let mut twin = AssignmentEngine::new(&problem, &tombstoning).unwrap();
+    let io_start = engine.update_object_io().io_accesses();
+    debug_assert_eq!(io_start, 0);
+
+    let mut failed = false;
+    let mut matches = true;
+    let quarter = num_events / 4;
+    let mut io_at_quarter = [0u64; 2]; // io after first quarter, before last
+    let mut worst_growth = 0.0f64;
+    for (step, event) in events.iter().enumerate() {
+        engine.apply(event).expect("stream events are valid");
+        twin.apply(event).expect("stream events are valid");
+
+        let snapshot = engine
+            .snapshot_problem()
+            .expect("populations stay non-empty");
+        let canonical = engine.assignment().canonical();
+        if canonical != oracle(&snapshot).canonical() {
+            matches = false;
+            failed = true;
+            eprintln!("!! churn-soak oracle divergence at update #{step} ({event:?})");
+        }
+        if canonical != twin.assignment().canonical() {
+            matches = false;
+            failed = true;
+            eprintln!("!! compaction changed the matching at update #{step} ({event:?})");
+        }
+        if step % 16 == 0 || step + 1 == events.len() {
+            if let Err(violation) = verify_stable(&snapshot, &engine.assignment()) {
+                matches = false;
+                failed = true;
+                eprintln!("!! churn-soak unstable at update #{step}: {violation}");
+            }
+        }
+        let stats = engine.stats();
+        worst_growth =
+            worst_growth.max(stats.tree_records as f64 / stats.live_objects.max(1) as f64);
+        if step + 1 == quarter {
+            io_at_quarter[0] = engine.update_object_io().io_accesses();
+        }
+        if step + 1 == num_events - quarter {
+            io_at_quarter[1] = engine.update_object_io().io_accesses();
+        }
+    }
+
+    let stats = engine.stats();
+    let twin_stats = twin.stats();
+    let total_io = engine.update_object_io().io_accesses();
+    let first_q = io_at_quarter[0] as f64 / quarter as f64;
+    let last_q = (total_io - io_at_quarter[1]) as f64 / quarter as f64;
+
+    // gate: the index must stay within a constant factor of the live
+    // population at every point of the stream (threshold 0.25 ⇒ ≤ 4/3)
+    if worst_growth > 2.0 {
+        failed = true;
+        eprintln!("!! churn-soak index growth unbounded: peak {worst_growth:.2}x live population");
+    }
+    // gate: per-update I/O must not degrade as the stream ages
+    if last_q > 3.0 * first_q + 2.0 {
+        failed = true;
+        eprintln!(
+            "!! churn-soak per-update I/O degraded: first quarter {first_q:.2}, last {last_q:.2}"
+        );
+    }
+    let row = ChurnRow {
+        workload: "churn-soak".to_string(),
+        num_functions,
+        num_objects,
+        num_events,
+        live_objects_end: stats.live_objects,
+        compacted_tree_records: stats.tree_records,
+        compacted_tree_pages: stats.tree_pages,
+        tombstone_tree_records: twin_stats.tree_records,
+        tombstone_tree_pages: twin_stats.tree_pages,
+        tombstone_ratio_end: stats.tombstone_ratio(),
+        compaction_batches: stats.compaction_batches,
+        physical_deletes: stats.physical_deletes,
+        buffer_invalidations: engine.total_object_io().buffer_invalidations,
+        io_per_update_first_quarter: first_q,
+        io_per_update_last_quarter: last_q,
+        matches_oracle: matches,
+    };
+    eprintln!(
+        "  compacted: {} records / {} pages (peak {:.2}x live) | tombstone-only: {} records / {} pages | io/update first {:.2} last {:.2} | {} deletes in {} batches",
+        row.compacted_tree_records,
+        row.compacted_tree_pages,
+        worst_growth,
+        row.tombstone_tree_records,
+        row.tombstone_tree_pages,
+        row.io_per_update_first_quarter,
+        row.io_per_update_last_quarter,
+        row.physical_deletes,
+        row.compaction_batches
+    );
+    (row, failed)
 }
 
 /// Deterministic initial workload (same recipe as `solver_bench`).

@@ -158,6 +158,21 @@ impl Params {
         }
     }
 
+    /// Validates the workload parameters, returning a description of the
+    /// first problem found. Today this guards `buffer_fraction`: a negative
+    /// value used to silently disable the LRU buffer and a value above 1
+    /// silently made the buffer larger than the tree — both mis-shaping the
+    /// I/O measurements of every figure downstream.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.buffer_fraction.is_finite() || !(0.0..=1.0).contains(&self.buffer_fraction) {
+            return Err(format!(
+                "buffer_fraction must lie in [0, 1], got {}",
+                self.buffer_fraction
+            ));
+        }
+        Ok(())
+    }
+
     /// A short description of the non-default parameters, for table headers.
     /// Reports the *effective* dimensionality (and flags when the real-data
     /// stand-ins overrode the configured one).

@@ -47,8 +47,11 @@ pub fn build_problem(params: &Params) -> Problem {
 }
 
 /// Builds the object index for a problem according to the parameters.
-pub fn build_index(problem: &Problem, params: &Params) -> RTree {
-    problem.build_tree(None, params.buffer_fraction)
+/// Rejects invalid parameters ([`Params::validate`]) instead of silently
+/// mis-sizing the LRU buffer.
+pub fn build_index(problem: &Problem, params: &Params) -> Result<RTree, String> {
+    params.validate()?;
+    Ok(problem.build_tree(None, params.buffer_fraction))
 }
 
 /// Runs one algorithm on one workload and returns the measurement row.
@@ -56,7 +59,8 @@ pub fn build_index(problem: &Problem, params: &Params) -> RTree {
 /// `x` is the value of the swept parameter (used as the row's abscissa).
 pub fn run_cell(experiment: &str, x: &str, params: &Params, algo: AlgorithmKind) -> Row {
     let problem = build_problem(params);
-    let mut tree = build_index(&problem, params);
+    let mut tree = build_index(&problem, params)
+        .unwrap_or_else(|e| panic!("invalid workload parameters for {experiment}/{x}: {e}"));
     let result = algo.run(&problem, &mut tree, params.omega_fraction);
     Row {
         experiment: experiment.to_string(),
@@ -121,6 +125,20 @@ mod tests {
         assert_eq!(row_sb.series, "SB");
         assert!(row_bf.io >= row_sb.io);
         assert!(row_sb.cpu_s >= 0.0);
+    }
+
+    #[test]
+    fn build_index_rejects_invalid_buffer_fractions() {
+        let mut params = tiny_params();
+        let problem = build_problem(&params);
+        assert!(build_index(&problem, &params).is_ok());
+        params.buffer_fraction = -0.5;
+        let err = build_index(&problem, &params).unwrap_err();
+        assert!(err.contains("buffer_fraction"), "unhelpful error: {err}");
+        params.buffer_fraction = 1.5;
+        assert!(build_index(&problem, &params).is_err());
+        params.buffer_fraction = f64::NAN;
+        assert!(build_index(&problem, &params).is_err());
     }
 
     #[test]

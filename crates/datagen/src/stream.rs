@@ -101,8 +101,19 @@ pub fn update_stream(
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut objects: Vec<RecordId> = live_objects.to_vec();
     let mut functions: Vec<u64> = live_functions.to_vec();
-    let mut next_object_id = objects.iter().map(|r| r.0 + 1).max().unwrap_or(0);
-    let mut next_function_id = functions.iter().map(|&f| f + 1).max().unwrap_or(0);
+    // Ids are never reused, so the id space is consumable: minting must fail
+    // loudly on exhaustion instead of silently wrapping around to 0 and
+    // re-issuing ids that are (or were) alive.
+    let mut next_object_id = objects
+        .iter()
+        .map(|r| r.0)
+        .max()
+        .map_or(0, |m| exhausted_check(m, "RecordId"));
+    let mut next_function_id = functions
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |m| exhausted_check(m, "FunctionId"));
 
     // pre-drawn pools keep the per-event cost flat and the stream reproducible
     let arriving_points: Vec<Point> = config
@@ -132,7 +143,7 @@ pub fn update_stream(
         let event = match (object_side, insert) {
             (true, true) => {
                 let id = RecordId(next_object_id);
-                next_object_id += 1;
+                next_object_id = exhausted_check(next_object_id, "RecordId");
                 objects.push(id);
                 UpdateEvent::InsertObject {
                     id,
@@ -145,7 +156,7 @@ pub fn update_stream(
             }
             (false, true) => {
                 let id = next_function_id;
-                next_function_id += 1;
+                next_function_id = exhausted_check(next_function_id, "FunctionId");
                 functions.push(id);
                 UpdateEvent::InsertFunction {
                     id,
@@ -160,6 +171,14 @@ pub fn update_stream(
         events.push(event);
     }
     events
+}
+
+/// Reserves the successor of `id`, panicking with an explicit message when
+/// the id space is exhausted (`id == u64::MAX` leaves no fresh successor).
+fn exhausted_check(id: u64, what: &str) -> u64 {
+    id.checked_add(1).unwrap_or_else(|| {
+        panic!("{what} space exhausted: cannot mint a fresh id after {id} (ids are never reused)")
+    })
 }
 
 #[cfg(test)]
@@ -257,6 +276,24 @@ mod tests {
             e,
             UpdateEvent::InsertObject { .. } | UpdateEvent::InsertFunction { .. }
         )));
+    }
+
+    #[test]
+    #[should_panic(expected = "RecordId space exhausted")]
+    fn object_id_exhaustion_panics_instead_of_wrapping() {
+        // an initial population already holding the maximum id leaves no
+        // fresh successor to reserve
+        let objs = vec![RecordId(u64::MAX)];
+        let funs = vec![0u64];
+        let _ = update_stream(&base_config(), &objs, &funs);
+    }
+
+    #[test]
+    #[should_panic(expected = "FunctionId space exhausted")]
+    fn function_id_exhaustion_panics_instead_of_wrapping() {
+        let objs = vec![RecordId(0)];
+        let funs = vec![u64::MAX];
+        let _ = update_stream(&base_config(), &objs, &funs);
     }
 
     #[test]

@@ -6,7 +6,7 @@ use pref_geom::Point;
 use pref_rtree::{DataEntry, NodeEntry, RTree, RecordId};
 use pref_skyline::{compute_skyline_bbs, insert_skyline, update_skyline_filtered, Skyline};
 use pref_storage::IoStats;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Configuration of an [`AssignmentEngine`].
 #[derive(Debug, Clone)]
@@ -14,7 +14,19 @@ pub struct EngineOptions {
     /// R-tree fanout override (`None` = the page-size derived default).
     pub fanout: Option<usize>,
     /// LRU buffer size as a fraction of the built tree (paper default: 2%).
+    /// Must lie in `[0, 1]`.
     pub buffer_fraction: f64,
+    /// Tombstone-ratio bound that triggers incremental compaction: when more
+    /// than this fraction of the R-tree's records are tombstoned departures,
+    /// the engine physically deletes tombstones batch-by-batch until the
+    /// ratio is restored. `None` disables compaction (departures stay
+    /// logical forever — the pre-compaction behaviour, which grows the index
+    /// monotonically under churn). Must lie in `[0, 1]`;
+    /// `Some(0.0)` deletes every departure immediately.
+    pub compaction_threshold: Option<f64>,
+    /// Maximum number of tombstoned records physically deleted per
+    /// compaction batch (bounds the work of a single batch; must be ≥ 1).
+    pub compaction_batch: usize,
 }
 
 impl Default for EngineOptions {
@@ -22,7 +34,34 @@ impl Default for EngineOptions {
         Self {
             fanout: None,
             buffer_fraction: 0.02,
+            compaction_threshold: Some(0.25),
+            compaction_batch: 64,
         }
+    }
+}
+
+impl EngineOptions {
+    /// Validates the options, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), EngineError> {
+        if !self.buffer_fraction.is_finite() || !(0.0..=1.0).contains(&self.buffer_fraction) {
+            return Err(EngineError::InvalidOptions(format!(
+                "buffer_fraction must lie in [0, 1], got {}",
+                self.buffer_fraction
+            )));
+        }
+        if let Some(threshold) = self.compaction_threshold {
+            if !threshold.is_finite() || !(0.0..=1.0).contains(&threshold) {
+                return Err(EngineError::InvalidOptions(format!(
+                    "compaction_threshold must lie in [0, 1], got {threshold}"
+                )));
+            }
+        }
+        if self.compaction_batch == 0 {
+            return Err(EngineError::InvalidOptions(
+                "compaction_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -37,11 +76,16 @@ pub enum EngineError {
         /// The arrival's dimensionality.
         got: usize,
     },
-    /// The record id was already registered (alive or departed — ids are
-    /// never reused, because departed objects leave a tombstone in the
-    /// R-tree).
+    /// The record id is already registered — alive, or departed but not yet
+    /// compacted away. (Rejection of departed ids is best-effort: once
+    /// compaction physically deletes a tombstone, its id is forgotten and a
+    /// later arrival may legitimately re-use it — the engine purges any
+    /// stale pruned-list entry of the predecessor at insertion, so re-use is
+    /// safe. `pref_datagen::update_stream` still never re-issues ids.)
     DuplicateObject(RecordId),
-    /// The function id was already registered (alive or departed).
+    /// The function id is already registered — alive, or departed but its
+    /// slot not yet reused (the same best-effort caveat as
+    /// [`EngineError::DuplicateObject`] applies).
     DuplicateFunction(FunctionId),
     /// No live object carries this id.
     UnknownObject(RecordId),
@@ -49,6 +93,8 @@ pub enum EngineError {
     UnknownFunction(FunctionId),
     /// The live population is empty, so no problem snapshot exists.
     EmptyProblem,
+    /// The [`EngineOptions`] are invalid (message describes the problem).
+    InvalidOptions(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -62,13 +108,16 @@ impl std::fmt::Display for EngineError {
             EngineError::UnknownObject(id) => write!(f, "unknown object id {id}"),
             EngineError::UnknownFunction(id) => write!(f, "unknown function id {id}"),
             EngineError::EmptyProblem => write!(f, "the live population is empty"),
+            EngineError::InvalidOptions(msg) => write!(f, "invalid engine options: {msg}"),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
 
-/// Cumulative counters of the engine's lifetime.
+/// Counters of the engine's lifetime (cumulative) plus a snapshot of its
+/// live state (gauges, filled in by [`AssignmentEngine::stats`]), so the
+/// tombstone ratio driving the compaction trigger is observable.
 #[derive(Debug, Default, Clone, Copy)]
 pub struct EngineStats {
     /// Updates applied (all four kinds).
@@ -87,6 +136,32 @@ pub struct EngineStats {
     pub pairs_retracted: u64,
     /// Repair-loop iterations executed (one per established pair).
     pub repair_rounds: u64,
+    /// Compaction batches executed.
+    pub compaction_batches: u64,
+    /// Tombstoned records physically deleted from the R-tree by compaction.
+    pub physical_deletes: u64,
+    /// Gauge: objects currently alive.
+    pub live_objects: u64,
+    /// Gauge: functions currently alive.
+    pub live_functions: u64,
+    /// Gauge: departed objects still resident in the R-tree as tombstones.
+    pub tombstoned_objects: u64,
+    /// Gauge: records currently indexed by the R-tree (live + tombstoned).
+    pub tree_records: u64,
+    /// Gauge: R-tree nodes (= live pages of the simulated store).
+    pub tree_pages: u64,
+}
+
+impl EngineStats {
+    /// The fraction of R-tree records that are tombstoned departures; the
+    /// compaction trigger fires when this exceeds the configured threshold.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.tree_records == 0 {
+            0.0
+        } else {
+            self.tombstoned_objects as f64 / self.tree_records as f64
+        }
+    }
 }
 
 /// Dense per-object state.
@@ -151,12 +226,22 @@ impl Candidate {
 /// Arrivals are inserted into the R-tree dynamically
 /// ([`RTree::insert_tracked`]); the node splits this causes are patched into
 /// the skyline's pruned lists, which keeps the `UpdateSkyline` machinery
-/// I/O-optimal and correct across arrivals. Departures are *logical*
-/// (tombstoned): physically deleting from the R-tree would condense and
-/// re-insert sibling nodes, invalidating the page references held by pruned
-/// lists. Tombstones cost no I/O — departed records are filtered out of the
-/// maintenance stream — and a service with heavy churn can periodically
-/// rebuild the index from [`AssignmentEngine::snapshot_problem`].
+/// I/O-optimal and correct across arrivals.
+///
+/// Departures are *logical* first (tombstoned — zero I/O; departed records
+/// are filtered out of the maintenance stream) and *physical* eventually:
+/// when the fraction of tombstoned records in the tree exceeds
+/// [`EngineOptions::compaction_threshold`], the engine runs incremental
+/// compaction — tombstones are physically deleted batch-by-batch
+/// ([`RTree::delete_tracked`]), every structural effect of CondenseTree
+/// (freed pages, re-inserted orphans, re-insertion splits, MBR shrinks) is
+/// patched into the pruned lists (`Skyline::patch_page_delete`), freed pages
+/// are invalidated in the LRU buffer by the paged store, the buffer is
+/// re-sized to the shrunken tree, and the records' dense slab slots are
+/// reclaimed for future arrivals. The matching is never re-solved:
+/// compaction only touches the index and the bookkeeping, so the R-tree node
+/// count, the pruned lists and the slabs all stay within a constant factor
+/// of the live population under indefinite churn.
 #[derive(Debug)]
 pub struct AssignmentEngine {
     dims: usize,
@@ -171,6 +256,19 @@ pub struct AssignmentEngine {
     stats: EngineStats,
     /// Tree I/O at the end of the initial stabilization.
     initial_io: IoStats,
+    /// LRU buffer sizing, re-applied after compaction shrinks the tree.
+    buffer_fraction: f64,
+    /// Compaction trigger (`None` = tombstones are never deleted).
+    compaction_threshold: Option<f64>,
+    /// Records physically deleted per compaction batch.
+    compaction_batch: usize,
+    /// Dense indices of departed objects still resident in the R-tree,
+    /// oldest departure first (compaction consumes from the front).
+    tombstones: VecDeque<usize>,
+    /// Dense object slots reclaimed by compaction, reused by arrivals.
+    free_obj_slots: Vec<usize>,
+    /// Dense function slots of departed functions, reused by arrivals.
+    free_fun_slots: Vec<usize>,
 }
 
 impl AssignmentEngine {
@@ -180,6 +278,7 @@ impl AssignmentEngine {
     /// the initial BBS + stable loop is, and is reported separately by
     /// [`AssignmentEngine::initial_object_io`].
     pub fn new(problem: &Problem, options: &EngineOptions) -> Result<Self, EngineError> {
+        options.validate()?;
         let tree = problem.build_tree(options.fanout, options.buffer_fraction);
         let objects: Vec<ObjState> = problem
             .objects()
@@ -220,6 +319,12 @@ impl AssignmentEngine {
             pairs: Vec::new(),
             stats: EngineStats::default(),
             initial_io: IoStats::default(),
+            buffer_fraction: options.buffer_fraction,
+            compaction_threshold: options.compaction_threshold,
+            compaction_batch: options.compaction_batch,
+            tombstones: VecDeque::new(),
+            free_obj_slots: Vec::new(),
+            free_fun_slots: Vec::new(),
         };
         engine.skyline = compute_skyline_bbs(&mut engine.tree);
         engine.restabilize();
@@ -242,9 +347,36 @@ impl AssignmentEngine {
         self.functions.iter().filter(|f| f.alive).count()
     }
 
-    /// Lifetime counters.
+    /// Lifetime counters plus the current live/tombstone/index gauges.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.live_objects = self.num_objects() as u64;
+        stats.live_functions = self.num_functions() as u64;
+        stats.tombstoned_objects = self.tombstones.len() as u64;
+        stats.tree_records = self.tree.len() as u64;
+        stats.tree_pages = self.tree.num_pages() as u64;
+        stats
+    }
+
+    /// The fraction of R-tree records that are tombstoned departures.
+    pub fn tombstone_ratio(&self) -> f64 {
+        self.stats().tombstone_ratio()
+    }
+
+    /// Record ids of the maintained free-pool skyline (observability / test
+    /// oracle: must equal a from-scratch skyline of
+    /// [`AssignmentEngine::free_pool_records`]).
+    pub fn skyline_records(&self) -> Vec<RecordId> {
+        self.skyline.records()
+    }
+
+    /// The current free pool: live objects with unassigned capacity.
+    pub fn free_pool_records(&self) -> Vec<(RecordId, Point)> {
+        self.objects
+            .iter()
+            .filter(|o| o.alive && o.remaining > 0)
+            .map(|o| (o.record.id, o.record.point.clone()))
+            .collect()
     }
 
     /// Cumulative object R-tree I/O (initial stabilization + all updates).
@@ -323,6 +455,12 @@ impl AssignmentEngine {
         if self.obj_index.contains_key(&object.id) {
             return Err(EngineError::DuplicateObject(object.id));
         }
+        // The id may be a re-issue of a compacted departure (the engine
+        // forgets compacted ids — remembering them forever would defeat the
+        // boundedness compaction buys). Physical deletion removed the
+        // predecessor's tree copy, but a pruned list may still hold its data
+        // entry; purge it so it cannot resurface under the new bearer's id.
+        self.skyline.purge_record(object.id);
         let splits = self
             .tree
             .insert_tracked(object.id, object.point.clone())
@@ -340,14 +478,23 @@ impl AssignmentEngine {
                 },
             );
         }
-        let oi = self.objects.len();
-        self.obj_index.insert(object.id, oi);
-        let data = DataEntry::new(object.id, object.point.clone());
-        self.objects.push(ObjState {
+        let state = ObjState {
             remaining: object.capacity,
             record: object,
             alive: true,
-        });
+        };
+        let data = DataEntry::new(state.record.id, state.record.point.clone());
+        let oi = match self.free_obj_slots.pop() {
+            Some(oi) => {
+                self.objects[oi] = state;
+                oi
+            }
+            None => {
+                self.objects.push(state);
+                self.objects.len() - 1
+            }
+        };
+        self.obj_index.insert(data.record, oi);
         insert_skyline(&mut self.skyline, data);
         self.stats.updates += 1;
         self.stats.object_inserts += 1;
@@ -358,7 +505,9 @@ impl AssignmentEngine {
     /// An object departs: its pairs are retracted (freeing function
     /// capacity), it is tombstoned in the R-tree, the free-pool skyline is
     /// replenished via `UpdateSkyline`, and the stable loop resumes for the
-    /// freed functions.
+    /// freed functions. When the departure pushes the tombstone ratio over
+    /// [`EngineOptions::compaction_threshold`], incremental compaction
+    /// physically deletes tombstones until the ratio is restored.
     pub fn remove_object(&mut self, id: RecordId) -> Result<(), EngineError> {
         let oi = match self.obj_index.get(&id) {
             Some(&oi) if self.objects[oi].alive => oi,
@@ -377,12 +526,14 @@ impl AssignmentEngine {
         }
         self.objects[oi].alive = false;
         self.objects[oi].remaining = 0;
+        self.tombstones.push_back(oi);
         if let Some(removed) = self.skyline.remove(id) {
             self.replenish_skyline(vec![removed]);
         }
         self.stats.updates += 1;
         self.stats.object_removes += 1;
         self.restabilize();
+        self.maybe_compact();
         Ok(())
     }
 
@@ -399,13 +550,22 @@ impl AssignmentEngine {
         if self.fun_index.contains_key(&function.id) {
             return Err(EngineError::DuplicateFunction(function.id));
         }
-        let fi = self.functions.len();
-        self.fun_index.insert(function.id, fi);
-        self.functions.push(FunState {
+        let state = FunState {
             remaining: function.capacity,
             pref: function,
             alive: true,
-        });
+        };
+        let fi = match self.free_fun_slots.pop() {
+            Some(fi) => {
+                self.functions[fi] = state;
+                fi
+            }
+            None => {
+                self.functions.push(state);
+                self.functions.len() - 1
+            }
+        };
+        self.fun_index.insert(self.functions[fi].pref.id, fi);
         self.stats.updates += 1;
         self.stats.function_inserts += 1;
         self.restabilize();
@@ -414,7 +574,8 @@ impl AssignmentEngine {
 
     /// A function departs: its pairs are retracted and the freed objects
     /// return to the free pool (in-memory skyline insertion, no I/O), where
-    /// the stable loop re-offers them to the remaining functions.
+    /// the stable loop re-offers them to the remaining functions. Functions
+    /// have no index presence, so their dense slot is reclaimed immediately.
     pub fn remove_function(&mut self, id: FunctionId) -> Result<(), EngineError> {
         let fi = match self.fun_index.get(&id) {
             Some(&fi) if self.functions[fi].alive => fi,
@@ -432,6 +593,8 @@ impl AssignmentEngine {
         }
         self.functions[fi].alive = false;
         self.functions[fi].remaining = 0;
+        self.fun_index.remove(&id);
+        self.free_fun_slots.push(fi);
         self.stats.updates += 1;
         self.stats.function_removes += 1;
         self.restabilize();
@@ -462,6 +625,57 @@ impl AssignmentEngine {
             None => true,
         };
         update_skyline_filtered(&mut self.tree, &mut self.skyline, removed, &drop);
+    }
+
+    /// Runs incremental compaction while the tombstone ratio exceeds the
+    /// configured threshold. Each batch physically deletes up to
+    /// [`EngineOptions::compaction_batch`] tombstones; the loop leaves the
+    /// ratio at or below the threshold, so the R-tree's record count stays
+    /// within `1 / (1 - threshold)` of the live population.
+    fn maybe_compact(&mut self) {
+        let Some(threshold) = self.compaction_threshold else {
+            return;
+        };
+        let mut compacted = false;
+        while !self.tombstones.is_empty()
+            && self.tombstones.len() as f64 > threshold * self.tree.len() as f64
+        {
+            self.compact_batch();
+            compacted = true;
+        }
+        if compacted {
+            // the tree shrank: re-derive the LRU buffer from the live pages
+            self.tree.set_buffer_fraction(self.buffer_fraction);
+        }
+    }
+
+    /// Physically deletes one batch of tombstoned records (oldest departures
+    /// first). Every deletion's structural effects — freed pages (also
+    /// invalidated in the LRU buffer by the paged store), re-inserted
+    /// orphans, re-insertion splits and MBR shrinks — are patched into the
+    /// skyline's pruned lists, and the records' dense slab slots are
+    /// reclaimed. The matching is untouched: tombstones hold no pairs and
+    /// are not on the skyline, so no re-stabilization is needed. The caller
+    /// re-sizes the LRU buffer once all batches of the trigger have run.
+    fn compact_batch(&mut self) {
+        let batch = self.compaction_batch.min(self.tombstones.len());
+        for _ in 0..batch {
+            let oi = self
+                .tombstones
+                .pop_front()
+                .expect("batch size is bounded by the queue length");
+            let record = self.objects[oi].record.id;
+            let point = self.objects[oi].record.point.clone();
+            let outcome = self
+                .tree
+                .delete_tracked(record, &point)
+                .expect("tombstoned records are resident in the object tree");
+            self.skyline.patch_page_delete(&outcome);
+            self.obj_index.remove(&record);
+            self.free_obj_slots.push(oi);
+            self.stats.physical_deletes += 1;
+        }
+        self.stats.compaction_batches += 1;
     }
 
     /// The incremental stable loop: repeatedly finds the highest-scoring

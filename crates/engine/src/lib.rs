@@ -15,7 +15,16 @@
 //! * **arrivals** are classified against the maintained skyline in memory
 //!   (`insert_skyline`, no I/O) and then a reverse top-1 probe over the live
 //!   functions finds the pairs the newcomer destabilizes; only those pairs
-//!   are repaired, cascade-style, in descending score order.
+//!   are repaired, cascade-style, in descending score order;
+//! * **churn stays bounded**: departures are tombstoned first (zero I/O),
+//!   and once tombstones exceed a configurable fraction of the index
+//!   ([`EngineOptions::compaction_threshold`], default 25%) the engine
+//!   compacts incrementally — tombstones are physically deleted from the
+//!   R-tree batch-by-batch, with every structural effect of the deletion
+//!   (freed pages, re-inserted orphans, splits, MBR shrinks) patched into
+//!   the skyline's pruned lists, so the index, the pruned lists and the
+//!   dense slabs all stay within a constant factor of the live population
+//!   without ever re-solving the matching.
 //!
 //! The engine's repaired matching is — by the greedy-trace argument of
 //! Section 3 — *identical* to the batch solvers' output on a snapshot of the

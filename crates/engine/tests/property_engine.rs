@@ -194,6 +194,212 @@ fn engine_update_io_stays_below_full_recompute() {
     );
 }
 
+/// The tentpole property: a long 50%-churn stream with compaction enabled
+/// keeps (a) the matching stable and oracle-equal after every update, (b) the
+/// maintained free-pool skyline equal to a from-scratch skyline of the live
+/// free pool after every update — so it stays exact across every compaction
+/// batch — and (c) the R-tree record/node count within a constant factor of
+/// the live population (vs. the old monotonic growth).
+#[test]
+fn churn_with_compaction_stays_bounded_and_exact() {
+    use pref_skyline::skyline_naive;
+    for seed in [51u64, 52, 53] {
+        let problem = build_problem(8, 60, 3, seed * 19);
+        let config = UpdateStreamConfig {
+            num_events: 300,
+            dims: 3,
+            insert_fraction: 0.5,
+            object_fraction: 0.9,
+            min_objects: 10,
+            min_functions: 2,
+            seed,
+            ..UpdateStreamConfig::default()
+        };
+        let events = stream_for(&problem, config);
+        let options = EngineOptions {
+            compaction_batch: 16,
+            ..EngineOptions::default()
+        };
+        let mut engine = AssignmentEngine::new(&problem, &options).unwrap();
+        for (step, event) in events.iter().enumerate() {
+            engine.apply(event).unwrap();
+            let snapshot = engine.snapshot_problem().unwrap();
+            let assignment = engine.assignment();
+            verify_stable(&snapshot, &assignment)
+                .unwrap_or_else(|v| panic!("unstable after step {step} (seed {seed}): {v}"));
+            assert_eq!(
+                assignment.canonical(),
+                oracle(&snapshot).canonical(),
+                "oracle divergence after step {step} (seed {seed})"
+            );
+            // the maintained skyline must equal a from-scratch skyline of
+            // the free pool, including right after compaction batches
+            let free_pool = engine.free_pool_records();
+            let mut got: Vec<u64> = engine.skyline_records().iter().map(|r| r.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_naive(&free_pool).iter().map(|r| r.0).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "skyline drift after step {step} (seed {seed})");
+            // boundedness: with threshold 0.25 the tree holds at most
+            // live / (1 - 0.25) records once maybe_compact has run
+            let stats = engine.stats();
+            assert!(
+                stats.tree_records * 3 <= stats.live_objects * 4 + 3,
+                "unbounded index after step {step} (seed {seed}): {} records for {} live",
+                stats.tree_records,
+                stats.live_objects
+            );
+            assert!(stats.tombstone_ratio() <= 0.25 + 1e-9);
+        }
+        let stats = engine.stats();
+        assert!(stats.compaction_batches > 0, "churn never compacted");
+        assert!(stats.physical_deletes > 0);
+    }
+}
+
+/// Compaction must be behaviour-preserving: the same stream through a
+/// compacting engine and a tombstone-only engine yields canonically identical
+/// matchings at every step, while only the tombstone-only index grows.
+#[test]
+fn compaction_is_transparent_to_the_matching() {
+    let problem = build_problem(10, 50, 2, 4242);
+    let config = UpdateStreamConfig {
+        num_events: 120,
+        dims: 2,
+        insert_fraction: 0.4,
+        object_fraction: 0.9,
+        min_objects: 8,
+        min_functions: 2,
+        seed: 77,
+        ..UpdateStreamConfig::default()
+    };
+    let events = stream_for(&problem, config);
+    let compacting = EngineOptions {
+        compaction_threshold: Some(0.2),
+        compaction_batch: 8,
+        ..EngineOptions::default()
+    };
+    let tombstoning = EngineOptions {
+        compaction_threshold: None,
+        ..EngineOptions::default()
+    };
+    let mut a = AssignmentEngine::new(&problem, &compacting).unwrap();
+    let mut b = AssignmentEngine::new(&problem, &tombstoning).unwrap();
+    for (step, event) in events.iter().enumerate() {
+        a.apply(event).unwrap();
+        b.apply(event).unwrap();
+        assert_eq!(
+            a.assignment().canonical(),
+            b.assignment().canonical(),
+            "compaction changed the matching at step {step}"
+        );
+    }
+    let sa = a.stats();
+    let sb = b.stats();
+    assert!(sa.physical_deletes > 0, "threshold 0.2 never fired");
+    assert_eq!(sb.physical_deletes, 0);
+    // the tombstone-only engine keeps every departure in the tree forever
+    assert_eq!(sb.tree_records, sb.live_objects + sb.tombstoned_objects);
+    assert_eq!(sb.tombstoned_objects, sb.object_removes);
+    assert!(
+        sa.tree_records < sb.tree_records,
+        "compaction did not shrink the index: {} vs {}",
+        sa.tree_records,
+        sb.tree_records
+    );
+}
+
+/// A record id re-issued after its previous bearer was compacted away must
+/// not resurrect the predecessor's point: any stale pruned-list entry is
+/// purged at insertion, so the engine stays oracle-equal afterwards.
+#[test]
+fn id_reuse_after_compaction_is_safe() {
+    use pref_geom::Point;
+    let problem = build_problem(6, 30, 2, 909);
+    let eager = EngineOptions {
+        compaction_threshold: Some(0.0),
+        ..EngineOptions::default()
+    };
+    let mut engine = AssignmentEngine::new(&problem, &eager).unwrap();
+    // depart a batch of objects; eager compaction forgets their ids at once
+    for id in [2u64, 5, 11, 17, 23] {
+        engine.remove_object(RecordId(id)).unwrap();
+    }
+    assert_eq!(engine.stats().tombstoned_objects, 0);
+    // re-issue the ids with *different* points (dominated and dominating mix)
+    for (i, id) in [2u64, 5, 11, 17, 23].into_iter().enumerate() {
+        let c = 0.05 + 0.22 * i as f64;
+        engine
+            .insert_object(ObjectRecord::new(id, Point::from_slice(&[c, 1.0 - c])))
+            .unwrap();
+        let snapshot = engine.snapshot_problem().unwrap();
+        verify_stable(&snapshot, &engine.assignment()).unwrap();
+        assert_eq!(
+            engine.assignment().canonical(),
+            oracle(&snapshot).canonical(),
+            "divergence after re-issuing id {id}"
+        );
+    }
+    // and the free-pool skyline is still exact
+    use pref_skyline::skyline_naive;
+    let mut got: Vec<u64> = engine.skyline_records().iter().map(|r| r.0).collect();
+    got.sort_unstable();
+    let mut want: Vec<u64> = skyline_naive(&engine.free_pool_records())
+        .iter()
+        .map(|r| r.0)
+        .collect();
+    want.sort_unstable();
+    assert_eq!(got, want);
+}
+
+#[test]
+fn invalid_engine_options_are_rejected() {
+    use pref_engine::EngineError;
+    let problem = build_problem(4, 10, 2, 5);
+    for options in [
+        EngineOptions {
+            buffer_fraction: -0.1,
+            ..EngineOptions::default()
+        },
+        EngineOptions {
+            buffer_fraction: 1.5,
+            ..EngineOptions::default()
+        },
+        EngineOptions {
+            buffer_fraction: f64::NAN,
+            ..EngineOptions::default()
+        },
+        EngineOptions {
+            compaction_threshold: Some(-0.5),
+            ..EngineOptions::default()
+        },
+        EngineOptions {
+            compaction_threshold: Some(2.0),
+            ..EngineOptions::default()
+        },
+        EngineOptions {
+            compaction_batch: 0,
+            ..EngineOptions::default()
+        },
+    ] {
+        assert!(matches!(
+            AssignmentEngine::new(&problem, &options),
+            Err(EngineError::InvalidOptions(_))
+        ));
+    }
+    // an eager threshold of zero is valid: every departure deletes at once
+    let eager = EngineOptions {
+        compaction_threshold: Some(0.0),
+        ..EngineOptions::default()
+    };
+    let mut engine = AssignmentEngine::new(&problem, &eager).unwrap();
+    engine.remove_object(RecordId(3)).unwrap();
+    let stats = engine.stats();
+    assert_eq!(stats.physical_deletes, 1);
+    assert_eq!(stats.tombstoned_objects, 0);
+    assert_eq!(stats.tree_records, stats.live_objects);
+}
+
 #[test]
 fn engine_rejects_invalid_updates() {
     let problem = build_problem(4, 10, 2, 5);

@@ -1,13 +1,51 @@
 //! Deletion: FindLeaf + CondenseTree with re-insertion of orphaned entries.
 
 use crate::entry::{Node, NodeEntry, RecordId};
+use crate::insert::PageSplit;
 use crate::tree::{RTree, RTreeError};
-use pref_geom::Point;
+use pref_geom::{Mbr, Point};
 use pref_storage::PageId;
 
 /// Entries orphaned while condensing the tree, together with the node level
 /// they must be re-inserted at.
 type Orphans = Vec<(u32, NodeEntry)>;
+
+/// One page freed while condensing the tree, together with the entries it
+/// held at the moment it was freed. For an underflowed node these are the
+/// orphans that were re-inserted elsewhere; for a collapsed root it is the
+/// single child entry that was promoted to be the new root.
+#[derive(Debug, Clone)]
+pub struct FreedPage {
+    /// The page that was freed (its id may be reused by later allocations).
+    pub page: PageId,
+    /// The entries the page held when it was freed. They all reference pages
+    /// that are still live (or are data entries); content reachable only
+    /// through the freed page stays reachable through them.
+    pub contents: Vec<NodeEntry>,
+}
+
+/// Every structural effect of one tracked deletion (CondenseTree included),
+/// mirroring how [`PageSplit`] reports the effects of a tracked insertion.
+///
+/// Structures that hold references to un-expanded R-tree pages across
+/// deletions — the skyline pruned lists of the maintained
+/// `pref_skyline::Skyline` — must drop references to [`DeleteOutcome::freed`]
+/// pages, re-anchor those pages' former contents, and patch
+/// [`DeleteOutcome::splits`] exactly as for an insertion
+/// (`Skyline::patch_page_delete` + `Skyline::patch_page_split`).
+#[derive(Debug, Clone, Default)]
+pub struct DeleteOutcome {
+    /// Pages freed by CondenseTree and by root shrinking, in chronological
+    /// order (condense frees first, root collapses last).
+    pub freed: Vec<FreedPage>,
+    /// Node splits caused by re-inserting orphaned entries (they happen after
+    /// every condense free and before any root shrink).
+    pub splits: Vec<PageSplit>,
+    /// Live pages on the deletion path whose MBR shrank, with their new exact
+    /// MBR. Holders of stale (larger) references stay correct — an
+    /// over-covering MBR is conservative — but may tighten them with this.
+    pub shrinks: Vec<(PageId, Mbr)>,
+}
 
 impl RTree {
     /// Deletes the record with the given id located at `point`.
@@ -16,22 +54,39 @@ impl RTree {
     /// to the I/O statistics, mirroring how the paper charges the deletions
     /// that Brute Force and Chain perform on the object R-tree.
     pub fn delete(&mut self, record: RecordId, point: &Point) -> Result<(), RTreeError> {
+        self.delete_tracked(record, point).map(|_| ())
+    }
+
+    /// Deletes a record and reports every structural effect of the deletion:
+    /// freed pages (with the entries they held), node splits performed while
+    /// re-inserting orphaned entries, and MBR shrinks along the deletion
+    /// path. Callers that keep references to un-expanded pages — the engine's
+    /// maintained skyline with its pruned lists — must patch those references
+    /// with the reported [`DeleteOutcome`], otherwise they would later read
+    /// freed (or reused) pages and lose track of the re-inserted orphans.
+    pub fn delete_tracked(
+        &mut self,
+        record: RecordId,
+        point: &Point,
+    ) -> Result<DeleteOutcome, RTreeError> {
         self.check_dims(point)?;
         let Some(root) = self.root else {
             return Err(RTreeError::RecordNotFound(record));
         };
         let mut orphans: Orphans = Vec::new();
-        let found = self.delete_recurse(root, record, point, &mut orphans);
+        let mut outcome = DeleteOutcome::default();
+        let found = self.delete_recurse(root, record, point, &mut orphans, &mut outcome);
         if !found {
             return Err(RTreeError::RecordNotFound(record));
         }
         self.len -= 1;
-        // Re-insert orphaned entries at their original level.
+        // Re-insert orphaned entries at their original level, tracking the
+        // node splits the re-insertions cause.
         for (level, entry) in orphans {
-            self.insert_entry(entry, level);
+            self.insert_entry_tracked(entry, level, &mut outcome.splits);
         }
-        self.shrink_root();
-        Ok(())
+        self.shrink_root(&mut outcome);
+        Ok(outcome)
     }
 
     /// Convenience wrapper: delete a record given as a data entry.
@@ -45,6 +100,7 @@ impl RTree {
         record: RecordId,
         point: &Point,
         orphans: &mut Orphans,
+        outcome: &mut DeleteOutcome,
     ) -> bool {
         let (level, mut entries) = {
             let node = self.store.read(page);
@@ -73,7 +129,8 @@ impl RTree {
                 continue;
             }
             let child_page = *child_page;
-            if !self.delete_recurse(child_page, record, point, orphans) {
+            let old_mbr = mbr.clone();
+            if !self.delete_recurse(child_page, record, point, orphans, outcome) {
                 continue;
             }
             // The deletion happened somewhere below this child.
@@ -82,18 +139,24 @@ impl RTree {
                 .peek(child_page)
                 .expect("child page is live")
                 .clone();
-            let is_root = Some(page) == self.root;
-            let _ = is_root; // underflow policy depends only on the child
             if child_node.len() < self.config.min_entries {
                 // orphan the child's remaining entries and drop the child
+                outcome.freed.push(FreedPage {
+                    page: child_page,
+                    contents: child_node.entries.clone(),
+                });
                 for entry in child_node.entries {
                     orphans.push((child_node.level, entry));
                 }
                 self.store.free(child_page);
                 entries.remove(idx);
             } else {
+                let new_mbr = child_node.mbr();
+                if new_mbr != old_mbr {
+                    outcome.shrinks.push((child_page, new_mbr.clone()));
+                }
                 entries[idx] = NodeEntry::Child {
-                    mbr: child_node.mbr(),
+                    mbr: new_mbr,
                     page: child_page,
                 };
             }
@@ -105,7 +168,7 @@ impl RTree {
 
     /// Collapses the root while it is a non-leaf with a single child, and
     /// clears the tree when the root leaf becomes empty.
-    fn shrink_root(&mut self) {
+    fn shrink_root(&mut self, outcome: &mut DeleteOutcome) {
         loop {
             let Some(root) = self.root else { return };
             let root_node = self.store.peek(root).expect("root page is live").clone();
@@ -113,12 +176,20 @@ impl RTree {
                 let child = root_node.entries[0]
                     .child_page()
                     .expect("non-leaf entries are child pointers");
+                outcome.freed.push(FreedPage {
+                    page: root,
+                    contents: root_node.entries,
+                });
                 self.store.free(root);
                 self.root = Some(child);
                 self.height -= 1;
                 continue;
             }
             if root_node.level == 0 && root_node.is_empty() {
+                outcome.freed.push(FreedPage {
+                    page: root,
+                    contents: Vec::new(),
+                });
                 self.store.free(root);
                 self.root = None;
                 self.height = 0;
@@ -274,6 +345,80 @@ mod tests {
             .collect();
         assert!(!remaining.contains(&3));
         t.check_invariants().unwrap();
+    }
+
+    /// The tracked report must be a complete account of the structural
+    /// damage: freed pages are really gone, every re-insertion split names a
+    /// live sibling, and every remaining record is still findable.
+    #[test]
+    fn tracked_delete_reports_frees_splits_and_shrinks() {
+        let pts = random_points(400, 2, 71);
+        let mut t = RTree::new(RTreeConfig::for_dims(2).with_fanout(4));
+        for (r, p) in &pts {
+            t.insert(*r, p.clone()).unwrap();
+        }
+        let mut total_freed = 0usize;
+        let mut total_splits = 0usize;
+        let mut total_shrinks = 0usize;
+        for (i, (r, p)) in pts.iter().enumerate() {
+            let pages_before = t.num_pages();
+            let outcome = t.delete_tracked(*r, p).unwrap();
+            // page count evolves exactly by the reported frees and splits
+            // (plus at most one unreported root growth during re-insertion)
+            let grows = (t.num_pages() + outcome.freed.len())
+                .checked_sub(pages_before + outcome.splits.len())
+                .expect("more pages vanished than were reported freed");
+            assert!(grows <= 1, "{grows} unexplained page allocations");
+            for freed in &outcome.freed {
+                // the freed page's contents reference only live pages
+                for entry in &freed.contents {
+                    if let Some(child) = entry.child_page() {
+                        assert!(
+                            t.store.peek(child).is_some(),
+                            "freed page {} content references dead page {child}",
+                            freed.page
+                        );
+                    }
+                }
+            }
+            for split in &outcome.splits {
+                assert_ne!(split.old_page, split.new_page);
+                assert!(t.store.peek(split.new_page).is_some());
+            }
+            for (page, _) in &outcome.shrinks {
+                // shrink targets never underflow, so they survive the whole
+                // operation (a collapsed root's promoted child stays live too)
+                assert!(
+                    t.store.peek(*page).is_some(),
+                    "shrink reported for dead page {page}"
+                );
+            }
+            total_freed += outcome.freed.len();
+            total_splits += outcome.splits.len();
+            total_shrinks += outcome.shrinks.len();
+            if i % 67 == 0 {
+                t.check_invariants().unwrap();
+            }
+        }
+        assert!(t.is_empty());
+        assert!(total_freed > 50, "only {total_freed} frees reported");
+        assert!(total_shrinks > 50, "only {total_shrinks} shrinks reported");
+        // fanout-4 condense/re-insert cascades must split at least sometimes
+        assert!(total_splits > 0, "no re-insertion splits reported");
+    }
+
+    #[test]
+    fn tracked_delete_on_leaf_root_reports_the_final_free() {
+        let mut t = RTree::with_dims(2);
+        let p = Point::from_slice(&[0.3, 0.4]);
+        t.insert(RecordId(1), p.clone()).unwrap();
+        let root = t.root_page().unwrap();
+        let outcome = t.delete_tracked(RecordId(1), &p).unwrap();
+        assert_eq!(outcome.freed.len(), 1);
+        assert_eq!(outcome.freed[0].page, root);
+        assert!(outcome.freed[0].contents.is_empty());
+        assert!(outcome.splits.is_empty());
+        assert!(t.is_empty());
     }
 
     #[test]

@@ -68,6 +68,11 @@ impl NodeEntry {
         matches!(self, NodeEntry::Data(_))
     }
 
+    /// `true` iff this entry is a child pointer to the given page.
+    pub fn references_page(&self, page: PageId) -> bool {
+        matches!(self, NodeEntry::Child { page: p, .. } if *p == page)
+    }
+
     /// The child page, if this is a child-pointer entry.
     pub fn child_page(&self) -> Option<PageId> {
         match self {

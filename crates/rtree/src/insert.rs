@@ -53,14 +53,9 @@ impl RTree {
     }
 
     /// Inserts an arbitrary entry at the node level `target_level`
-    /// (0 = leaves). Used by [`RTree::insert`] and by the re-insertion phase
-    /// of deletion.
-    pub(crate) fn insert_entry(&mut self, entry: NodeEntry, target_level: u32) {
-        let mut splits = Vec::new();
-        self.insert_entry_tracked(entry, target_level, &mut splits);
-    }
-
-    fn insert_entry_tracked(
+    /// (0 = leaves), appending any node splits performed to `splits`. Used by
+    /// [`RTree::insert_tracked`] and by the re-insertion phase of deletion.
+    pub(crate) fn insert_entry_tracked(
         &mut self,
         entry: NodeEntry,
         target_level: u32,

@@ -14,7 +14,11 @@
 //!   quadratic node splitting,
 //! * **deletion** ([`RTree::delete`]) — find-leaf + condense-tree with
 //!   re-insertion of orphaned entries; needed by the Brute Force and Chain
-//!   competitors, which physically remove assigned objects from the index,
+//!   competitors, which physically remove assigned objects from the index.
+//!   The tracked variant ([`RTree::delete_tracked`]) reports every structural
+//!   effect (freed pages, re-inserted orphans, re-insertion splits, MBR
+//!   shrinks) so structures holding page references — the engine's maintained
+//!   skyline — can stay consistent across physical deletions,
 //! * **queries** — range queries and a full scan, plus low-level node access
 //!   ([`RTree::node_entries`], [`RTree::root_entries`]) used by the best-first
 //!   traversals of the skyline (BBS) and ranked-search (BRS) crates,
@@ -30,6 +34,7 @@ mod insert;
 mod query;
 mod tree;
 
+pub use delete::{DeleteOutcome, FreedPage};
 pub use entry::{DataEntry, Node, NodeEntry, RecordId};
 pub use insert::PageSplit;
 pub use tree::{RTree, RTreeConfig, RTreeError};

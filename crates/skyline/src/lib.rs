@@ -14,7 +14,13 @@
 //! * an insertion-side maintenance module — [`insert_skyline`] — used by the
 //!   long-lived assignment engine: classifying a new arrival against the
 //!   maintained skyline (attach to a dominator's pruned list, or join the
-//!   skyline and demote what it dominates) needs no R-tree I/O at all.
+//!   skyline and demote what it dominates) needs no R-tree I/O at all, and
+//! * structural patch operations keeping the pruned lists consistent while
+//!   the underlying R-tree changes shape: [`Skyline::patch_page_split`] for
+//!   the node splits of dynamic insertion, and [`Skyline::patch_page_delete`]
+//!   for the freed pages, re-inserted orphans and MBR shrinks of physical
+//!   deletion (CondenseTree) — so a long-lived engine can delete departed
+//!   records instead of accumulating tombstones forever.
 //!
 //! For comparison the crate also implements a **DeltaSky-style** baseline that
 //! re-traverses the tree from the root for every removed skyline object, plus

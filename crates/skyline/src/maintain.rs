@@ -233,6 +233,133 @@ mod tests {
         );
     }
 
+    /// The tentpole soundness property for physical deletion: a maintained
+    /// skyline driven through arbitrary churn — dynamic arrivals
+    /// (`insert_tracked` + `patch_page_split` + `insert_skyline`), physical
+    /// departures (`delete_tracked` + `patch_page_delete`), and skyline
+    /// replenishment (`update_skyline_filtered`) — must equal the naive
+    /// skyline of the live population after every single operation.
+    fn check_churn_consistency(dims: usize, fanout: usize, steps: usize, seed: u64) {
+        use crate::insert::insert_skyline;
+        use pref_rtree::{DataEntry, NodeEntry};
+
+        let mut rng = StdRng::seed_from_u64(seed);
+        let initial = random_points(200, dims, seed ^ 0xc0de);
+        let mut tree = build(&initial, fanout);
+        let mut sky = compute_skyline_bbs(&mut tree);
+        let mut live: Vec<(RecordId, Point)> = initial;
+        let mut deleted: HashSet<RecordId> = HashSet::new();
+        let mut next_id = 200u64;
+
+        for step in 0..steps {
+            if live.len() < 20 || rng.gen_bool(0.5) {
+                // arrival
+                let p = Point::from_slice(
+                    &(0..dims)
+                        .map(|_| rng.gen_range(0.0..1.0))
+                        .collect::<Vec<_>>(),
+                );
+                let id = RecordId(next_id);
+                next_id += 1;
+                let splits = tree.insert_tracked(id, p.clone()).unwrap();
+                for s in &splits {
+                    sky.patch_page_split(
+                        s.old_page,
+                        NodeEntry::Child {
+                            mbr: s.new_mbr.clone(),
+                            page: s.new_page,
+                        },
+                    );
+                }
+                insert_skyline(&mut sky, DataEntry::new(id, p.clone()));
+                live.push((id, p));
+            } else {
+                // physical departure of an arbitrary live record
+                let idx = rng.gen_range(0..live.len());
+                let (id, p) = live.swap_remove(idx);
+                deleted.insert(id);
+                if let Some(obj) = sky.remove(id) {
+                    // replenish first (the departed record's tree copy is
+                    // still present; the drop filter hides it), then delete
+                    let drop = |r: RecordId| deleted.contains(&r);
+                    update_skyline_filtered(&mut tree, &mut sky, vec![obj], &drop);
+                }
+                let outcome = tree.delete_tracked(id, &p).unwrap();
+                sky.patch_page_delete(&outcome);
+            }
+            let mut got: Vec<u64> = sky.records().iter().map(|r| r.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_naive(&live).iter().map(|r| r.0).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "divergence at step {step} (seed {seed})");
+        }
+        tree.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn churn_with_physical_deletion_matches_oracle_2d() {
+        check_churn_consistency(2, 4, 600, 101);
+        check_churn_consistency(2, 8, 400, 102);
+    }
+
+    #[test]
+    fn churn_with_physical_deletion_matches_oracle_3d() {
+        check_churn_consistency(3, 4, 500, 201);
+        check_churn_consistency(3, 6, 400, 202);
+    }
+
+    #[test]
+    fn churn_with_physical_deletion_matches_oracle_anti_correlated_seeds() {
+        // anti-correlated initial sets have large skylines and heavy pruned
+        // lists, the worst case for re-anchoring
+        for seed in [301u64, 302, 303] {
+            check_churn_consistency(3, 5, 350, seed);
+        }
+    }
+
+    /// Physical deletion plus assignment-style removals: skyline objects are
+    /// consumed (removed + replenished) while non-skyline records are being
+    /// physically deleted underneath the pruned lists.
+    #[test]
+    fn interleaved_assignment_and_physical_deletion_match_oracle() {
+        let points = anti_correlated(400, 3, 41);
+        let mut tree = build(&points, 6);
+        let mut sky = compute_skyline_bbs(&mut tree);
+        let mut live = points;
+        let mut gone: HashSet<RecordId> = HashSet::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for step in 0..200 {
+            if live.is_empty() {
+                break;
+            }
+            if step % 3 == 0 && !sky.is_empty() {
+                // "assign" the smallest skyline object (leaves the tree!)
+                let victim = *sky.records().iter().min().unwrap();
+                let obj = sky.remove(victim).unwrap();
+                gone.insert(victim);
+                live.retain(|(r, _)| *r != victim);
+                let drop = |r: RecordId| gone.contains(&r);
+                update_skyline_filtered(&mut tree, &mut sky, vec![obj], &drop);
+            } else {
+                // physically delete an arbitrary live record
+                let idx = rng.gen_range(0..live.len());
+                let (id, p) = live.swap_remove(idx);
+                gone.insert(id);
+                if let Some(obj) = sky.remove(id) {
+                    let drop = |r: RecordId| gone.contains(&r);
+                    update_skyline_filtered(&mut tree, &mut sky, vec![obj], &drop);
+                }
+                let outcome = tree.delete_tracked(id, &p).unwrap();
+                sky.patch_page_delete(&outcome);
+            }
+            let mut got: Vec<u64> = sky.records().iter().map(|r| r.0).collect();
+            got.sort_unstable();
+            let mut want: Vec<u64> = skyline_naive(&live).iter().map(|r| r.0).collect();
+            want.sort_unstable();
+            assert_eq!(got, want, "divergence at step {step}");
+        }
+    }
+
     #[test]
     fn removed_objects_never_reappear() {
         let points = random_points(500, 3, 61);

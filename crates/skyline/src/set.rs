@@ -1,6 +1,7 @@
 //! The maintained skyline set and its bookkeeping.
 
-use pref_rtree::{DataEntry, NodeEntry, RecordId};
+use pref_geom::Mbr;
+use pref_rtree::{DataEntry, DeleteOutcome, NodeEntry, RecordId};
 use pref_storage::{PageId, PeakTracker};
 
 /// A skyline object together with its pruned list.
@@ -164,6 +165,135 @@ impl Skyline {
         false
     }
 
+    /// Removes every pruned-list *data* entry carrying the given record, and
+    /// returns how many were removed. Used when a record id is re-issued
+    /// after its previous bearer was physically deleted from the R-tree: the
+    /// deletion removes the tree copy, but a pruned list may still hold the
+    /// predecessor's data entry (with the predecessor's point), which would
+    /// otherwise be mis-attributed to the new bearer when it resurfaces.
+    pub fn purge_record(&mut self, record: RecordId) -> usize {
+        let mut purged = 0usize;
+        for object in &mut self.objects {
+            object.plist.retain(|e| {
+                let stale = matches!(e, NodeEntry::Data(d) if d.record == record);
+                purged += usize::from(stale);
+                !stale
+            });
+        }
+        purged
+    }
+
+    /// `true` iff some pruned list holds a child entry for the given page.
+    pub fn references_page(&self, page: PageId) -> bool {
+        self.objects
+            .iter()
+            .any(|o| o.plist.iter().any(|e| e.references_page(page)))
+    }
+
+    /// Repairs the pruned lists after a tracked R-tree deletion
+    /// ([`pref_rtree::RTree::delete_tracked`]): the counterpart of
+    /// [`Skyline::patch_page_split`] for CondenseTree.
+    ///
+    /// Three repairs are applied, in order:
+    ///
+    /// 1. every pruned-list reference to a freed page is dropped (the page is
+    ///    gone; its id may even be reused by an unrelated node),
+    /// 2. pruned-list references to surviving pages whose MBR shrank are
+    ///    tightened to the new exact MBR (stale larger MBRs are conservative,
+    ///    so this only sharpens later dominance checks),
+    /// 3. the freed pages' former contents — the orphaned entries that
+    ///    CondenseTree re-inserted elsewhere in the tree — are *re-anchored*:
+    ///    each entry is attached to a skyline object that dominates it, or,
+    ///    failing that, appended to the first object's pruned list. The
+    ///    fallback is sound for the same reason over-coverage is benign in
+    ///    [`Skyline::patch_page_split`]: the filtered resume loop re-checks
+    ///    dominance when an entry is popped, drops records the caller filters
+    ///    out (departed / fully assigned / duplicates), and skips records
+    ///    already on the skyline — losing *reachability* is the only
+    ///    correctness hazard, and re-anchoring prevents exactly that.
+    ///
+    /// Entries whose page some pruned list already references are not
+    /// re-anchored (they stay reachable through the existing reference), and
+    /// neither are entries for pages freed later in the same cascade (their
+    /// own contents are re-anchored instead). With an empty skyline there is
+    /// nothing to anchor to, and nothing is needed: no pruned lists exist, so
+    /// no record relies on pruned-list reachability.
+    ///
+    /// The re-insertion node splits reported by the same [`DeleteOutcome`]
+    /// must afterwards be patched via [`Skyline::patch_page_split`]; use
+    /// [`Skyline::patch_page_delete`] to apply the full report in order.
+    ///
+    /// Returns the number of dropped page references.
+    pub fn patch_pages_freed(
+        &mut self,
+        freed_pages: &[PageId],
+        reanchor: Vec<NodeEntry>,
+        shrinks: &[(PageId, Mbr)],
+    ) -> usize {
+        let mut dropped = 0usize;
+        for object in &mut self.objects {
+            object.plist.retain(|e| {
+                let stale = freed_pages.iter().any(|p| e.references_page(*p));
+                dropped += usize::from(stale);
+                !stale
+            });
+            for e in &mut object.plist {
+                if let NodeEntry::Child { page, mbr } = e {
+                    if let Some((_, tight)) = shrinks.iter().find(|(p, _)| p == page) {
+                        *mbr = tight.clone();
+                    }
+                }
+            }
+        }
+        for entry in reanchor {
+            match &entry {
+                NodeEntry::Child { page, .. } => {
+                    if freed_pages.contains(page) || self.references_page(*page) {
+                        continue;
+                    }
+                }
+                NodeEntry::Data(d) => {
+                    // a skyline object's own (relocated) tree copy needs no
+                    // pruned-list anchor; the resume loop skips it anyway
+                    if self.contains(d.record) {
+                        continue;
+                    }
+                }
+            }
+            if let Err(entry) = self.attach_to_dominator(entry) {
+                if let Some(first) = self.objects.first_mut() {
+                    first.plist.push(entry);
+                }
+            }
+        }
+        dropped
+    }
+
+    /// Applies a full [`DeleteOutcome`] — freed-page reference drops, orphan
+    /// re-anchoring, MBR tightening, then the re-insertion splits — keeping
+    /// the pruned lists consistent across one physical R-tree deletion.
+    ///
+    /// Returns the number of dropped page references.
+    pub fn patch_page_delete(&mut self, outcome: &DeleteOutcome) -> usize {
+        let freed_pages: Vec<PageId> = outcome.freed.iter().map(|f| f.page).collect();
+        let reanchor: Vec<NodeEntry> = outcome
+            .freed
+            .iter()
+            .flat_map(|f| f.contents.iter().cloned())
+            .collect();
+        let dropped = self.patch_pages_freed(&freed_pages, reanchor, &outcome.shrinks);
+        for split in &outcome.splits {
+            self.patch_page_split(
+                split.old_page,
+                NodeEntry::Child {
+                    mbr: split.new_mbr.clone(),
+                    page: split.new_page,
+                },
+            );
+        }
+        dropped
+    }
+
     /// Total approximate memory of the skyline and all pruned lists, in bytes.
     pub fn memory_bytes(&self) -> u64 {
         self.objects.iter().map(SkylineObject::memory_bytes).sum()
@@ -237,6 +367,120 @@ mod tests {
         s.insert(SkylineObject::new(data(2, &[0.2, 0.9])));
         assert!(s.dominates_point(&Point::from_slice(&[0.1, 0.1])));
         assert!(!s.dominates_point(&Point::from_slice(&[0.5, 0.5])));
+    }
+
+    #[test]
+    fn patch_pages_freed_drops_refs_tightens_and_reanchors() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.9])));
+        s.insert(SkylineObject::new(data(2, &[0.95, 0.1])));
+        // two pruned page references and a pruned data entry
+        let freed = PageId::new(3);
+        let kept = PageId::new(4);
+        s.attach_to_dominator(NodeEntry::Child {
+            mbr: Mbr::new(vec![0.1, 0.1], vec![0.5, 0.5]).unwrap(),
+            page: freed,
+        })
+        .unwrap();
+        s.attach_to_dominator(NodeEntry::Child {
+            mbr: Mbr::new(vec![0.1, 0.1], vec![0.6, 0.6]).unwrap(),
+            page: kept,
+        })
+        .unwrap();
+        assert!(s.references_page(freed));
+        // the freed page's contents: a dominated data entry, a dominated
+        // subtree, and an entry nobody dominates (force-anchored)
+        let orphan_data = NodeEntry::Data(data(7, &[0.4, 0.4]));
+        let orphan_child = NodeEntry::Child {
+            mbr: Mbr::new(vec![0.2, 0.2], vec![0.3, 0.3]).unwrap(),
+            page: PageId::new(9),
+        };
+        let escaping = NodeEntry::Child {
+            mbr: Mbr::new(vec![0.0, 0.0], vec![0.99, 0.99]).unwrap(),
+            page: PageId::new(10),
+        };
+        let tight = Mbr::new(vec![0.1, 0.1], vec![0.55, 0.55]).unwrap();
+        let dropped = s.patch_pages_freed(
+            &[freed],
+            vec![orphan_data, orphan_child, escaping],
+            &[(kept, tight.clone())],
+        );
+        assert_eq!(dropped, 1);
+        assert!(!s.references_page(freed));
+        // the surviving reference was tightened
+        let holder = s.get(RecordId(1)).unwrap();
+        assert!(holder
+            .plist
+            .iter()
+            .any(|e| e.references_page(kept) && e.mbr() == tight));
+        // all three orphans are reachable again
+        assert!(s.references_page(PageId::new(9)));
+        assert!(s.references_page(PageId::new(10)));
+        let total_plist: usize = s.iter().map(|o| o.plist.len()).sum();
+        assert_eq!(total_plist, 4, "kept + data + subtree + forced");
+    }
+
+    #[test]
+    fn patch_pages_freed_skips_already_referenced_and_cascaded_pages() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.9])));
+        let live = PageId::new(5);
+        s.attach_to_dominator(NodeEntry::Child {
+            mbr: Mbr::new(vec![0.1, 0.1], vec![0.5, 0.5]).unwrap(),
+            page: live,
+        })
+        .unwrap();
+        // a cascade: page 6 freed, its contents point at page 5 (already
+        // referenced) and at page 7 (itself freed later in the cascade)
+        let dropped = s.patch_pages_freed(
+            &[PageId::new(6), PageId::new(7)],
+            vec![
+                NodeEntry::Child {
+                    mbr: Mbr::new(vec![0.1, 0.1], vec![0.5, 0.5]).unwrap(),
+                    page: live,
+                },
+                NodeEntry::Child {
+                    mbr: Mbr::new(vec![0.1, 0.1], vec![0.4, 0.4]).unwrap(),
+                    page: PageId::new(7),
+                },
+            ],
+            &[],
+        );
+        assert_eq!(dropped, 0);
+        assert_eq!(s.get(RecordId(1)).unwrap().plist.len(), 1);
+        assert!(!s.references_page(PageId::new(7)));
+    }
+
+    #[test]
+    fn purge_record_drops_only_that_records_data_entries() {
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.9])));
+        s.attach_to_dominator(NodeEntry::Data(data(5, &[0.5, 0.5])))
+            .unwrap();
+        s.attach_to_dominator(NodeEntry::Data(data(6, &[0.4, 0.4])))
+            .unwrap();
+        s.attach_to_dominator(NodeEntry::Child {
+            mbr: Mbr::new(vec![0.1, 0.1], vec![0.2, 0.2]).unwrap(),
+            page: PageId::new(5), // same raw id as record 5: must be kept
+        })
+        .unwrap();
+        assert_eq!(s.purge_record(RecordId(5)), 1);
+        assert_eq!(s.purge_record(RecordId(5)), 0);
+        let plist = &s.get(RecordId(1)).unwrap().plist;
+        assert_eq!(plist.len(), 2);
+        assert!(plist.iter().any(|e| e.references_page(PageId::new(5))));
+    }
+
+    #[test]
+    fn patch_pages_freed_on_empty_skyline_is_a_noop() {
+        let mut s = Skyline::new();
+        let dropped = s.patch_pages_freed(
+            &[PageId::new(1)],
+            vec![NodeEntry::Data(data(3, &[0.5, 0.5]))],
+            &[],
+        );
+        assert_eq!(dropped, 0);
+        assert!(s.is_empty());
     }
 
     #[test]

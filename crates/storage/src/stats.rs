@@ -24,6 +24,10 @@ pub struct IoStats {
     pub pages_allocated: u64,
     /// Pages freed over the lifetime of the store.
     pub pages_freed: u64,
+    /// Freed pages that were resident in the LRU buffer and had to be
+    /// invalidated (a stale frame served after a free would be a correctness
+    /// bug, not just an accounting one).
+    pub buffer_invalidations: u64,
 }
 
 impl IoStats {
@@ -61,6 +65,7 @@ impl IoStats {
         self.physical_writes += other.physical_writes;
         self.pages_allocated += other.pages_allocated;
         self.pages_freed += other.pages_freed;
+        self.buffer_invalidations += other.buffer_invalidations;
     }
 
     /// Returns the difference `self - baseline` counter-by-counter, saturating
@@ -77,6 +82,9 @@ impl IoStats {
                 .pages_allocated
                 .saturating_sub(baseline.pages_allocated),
             pages_freed: self.pages_freed.saturating_sub(baseline.pages_freed),
+            buffer_invalidations: self
+                .buffer_invalidations
+                .saturating_sub(baseline.buffer_invalidations),
         }
     }
 }
@@ -115,6 +123,7 @@ mod tests {
             physical_writes: 2,
             pages_allocated: 1,
             pages_freed: 0,
+            buffer_invalidations: 0,
         };
         let b = IoStats {
             logical_reads: 5,
@@ -123,6 +132,7 @@ mod tests {
             physical_writes: 1,
             pages_allocated: 0,
             pages_freed: 1,
+            buffer_invalidations: 1,
         };
         let before = a;
         a.merge(&b);
@@ -151,6 +161,7 @@ mod tests {
             physical_writes: 3,
             pages_allocated: 0,
             pages_freed: 0,
+            buffer_invalidations: 0,
         };
         let text = s.to_string();
         assert!(text.contains("io=40"));
@@ -166,6 +177,7 @@ mod tests {
             physical_writes: 1,
             pages_allocated: 1,
             pages_freed: 1,
+            buffer_invalidations: 1,
         };
         s.reset();
         assert_eq!(s, IoStats::new());

@@ -99,7 +99,17 @@ impl<P> PagedStore<P> {
     /// Sets the buffer capacity as a fraction of the current number of live
     /// pages (the paper's "buffer size 2% of the tree size"). A fraction of
     /// zero disables the buffer.
+    ///
+    /// # Panics
+    /// Panics on a fraction outside `[0, 1]` (or NaN): a negative fraction
+    /// would silently disable the buffer and a fraction above 1 would
+    /// silently make it larger than the store, mis-shaping every I/O
+    /// measurement downstream.
     pub fn set_buffer_fraction(&mut self, fraction: f64) {
+        assert!(
+            fraction.is_finite() && (0.0..=1.0).contains(&fraction),
+            "buffer fraction must lie in [0, 1], got {fraction}"
+        );
         let frames = (fraction * self.len() as f64).round() as usize;
         self.buffer.set_capacity(frames);
     }
@@ -145,7 +155,9 @@ impl<P> PagedStore<P> {
         assert!(slot.is_some(), "double free of page {id}");
         *slot = None;
         self.stats.pages_freed += 1;
-        self.buffer.invalidate(id);
+        if self.buffer.invalidate(id) {
+            self.stats.buffer_invalidations += 1;
+        }
         self.free_list.push(id);
     }
 
@@ -269,6 +281,35 @@ mod tests {
         assert_eq!(c, a, "freed slot is reused");
         assert_eq!(*store.read(c), 3);
         assert_eq!(store.stats().pages_freed, 1);
+    }
+
+    #[test]
+    fn free_of_resident_page_counts_an_invalidation() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        let b = store.allocate(2);
+        store.read(a); // a becomes resident
+        store.free(a);
+        store.free(b); // b was never read, so not resident
+        let s = store.stats();
+        assert_eq!(s.pages_freed, 2);
+        assert_eq!(s.buffer_invalidations, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer fraction must lie in [0, 1]")]
+    fn negative_buffer_fraction_rejected() {
+        let mut store: PagedStore<u32> = PagedStore::new(0);
+        store.allocate(1);
+        store.set_buffer_fraction(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer fraction must lie in [0, 1]")]
+    fn oversized_buffer_fraction_rejected() {
+        let mut store: PagedStore<u32> = PagedStore::new(0);
+        store.allocate(1);
+        store.set_buffer_fraction(1.5);
     }
 
     #[test]
