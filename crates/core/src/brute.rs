@@ -20,15 +20,18 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+#[derive(Clone, Copy)]
 struct Candidate {
     score: f64,
     function: usize,
     object: RecordId,
+    /// Dense object index — the oracle's tie-break key.
+    oi: usize,
 }
 
 impl PartialEq for Candidate {
     fn eq(&self, other: &Self) -> bool {
-        self.score == other.score
+        self.cmp(other) == Ordering::Equal
     }
 }
 impl Eq for Candidate {}
@@ -39,9 +42,14 @@ impl PartialOrd for Candidate {
 }
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
+        // max-heap order mirroring the oracle's consumption order: highest
+        // score first, exact ties to the lowest function index, then the
+        // lowest dense object index
         self.score
             .partial_cmp(&other.score)
             .unwrap_or(Ordering::Equal)
+            .then_with(|| other.function.cmp(&self.function))
+            .then_with(|| other.oi.cmp(&self.oi))
     }
 }
 
@@ -62,7 +70,14 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
         .iter()
         .map(|f| RankedSearch::new(f.function.clone()))
         .collect();
-    let mut current: Vec<Option<(RecordId, f64)>> = vec![None; n];
+    // Per-function candidates currently in the heap. To reproduce the
+    // oracle's tie order, a function never has a *partial* tie group in the
+    // heap: `advance` drains its search through the complete group of the
+    // top score (searches yield non-increasing scores, so the group is
+    // complete once a strictly lower result appears; that one result is
+    // parked in `lookahead` and seeds the next group).
+    let mut live: Vec<usize> = vec![0; n];
+    let mut lookahead: Vec<Option<Candidate>> = vec![None; n];
     let mut heap: BinaryHeap<Candidate> = BinaryHeap::with_capacity(n);
 
     let mut assignment = Assignment::new();
@@ -74,20 +89,43 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     macro_rules! advance {
         ($idx:expr) => {{
             let idx: usize = $idx;
-            let next = searches[idx].next_accepted(tree, |r| {
-                problem.object_index(r).is_some_and(|i| o_remaining[i] > 0)
-            });
-            search_count += 1;
-            match next {
-                Some((data, score)) => {
-                    current[idx] = Some((data.record, score));
-                    heap.push(Candidate {
-                        score,
-                        function: idx,
-                        object: data.record,
-                    });
+            let mut group_score = match lookahead[idx].take() {
+                Some(cand) => {
+                    let score = cand.score;
+                    heap.push(cand);
+                    live[idx] += 1;
+                    Some(score)
                 }
-                None => current[idx] = None,
+                None => None,
+            };
+            loop {
+                let next = searches[idx].next_accepted(tree, |r| {
+                    problem.object_index(r).is_some_and(|i| o_remaining[i] > 0)
+                });
+                search_count += 1;
+                match next {
+                    Some((data, score)) => {
+                        let cand = Candidate {
+                            score,
+                            function: idx,
+                            object: data.record,
+                            oi: problem.object_index(data.record).expect("object exists"),
+                        };
+                        match group_score {
+                            Some(gs) if score < gs => {
+                                // first result below the group: park it
+                                lookahead[idx] = Some(cand);
+                                break;
+                            }
+                            _ => {
+                                group_score = Some(score);
+                                heap.push(cand);
+                                live[idx] += 1;
+                            }
+                        }
+                    }
+                    None => break,
+                }
             }
         }};
     }
@@ -99,17 +137,15 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     while demand > 0 && supply > 0 {
         let Some(best) = heap.pop() else { break };
         if f_remaining[best.function] == 0 {
-            continue; // function already fully assigned
+            continue; // function already fully assigned; leftovers are inert
         }
-        // stale heap entry?
-        match current[best.function] {
-            Some((obj, score)) if obj == best.object && score == best.score => {}
-            _ => continue,
-        }
-        let oi = problem.object_index(best.object).expect("object exists");
-        if o_remaining[oi] == 0 {
-            // the candidate was taken by someone else: resume this search
-            advance!(best.function);
+        live[best.function] -= 1;
+        if o_remaining[best.oi] == 0 {
+            // the candidate was taken by someone else; resume the search once
+            // the function's whole group is exhausted
+            if live[best.function] == 0 {
+                advance!(best.function);
+            }
             continue;
         }
         // assign the globally best pair (Property 2: the top pair is stable)
@@ -120,30 +156,27 @@ pub fn brute_force(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
             best.score,
         );
         f_remaining[best.function] -= 1;
-        o_remaining[oi] -= 1;
+        o_remaining[best.oi] -= 1;
         demand -= 1;
         supply -= 1;
         if f_remaining[best.function] > 0 {
-            if o_remaining[oi] > 0 {
-                // the same object still has capacity; keep it as the candidate
-                heap.push(Candidate {
-                    score: best.score,
-                    function: best.function,
-                    object: best.object,
-                });
-            } else {
+            if o_remaining[best.oi] > 0 {
+                // the same object still has capacity; keep it as a candidate
+                heap.push(best);
+                live[best.function] += 1;
+            } else if live[best.function] == 0 {
                 advance!(best.function);
             }
         }
         if loops % 32 == 1 {
             let mem: u64 = searches.iter().map(RankedSearch::memory_bytes).sum::<u64>()
-                + heap.len() as u64 * 24;
+                + heap.len() as u64 * 32;
             gauge.observe(mem);
         }
     }
 
     let mem: u64 =
-        searches.iter().map(RankedSearch::memory_bytes).sum::<u64>() + heap.len() as u64 * 24;
+        searches.iter().map(RankedSearch::memory_bytes).sum::<u64>() + heap.len() as u64 * 32;
     gauge.observe(mem);
 
     let metrics = RunMetrics {

@@ -57,7 +57,11 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
     let mut since_progress: u64 = 0;
     let stall_limit = 4 * (problem.num_functions() + problem.num_objects()) as u64 + 16;
 
-    // fresh top-1 object for a function (skipping exhausted objects)
+    // Fresh top-1 object for a function (skipping exhausted objects). Exact
+    // score ties are resolved like the oracle does — lowest dense object
+    // index — by draining the search's complete top tie group (ranked
+    // searches yield non-increasing scores, so the group ends at the first
+    // strictly lower result) and keeping the oracle's representative.
     let top1_object = |tree: &mut RTree,
                        fi: usize,
                        o_remaining: &[u32],
@@ -65,12 +69,32 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
      -> Option<(RecordId, f64)> {
         *searches += 1;
         let mut s = RankedSearch::new(problem.functions()[fi].function.clone());
-        s.next_accepted(tree, |r| {
-            problem.object_index(r).is_some_and(|i| o_remaining[i] > 0)
-        })
-        .map(|(d, score)| (d.record, score))
+        let accept = |r: RecordId| problem.object_index(r).is_some_and(|i| o_remaining[i] > 0);
+        let (first, score) = s.next_accepted(tree, accept)?;
+        let mut best = first.record;
+        let mut best_oi = problem.object_index(best).expect("object exists");
+        while let Some((d, tie)) = s.next_accepted(tree, accept) {
+            if tie < score {
+                break;
+            }
+            let oi = problem.object_index(d.record).expect("object exists");
+            if oi < best_oi {
+                best_oi = oi;
+                best = d.record;
+            }
+        }
+        Some((best, score))
     };
-    // fresh top-1 function for an object (skipping exhausted functions)
+    // Fresh top-1 function for an object (skipping exhausted functions).
+    // The weight-space search scores functions through a *normalized* query
+    // direction — a different floating-point computation than the true
+    // `f(o)`, so two functions whose true scores differ by an ulp can come
+    // back mis-ordered (and exactly-tied functions in arbitrary order). The
+    // search is therefore only the candidate generator: the near-tie group
+    // at the top (within 1e-9, far above any rounding skew) is re-ranked by
+    // the exact score with the oracle's tie order — highest true score,
+    // then lowest function index (the weight tree's record ids are the
+    // function indices).
     let top1_function = |ftree: &mut RTree,
                          object: RecordId,
                          f_remaining: &[u32],
@@ -85,8 +109,23 @@ pub fn chain(problem: &Problem, tree: &mut RTree) -> AssignmentResult {
         let query = LinearFunction::new(point.coords().to_vec())
             .unwrap_or_else(|_| LinearFunction::new(vec![1.0; point.dims()]).unwrap());
         let mut s = RankedSearch::new(query);
-        s.next_accepted(ftree, |r| f_remaining[r.0 as usize] > 0)
-            .map(|(d, _)| d.record.0 as usize)
+        let accept = |r: RecordId| f_remaining[r.0 as usize] > 0;
+        let (first, top) = s.next_accepted(ftree, accept)?;
+        let exact = |fi: usize| problem.functions()[fi].function.score(point);
+        let mut best = first.record.0 as usize;
+        let mut best_score = exact(best);
+        while let Some((d, near)) = s.next_accepted(ftree, accept) {
+            if near < top - 1e-9 {
+                break;
+            }
+            let fi = d.record.0 as usize;
+            let score = exact(fi);
+            if score > best_score || (score == best_score && fi < best) {
+                best = fi;
+                best_score = score;
+            }
+        }
+        Some(best)
     };
 
     while demand > 0 && supply > 0 {

@@ -72,6 +72,7 @@ mod sb;
 mod sbalt;
 mod scaffold;
 mod solver;
+mod view;
 
 pub use brute::brute_force;
 pub use chain::chain;
@@ -82,6 +83,7 @@ pub use problem::{FunctionId, ObjectRecord, PreferenceFunction, Problem, Problem
 pub use sb::{sb, BestPairStrategy, MaintenanceStrategy, SbOptions};
 pub use sbalt::sb_alt;
 pub use solver::{all_solvers, BruteForceSolver, ChainSolver, SbAltSolver, SbSolver, Solver};
+pub use view::{AssignedFunctions, AssignedObjects, AssignmentView, ViewError};
 
 use pref_rtree::RTree;
 

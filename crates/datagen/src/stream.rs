@@ -22,6 +22,9 @@ pub enum UpdateEvent {
         id: RecordId,
         /// Feature vector, normalized to `[0, 1]`.
         point: Point,
+        /// Number of identical objects this arrival stands for (≥ 1; drawn
+        /// uniformly from `1..=max_capacity`).
+        capacity: u32,
     },
     /// A live object departs.
     RemoveObject {
@@ -34,6 +37,9 @@ pub enum UpdateEvent {
         id: u64,
         /// The arriving preference function.
         function: LinearFunction,
+        /// Number of identical requests this arrival stands for (≥ 1; drawn
+        /// uniformly from `1..=max_capacity`).
+        capacity: u32,
     },
     /// A live preference function departs.
     RemoveFunction {
@@ -59,6 +65,12 @@ pub struct UpdateStreamConfig {
     pub min_objects: usize,
     /// Departures never shrink the function population below this floor.
     pub min_functions: usize,
+    /// Upper bound of the capacity drawn for every arrival (objects and
+    /// functions alike), uniform over `1..=max_capacity`. The default of 1
+    /// keeps every streamed entity unit-capacity — and leaves streams
+    /// generated before the knob existed byte-identical, because no capacity
+    /// draw is consumed from the RNG in that case.
+    pub max_capacity: u32,
     /// RNG seed; equal seeds give byte-identical streams.
     pub seed: u64,
 }
@@ -73,6 +85,7 @@ impl Default for UpdateStreamConfig {
             object_fraction: 0.7,
             min_objects: 1,
             min_functions: 1,
+            max_capacity: 1,
             seed: 0,
         }
     }
@@ -90,6 +103,10 @@ pub fn update_stream(
     live_functions: &[u64],
 ) -> Vec<UpdateEvent> {
     assert!(config.dims > 0, "streams need at least one dimension");
+    assert!(
+        config.max_capacity >= 1,
+        "max_capacity must be at least 1 (capacities are drawn from 1..=max_capacity)"
+    );
     assert!(
         live_objects.len() >= config.min_objects,
         "initial object population is below the configured floor"
@@ -148,6 +165,7 @@ pub fn update_stream(
                 UpdateEvent::InsertObject {
                     id,
                     point: arriving_points[step].clone(),
+                    capacity: draw_capacity(&mut rng, config.max_capacity),
                 }
             }
             (true, false) => {
@@ -161,6 +179,7 @@ pub fn update_stream(
                 UpdateEvent::InsertFunction {
                     id,
                     function: arriving_functions[step].clone(),
+                    capacity: draw_capacity(&mut rng, config.max_capacity),
                 }
             }
             (false, false) => {
@@ -171,6 +190,17 @@ pub fn update_stream(
         events.push(event);
     }
     events
+}
+
+/// Draws an arrival capacity from `1..=max`. Unit-capacity streams
+/// (`max == 1`) consume nothing from the RNG, so streams generated before
+/// the `max_capacity` knob existed stay byte-identical.
+fn draw_capacity(rng: &mut StdRng, max: u32) -> u32 {
+    if max > 1 {
+        rng.gen_range(1..=max)
+    } else {
+        1
+    }
 }
 
 /// Reserves the successor of `id`, panicking with an explicit message when
@@ -230,17 +260,27 @@ mod tests {
         let mut live_f: HashSet<u64> = funs.iter().copied().collect();
         for e in &events {
             match e {
-                UpdateEvent::InsertObject { id, point } => {
+                UpdateEvent::InsertObject {
+                    id,
+                    point,
+                    capacity,
+                } => {
                     assert!(live_o.insert(id.0), "object id {id} reused");
                     assert_eq!(point.dims(), config.dims);
+                    assert_eq!(*capacity, 1, "default streams are unit-capacity");
                 }
                 UpdateEvent::RemoveObject { id } => {
                     assert!(live_o.remove(&id.0), "removed unknown object {id}");
                     assert!(live_o.len() >= config.min_objects);
                 }
-                UpdateEvent::InsertFunction { id, function } => {
+                UpdateEvent::InsertFunction {
+                    id,
+                    function,
+                    capacity,
+                } => {
                     assert!(live_f.insert(*id), "function id {id} reused");
                     assert_eq!(function.dims(), config.dims);
+                    assert_eq!(*capacity, 1, "default streams are unit-capacity");
                 }
                 UpdateEvent::RemoveFunction { id } => {
                     assert!(live_f.remove(id), "removed unknown function {id}");
@@ -276,6 +316,71 @@ mod tests {
             e,
             UpdateEvent::InsertObject { .. } | UpdateEvent::InsertFunction { .. }
         )));
+    }
+
+    #[test]
+    fn capacitated_streams_draw_bounded_capacities_on_both_sides() {
+        let (objs, funs) = initial();
+        let config = UpdateStreamConfig {
+            max_capacity: 4,
+            insert_fraction: 0.8,
+            object_fraction: 0.5,
+            ..base_config()
+        };
+        let events = update_stream(&config, &objs, &funs);
+        let mut object_caps: HashSet<u32> = HashSet::new();
+        let mut function_caps: HashSet<u32> = HashSet::new();
+        for e in &events {
+            match e {
+                UpdateEvent::InsertObject { capacity, .. } => {
+                    assert!((1..=4).contains(capacity));
+                    object_caps.insert(*capacity);
+                }
+                UpdateEvent::InsertFunction { capacity, .. } => {
+                    assert!((1..=4).contains(capacity));
+                    function_caps.insert(*capacity);
+                }
+                _ => {}
+            }
+        }
+        // 200 events at 80% arrivals: all four capacities show up on both
+        // sides with overwhelming probability for this fixed seed
+        assert!(object_caps.len() > 1, "object capacities never exceeded 1");
+        assert!(
+            function_caps.len() > 1,
+            "function capacities never exceeded 1"
+        );
+    }
+
+    #[test]
+    fn unit_capacity_knob_leaves_streams_byte_identical() {
+        // max_capacity: 1 must not consume RNG draws, so the stream equals
+        // the default-config stream event for event
+        let (objs, funs) = initial();
+        let explicit = update_stream(
+            &UpdateStreamConfig {
+                max_capacity: 1,
+                ..base_config()
+            },
+            &objs,
+            &funs,
+        );
+        let default = update_stream(&base_config(), &objs, &funs);
+        assert_eq!(explicit, default);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_capacity must be at least 1")]
+    fn zero_max_capacity_is_rejected() {
+        let (objs, funs) = initial();
+        let _ = update_stream(
+            &UpdateStreamConfig {
+                max_capacity: 0,
+                ..base_config()
+            },
+            &objs,
+            &funs,
+        );
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! The incremental engine: state, update operations and the repair loop.
 
-use pref_assign::{Assignment, FunctionId, ObjectRecord, PreferenceFunction, Problem};
+use pref_assign::{
+    Assignment, AssignmentView, FunctionId, ObjectRecord, PreferenceFunction, Problem,
+};
 use pref_datagen::UpdateEvent;
 use pref_geom::Point;
 use pref_rtree::{DataEntry, NodeEntry, RTree, RecordId};
@@ -161,6 +163,98 @@ impl EngineStats {
         } else {
             self.tombstoned_objects as f64 / self.tree_records as f64
         }
+    }
+}
+
+/// One update operation against an engine, with the records fully
+/// constructed (capacities included).
+///
+/// This is THE conversion point from [`UpdateEvent`] stream events to engine
+/// updates — [`AssignmentEngine::apply`] and the serving tier's submission
+/// path both go through it, so the two can never drift on how an event maps
+/// to records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UpdateOp {
+    /// A new object (with its capacity) arrives.
+    InsertObject(ObjectRecord),
+    /// A live object departs.
+    RemoveObject(RecordId),
+    /// A new preference function (user, with its capacity) arrives.
+    InsertFunction(PreferenceFunction),
+    /// A live preference function departs.
+    RemoveFunction(FunctionId),
+}
+
+impl UpdateOp {
+    /// Converts a datagen stream event into an applicable op.
+    pub fn from_event(event: &UpdateEvent) -> Self {
+        match event {
+            UpdateEvent::InsertObject {
+                id,
+                point,
+                capacity,
+            } => UpdateOp::InsertObject(
+                ObjectRecord::new(id.0, point.clone()).with_capacity(*capacity),
+            ),
+            UpdateEvent::RemoveObject { id } => UpdateOp::RemoveObject(*id),
+            UpdateEvent::InsertFunction {
+                id,
+                function,
+                capacity,
+            } => UpdateOp::InsertFunction(
+                PreferenceFunction::new(*id as usize, function.clone()).with_capacity(*capacity),
+            ),
+            UpdateEvent::RemoveFunction { id } => {
+                UpdateOp::RemoveFunction(FunctionId(*id as usize))
+            }
+        }
+    }
+
+    /// Applies the op to an engine.
+    pub fn apply(&self, engine: &mut AssignmentEngine) -> Result<(), EngineError> {
+        match self {
+            UpdateOp::InsertObject(object) => engine.insert_object(object.clone()),
+            UpdateOp::RemoveObject(id) => engine.remove_object(*id),
+            UpdateOp::InsertFunction(function) => engine.insert_function(function.clone()),
+            UpdateOp::RemoveFunction(id) => engine.remove_function(*id),
+        }
+    }
+}
+
+/// A coherent export of the engine's live state, taken between updates — the
+/// publish hook of the serving tier. One call walks the dense slabs once and
+/// returns everything a published snapshot needs: the live populations (full
+/// records, so the snapshot can rebuild the [`Problem`] for verification or a
+/// restart), the current matching as id-level pairs, and the stats gauges at
+/// export time.
+#[derive(Debug, Clone)]
+pub struct EngineSnapshot {
+    /// The live preference functions (arrival order of their dense slots).
+    pub functions: Vec<PreferenceFunction>,
+    /// The live objects (arrival order of their dense slots).
+    pub objects: Vec<ObjectRecord>,
+    /// The stable matching as `(function, object, score)` triples.
+    pub pairs: Vec<(FunctionId, RecordId, f64)>,
+    /// Engine stats (lifetime counters + gauges) at export time.
+    pub stats: EngineStats,
+}
+
+impl EngineSnapshot {
+    /// The export as a [`Problem`] (full capacities), e.g. for stability
+    /// verification or an engine restart. `None` when a population is empty.
+    pub fn to_problem(&self) -> Option<Problem> {
+        Problem::new(self.functions.clone(), self.objects.clone()).ok()
+    }
+
+    /// The export's matching as a compact, allocation-free-queryable
+    /// [`AssignmentView`] over the live populations.
+    pub fn view(&self) -> AssignmentView {
+        AssignmentView::from_pairs(
+            self.functions.iter().map(|f| f.id).collect(),
+            self.objects.iter().map(|o| o.id).collect(),
+            &self.pairs,
+        )
+        .expect("engine pairs reference live ids and live ids are unique")
     }
 }
 
@@ -409,6 +503,43 @@ impl AssignmentEngine {
         assignment
     }
 
+    /// Exports the engine's live state in one pass: populations, matching
+    /// and stats, taken together so they are mutually consistent. This is
+    /// the publish hook of the serving tier — called by a shard's writer
+    /// thread after each applied batch, never concurrently with updates
+    /// (the engine itself is single-writer).
+    pub fn export_snapshot(&self) -> EngineSnapshot {
+        let functions: Vec<PreferenceFunction> = self
+            .functions
+            .iter()
+            .filter(|f| f.alive)
+            .map(|f| f.pref.clone())
+            .collect();
+        let objects: Vec<ObjectRecord> = self
+            .objects
+            .iter()
+            .filter(|o| o.alive)
+            .map(|o| o.record.clone())
+            .collect();
+        let pairs: Vec<(FunctionId, RecordId, f64)> = self
+            .pairs
+            .iter()
+            .map(|&(fi, oi, score)| {
+                (
+                    self.functions[fi].pref.id,
+                    self.objects[oi].record.id,
+                    score,
+                )
+            })
+            .collect();
+        EngineSnapshot {
+            functions,
+            objects,
+            pairs,
+            stats: self.stats(),
+        }
+    }
+
     /// A [`Problem`] snapshot of the live population (full capacities), e.g.
     /// for oracle comparison or an index rebuild.
     pub fn snapshot_problem(&self) -> Result<Problem, EngineError> {
@@ -427,18 +558,10 @@ impl AssignmentEngine {
         Problem::new(functions, objects).map_err(|_| EngineError::EmptyProblem)
     }
 
-    /// Applies one [`UpdateEvent`] from a datagen update stream.
+    /// Applies one [`UpdateEvent`] from a datagen update stream (via the
+    /// shared [`UpdateOp`] conversion).
     pub fn apply(&mut self, event: &UpdateEvent) -> Result<(), EngineError> {
-        match event {
-            UpdateEvent::InsertObject { id, point } => {
-                self.insert_object(ObjectRecord::new(id.0, point.clone()))
-            }
-            UpdateEvent::RemoveObject { id } => self.remove_object(*id),
-            UpdateEvent::InsertFunction { id, function } => {
-                self.insert_function(PreferenceFunction::new(*id as usize, function.clone()))
-            }
-            UpdateEvent::RemoveFunction { id } => self.remove_function(FunctionId(*id as usize)),
-        }
+        UpdateOp::from_event(event).apply(self)
     }
 
     /// An object arrives: it is inserted into the R-tree (splits are patched

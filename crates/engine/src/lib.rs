@@ -73,4 +73,6 @@
 
 mod engine;
 
-pub use engine::{AssignmentEngine, EngineError, EngineOptions, EngineStats};
+pub use engine::{
+    AssignmentEngine, EngineError, EngineOptions, EngineSnapshot, EngineStats, UpdateOp,
+};

@@ -163,6 +163,67 @@ fn capacitated_problems_repair_correctly() {
     }
 }
 
+/// Streamed arrivals with capacities > 1 (the `max_capacity` knob) repair to
+/// the oracle's matching too: a capacity-3 arrival must be able to take up to
+/// three pairs, and a departing capacity-3 object must free all of them.
+#[test]
+fn capacitated_update_streams_match_the_oracle() {
+    for seed in [61u64, 62] {
+        let problem = build_problem(8, 35, 3, seed * 23);
+        let config = UpdateStreamConfig {
+            num_events: 30,
+            dims: 3,
+            max_capacity: 3,
+            seed,
+            ..UpdateStreamConfig::default()
+        };
+        // the knob must actually fire: at least one arrival carries
+        // capacity > 1 in each checked stream
+        let events = stream_for(&problem, config.clone());
+        assert!(
+            events.iter().any(|e| matches!(
+                e,
+                UpdateEvent::InsertObject { capacity, .. }
+                | UpdateEvent::InsertFunction { capacity, .. } if *capacity > 1
+            )),
+            "seed {seed} produced no capacitated arrival"
+        );
+        check_sequence(problem, config);
+    }
+}
+
+/// Capacitated arrivals on top of a capacitated initial population: both the
+/// base problem and the stream exercise capacities > 1 at once.
+#[test]
+fn capacitated_streams_over_capacitated_problems_match_the_oracle() {
+    let seed = 71u64;
+    let functions: Vec<PreferenceFunction> = uniform_weight_functions(6, 2, seed)
+        .into_iter()
+        .enumerate()
+        .map(|(i, f)| PreferenceFunction::new(i, f).with_capacity(1 + (i as u32 % 3)))
+        .collect();
+    let objects: Vec<ObjectRecord> = independent_objects(25, 2, seed + 5)
+        .into_iter()
+        .map(|(id, p)| ObjectRecord {
+            id,
+            point: p,
+            capacity: 1 + (id.0 as u32 % 2),
+        })
+        .collect();
+    let problem = Problem::new(functions, objects).unwrap();
+    check_sequence(
+        problem,
+        UpdateStreamConfig {
+            num_events: 25,
+            dims: 2,
+            max_capacity: 4,
+            insert_fraction: 0.6,
+            seed,
+            ..UpdateStreamConfig::default()
+        },
+    );
+}
+
 #[test]
 fn engine_update_io_stays_below_full_recompute() {
     // the headline property: repairing across a stream costs less object-tree

@@ -1,0 +1,119 @@
+//! Snapshot-consistent concurrent serving layer over the assignment engine.
+//!
+//! [`pref_engine::AssignmentEngine`] repairs a stable matching incrementally,
+//! but it is strictly single-threaded: every read contends with the writer.
+//! This crate adds the tier that makes the matching *servable* under heavy
+//! read traffic, following the architecture production matching systems use —
+//! a single-writer repair loop per shard, and any number of readers that
+//! never take a lock on the hot path:
+//!
+//! * **Shards** ([`ShardedService`]) partition the world by a tenant / shard
+//!   key. Each shard owns one engine on a dedicated writer thread, fed by a
+//!   bounded multi-producer update queue ([`UpdateOp`] batches). There are no
+//!   cross-shard transactions: a shard is an independent assignment problem.
+//! * **Snapshots** ([`AssignmentSnapshot`]) are immutable and monotonically
+//!   versioned. After applying a batch of updates, the writer exports the
+//!   engine's state once (compact CSR arrays: function → objects,
+//!   object → functions, scores, stats) and publishes it atomically through a
+//!   [`SnapshotCell`]. A snapshot is only ever published at a batch boundary,
+//!   so readers can never observe a torn (partially applied) batch.
+//! * **Readers** ([`SnapshotReader`], [`ServiceReader`]) answer
+//!   `assignment_of(function)` / `functions_of(object)` / `stats()` against
+//!   their pinned snapshot with zero locks and zero allocation: the hot path
+//!   is one atomic version load plus slice indexing. Only when the version
+//!   has moved does the reader briefly touch the publication slot to pin the
+//!   newer snapshot (an `Arc` clone — still allocation-free). Versions are
+//!   strictly monotonic per reader.
+//!
+//! Writes are acknowledged by a [`ShardedService::flush`] barrier: it returns
+//! once every update submitted before the call has been applied *and*
+//! published, giving producers read-your-writes on their own shard.
+//!
+//! Everything is built on `std::thread` + `std::sync` only.
+//!
+//! # Quick start
+//!
+//! ```
+//! use pref_assign::{FunctionId, ObjectRecord, Problem, PreferenceFunction};
+//! use pref_geom::{LinearFunction, Point};
+//! use pref_service::{ServiceConfig, ShardedService, UpdateOp};
+//!
+//! let problem = Problem::new(
+//!     vec![
+//!         PreferenceFunction::new(0, LinearFunction::new(vec![0.8, 0.2]).unwrap()),
+//!         PreferenceFunction::new(1, LinearFunction::new(vec![0.2, 0.8]).unwrap()),
+//!     ],
+//!     vec![
+//!         ObjectRecord::new(0, Point::from_slice(&[0.5, 0.6])),
+//!         ObjectRecord::new(1, Point::from_slice(&[0.2, 0.7])),
+//!         ObjectRecord::new(2, Point::from_slice(&[0.8, 0.2])),
+//!     ],
+//! )
+//! .unwrap();
+//!
+//! let service = ShardedService::start(vec![problem], &ServiceConfig::default()).unwrap();
+//! let mut reader = service.reader();
+//!
+//! // a hot new object arrives; flush() is the read-your-writes barrier
+//! service
+//!     .submit(0, UpdateOp::InsertObject(ObjectRecord::new(3, Point::from_slice(&[0.9, 0.9]))))
+//!     .unwrap();
+//! service.flush().unwrap();
+//!
+//! let snapshot = reader.snapshot(0).unwrap();
+//! let (object, _score) = snapshot.assignment_of(FunctionId(0)).unwrap().next().unwrap();
+//! assert_eq!(object.0, 3); // the newcomer dominates: f0 is re-assigned to it
+//! service.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod cell;
+mod queue;
+mod service;
+mod shard;
+mod snapshot;
+
+pub use cell::{SnapshotCell, SnapshotReader};
+pub use queue::UpdateQueue;
+pub use service::{ServiceConfig, ServiceReader, ServiceStats, ShardedService};
+pub use shard::{ShardHandle, ShardStats};
+pub use snapshot::AssignmentSnapshot;
+
+use pref_engine::EngineError;
+
+pub use pref_engine::UpdateOp;
+
+/// Errors surfaced by the serving layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The shard index is out of range.
+    UnknownShard(usize),
+    /// The service (or the addressed shard's writer) has stopped: the queue
+    /// is closed, or the writer thread exited.
+    Stopped,
+    /// The configuration is invalid (message describes the problem).
+    InvalidConfig(String),
+    /// Building a shard's engine failed.
+    Engine(EngineError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownShard(shard) => write!(f, "unknown shard {shard}"),
+            ServiceError::Stopped => write!(f, "the service has stopped"),
+            ServiceError::InvalidConfig(msg) => write!(f, "invalid service config: {msg}"),
+            ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<EngineError> for ServiceError {
+    fn from(e: EngineError) -> Self {
+        ServiceError::Engine(e)
+    }
+}

@@ -1,0 +1,192 @@
+//! The bounded multi-producer update queue feeding a shard's writer thread.
+
+use crate::{ServiceError, UpdateOp};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// A bounded blocking queue of update **batches**.
+///
+/// Producers enqueue whole batches ([`UpdateQueue::push`], blocking while the
+/// queue is over capacity); the shard's writer drains them
+/// ([`UpdateQueue::pop`], blocking while empty). Batches are the atomicity
+/// unit of the serving tier: the writer never publishes a snapshot in the
+/// middle of a batch, so a batch submitted together becomes visible
+/// together.
+///
+/// Capacity is counted in *updates* (summed batch lengths), which is what
+/// actually bounds memory and writer lag. A single batch larger than the
+/// whole capacity is still accepted — once the queue is empty — so oversized
+/// batches degrade to a stop-and-go handoff instead of deadlocking.
+#[derive(Debug)]
+pub struct UpdateQueue {
+    state: Mutex<QueueState>,
+    /// Signalled when batches are enqueued or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when the writer drains batches or the queue closes.
+    not_full: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    batches: VecDeque<Vec<UpdateOp>>,
+    /// Sum of the queued batch lengths.
+    queued_updates: usize,
+    closed: bool,
+}
+
+impl UpdateQueue {
+    /// Creates a queue bounded at `capacity` queued updates (≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self {
+            state: Mutex::new(QueueState {
+                batches: VecDeque::new(),
+                queued_updates: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues one batch, blocking while the queue is at capacity. Empty
+    /// batches are accepted and act as pure publication triggers (the writer
+    /// applies nothing and publishes a snapshot). Fails with
+    /// [`ServiceError::Stopped`] once the queue is closed.
+    pub fn push(&self, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
+        let mut state = self.state.lock().expect("update queue poisoned");
+        loop {
+            if state.closed {
+                return Err(ServiceError::Stopped);
+            }
+            let fits = state.queued_updates + batch.len() <= self.capacity
+                // oversized batches are accepted into an empty queue
+                || state.queued_updates == 0;
+            if fits {
+                state.queued_updates += batch.len();
+                state.batches.push_back(batch);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("update queue poisoned");
+        }
+    }
+
+    /// Dequeues whole batches totalling at most `max_updates` (but always at
+    /// least one batch), blocking while the queue is empty. Returns `None`
+    /// once the queue is closed **and** drained — the writer's signal to
+    /// exit.
+    pub fn pop(&self, max_updates: usize) -> Option<Vec<Vec<UpdateOp>>> {
+        let mut state = self.state.lock().expect("update queue poisoned");
+        loop {
+            if !state.batches.is_empty() {
+                let mut drained = Vec::new();
+                let mut drained_updates = 0;
+                while let Some(front) = state.batches.front() {
+                    if !drained.is_empty() && drained_updates + front.len() > max_updates {
+                        break;
+                    }
+                    drained_updates += front.len();
+                    drained.push(state.batches.pop_front().expect("front exists"));
+                }
+                state.queued_updates -= drained_updates;
+                self.not_full.notify_all();
+                return Some(drained);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("update queue poisoned");
+        }
+    }
+
+    /// Closes the queue: producers fail fast, the writer drains what is left
+    /// and exits.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("update queue poisoned");
+        state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Updates currently queued (diagnostics).
+    pub fn queued_updates(&self) -> usize {
+        self.state
+            .lock()
+            .expect("update queue poisoned")
+            .queued_updates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_rtree::RecordId;
+    use std::sync::Arc;
+
+    fn op(id: u64) -> UpdateOp {
+        UpdateOp::RemoveObject(RecordId(id))
+    }
+
+    #[test]
+    fn pop_drains_whole_batches_up_to_the_update_budget() {
+        let queue = UpdateQueue::new(16);
+        queue.push(vec![op(0), op(1)]).unwrap();
+        queue.push(vec![op(2)]).unwrap();
+        queue.push(vec![op(3), op(4), op(5)]).unwrap();
+        assert_eq!(queue.queued_updates(), 6);
+        // budget 3 takes the first two batches (2 + 1), not half of batch 3
+        let drained = queue.pop(3).unwrap();
+        assert_eq!(drained.len(), 2);
+        assert_eq!(drained[0].len(), 2);
+        assert_eq!(drained[1].len(), 1);
+        assert_eq!(queue.queued_updates(), 3);
+        // a batch larger than the budget still comes out whole
+        let drained = queue.pop(1).unwrap();
+        assert_eq!(drained, vec![vec![op(3), op(4), op(5)]]);
+        assert_eq!(queue.queued_updates(), 0);
+    }
+
+    #[test]
+    fn close_fails_producers_and_drains_consumers() {
+        let queue = UpdateQueue::new(4);
+        queue.push(vec![op(0)]).unwrap();
+        queue.close();
+        assert_eq!(queue.push(vec![op(1)]), Err(ServiceError::Stopped));
+        // the consumer still sees the pre-close batch, then the exit signal
+        assert_eq!(queue.pop(8), Some(vec![vec![op(0)]]));
+        assert_eq!(queue.pop(8), None);
+    }
+
+    #[test]
+    fn producers_block_at_capacity_until_the_writer_drains() {
+        let queue = Arc::new(UpdateQueue::new(2));
+        queue.push(vec![op(0), op(1)]).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(vec![op(2)]))
+        };
+        // the producer cannot finish until we drain; drain and join
+        let drained = queue.pop(8).unwrap();
+        assert_eq!(drained.len(), 1);
+        producer.join().unwrap().unwrap();
+        assert_eq!(queue.pop(8), Some(vec![vec![op(2)]]));
+    }
+
+    #[test]
+    fn oversized_batches_enter_an_empty_queue() {
+        let queue = UpdateQueue::new(2);
+        queue.push(vec![op(0), op(1), op(2), op(3)]).unwrap();
+        assert_eq!(queue.queued_updates(), 4);
+        assert_eq!(queue.pop(1).unwrap()[0].len(), 4);
+    }
+
+    #[test]
+    fn empty_batches_pass_through() {
+        let queue = UpdateQueue::new(2);
+        queue.push(Vec::new()).unwrap();
+        assert_eq!(queue.pop(4), Some(vec![Vec::new()]));
+    }
+}

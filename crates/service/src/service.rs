@@ -1,0 +1,362 @@
+//! The sharded front: routing, flush barriers and aggregated stats.
+
+use crate::cell::SnapshotReader;
+use crate::shard::{ShardHandle, ShardStats};
+use crate::snapshot::AssignmentSnapshot;
+use crate::{ServiceError, UpdateOp};
+use pref_assign::Problem;
+use pref_engine::EngineOptions;
+
+/// Configuration of a [`ShardedService`] (applies to every shard).
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Bound of each shard's update queue, in queued updates. Producers
+    /// block (backpressure) when a shard's queue is full.
+    pub queue_capacity: usize,
+    /// Maximum updates folded into one snapshot publication. Larger batches
+    /// amortize export cost under bursts; smaller batches lower the
+    /// update-to-visibility latency.
+    pub max_batch: usize,
+    /// Engine options for every shard's engine.
+    pub engine: EngineOptions,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_capacity: 1024,
+            max_batch: 64,
+            engine: EngineOptions::default(),
+        }
+    }
+}
+
+impl ServiceConfig {
+    fn validate(&self) -> Result<(), ServiceError> {
+        if self.queue_capacity == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "queue_capacity must be at least 1".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServiceError::InvalidConfig(
+                "max_batch must be at least 1".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Aggregated stats of the whole service plus the per-shard breakdown.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStats {
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardStats>,
+}
+
+impl ServiceStats {
+    /// Updates submitted across all shards.
+    pub fn submitted(&self) -> u64 {
+        self.shards.iter().map(|s| s.submitted).sum()
+    }
+
+    /// Updates processed (applied + rejected) across all shards.
+    pub fn processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.processed).sum()
+    }
+
+    /// Updates rejected across all shards.
+    pub fn rejected(&self) -> u64 {
+        self.shards.iter().map(|s| s.rejected).sum()
+    }
+
+    /// Live objects across all shards (as of the published snapshots).
+    pub fn live_objects(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.live_objects).sum()
+    }
+
+    /// Live functions across all shards (as of the published snapshots).
+    pub fn live_functions(&self) -> u64 {
+        self.shards.iter().map(|s| s.engine.live_functions).sum()
+    }
+
+    /// Sum of the published snapshot versions (a coarse progress measure).
+    pub fn published_versions(&self) -> u64 {
+        self.shards.iter().map(|s| s.published_version).sum()
+    }
+}
+
+/// The serving front: `N` independent shards, each a single-writer engine
+/// with its own queue and snapshot publication.
+///
+/// Routing is by **shard key**: any `u64` tenant / partition key the caller
+/// chooses, mapped onto a shard with [`ShardedService::shard_of_key`].
+/// There are no cross-shard transactions and no cross-shard reads — the
+/// consistency unit is one shard (read-your-shard after
+/// [`ShardedService::flush`]).
+#[derive(Debug)]
+pub struct ShardedService {
+    shards: Vec<ShardHandle>,
+}
+
+impl ShardedService {
+    /// Starts one shard per initial [`Problem`]: builds each engine,
+    /// publishes its version-1 snapshot and spawns its writer thread.
+    pub fn start(problems: Vec<Problem>, config: &ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        if problems.is_empty() {
+            return Err(ServiceError::InvalidConfig(
+                "a service needs at least one shard".into(),
+            ));
+        }
+        let mut shards = Vec::with_capacity(problems.len());
+        for (i, problem) in problems.iter().enumerate() {
+            shards.push(ShardHandle::start(
+                problem,
+                &config.engine,
+                config.queue_capacity,
+                config.max_batch,
+                i,
+            )?);
+        }
+        Ok(Self { shards })
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Maps a tenant / shard key onto a shard index.
+    pub fn shard_of_key(&self, key: u64) -> usize {
+        // splitmix-style finalizer: adjacent tenant keys spread uniformly
+        let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        ((x ^ (x >> 31)) % self.shards.len() as u64) as usize
+    }
+
+    /// The shard handle at `shard` (e.g. for per-shard readers or stats).
+    pub fn shard(&self, shard: usize) -> Result<&ShardHandle, ServiceError> {
+        self.shards
+            .get(shard)
+            .ok_or(ServiceError::UnknownShard(shard))
+    }
+
+    /// Submits one update to a shard (blocking on that shard's backpressure).
+    pub fn submit(&self, shard: usize, op: UpdateOp) -> Result<(), ServiceError> {
+        self.shard(shard)?.submit(op)
+    }
+
+    /// Submits a batch to a shard; the batch becomes visible atomically in
+    /// one published snapshot.
+    pub fn submit_batch(&self, shard: usize, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
+        self.shard(shard)?.submit_batch(batch)
+    }
+
+    /// Blocks until every update submitted (to any shard) before the call
+    /// has been applied and published.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        for shard in &self.shards {
+            shard.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until one shard has published everything submitted to it.
+    pub fn flush_shard(&self, shard: usize) -> Result<(), ServiceError> {
+        self.shard(shard)?.flush()
+    }
+
+    /// A reader handle spanning every shard (one pinned snapshot per shard).
+    pub fn reader(&self) -> ServiceReader {
+        ServiceReader {
+            readers: self.shards.iter().map(|s| s.reader()).collect(),
+        }
+    }
+
+    /// Aggregated + per-shard stats as of the latest published snapshots.
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            shards: self.shards.iter().map(|s| s.stats()).collect(),
+        }
+    }
+
+    /// Stops the service: closes every queue, lets the writers drain and
+    /// publish their in-flight batches, and joins them. Propagates a writer
+    /// panic as [`ServiceError::Stopped`].
+    pub fn shutdown(mut self) -> Result<(), ServiceError> {
+        for shard in &self.shards {
+            shard.close();
+        }
+        let mut result = Ok(());
+        for shard in &mut self.shards {
+            if let Err(e) = shard.join() {
+                result = Err(e);
+            }
+        }
+        result
+    }
+}
+
+/// A reader over every shard of a service.
+///
+/// Each reader thread owns one `ServiceReader`; per shard it behaves exactly
+/// like a [`SnapshotReader`] — lock-free revalidation, strictly monotonic
+/// versions.
+#[derive(Debug)]
+pub struct ServiceReader {
+    readers: Vec<SnapshotReader>,
+}
+
+impl ServiceReader {
+    /// Number of shards this reader spans.
+    pub fn num_shards(&self) -> usize {
+        self.readers.len()
+    }
+
+    /// The freshest snapshot of one shard (see [`SnapshotReader::snapshot`]).
+    pub fn snapshot(&mut self, shard: usize) -> Result<&AssignmentSnapshot, ServiceError> {
+        match self.readers.get_mut(shard) {
+            Some(reader) => Ok(reader.snapshot()),
+            None => Err(ServiceError::UnknownShard(shard)),
+        }
+    }
+
+    /// The currently pinned snapshot of one shard, without revalidation.
+    pub fn pinned(&self, shard: usize) -> Result<&AssignmentSnapshot, ServiceError> {
+        match self.readers.get(shard) {
+            Some(reader) => Ok(reader.pinned()),
+            None => Err(ServiceError::UnknownShard(shard)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_assign::{FunctionId, ObjectRecord};
+    use pref_geom::Point;
+    use pref_rtree::RecordId;
+
+    fn problem(seed: usize) -> Problem {
+        let functions = pref_datagen::uniform_weight_functions(4, 2, seed as u64);
+        let objects = pref_datagen::independent_objects(20, 2, seed as u64 + 100);
+        Problem::from_parts(functions, objects).unwrap()
+    }
+
+    #[test]
+    fn two_shards_are_independent_problems() {
+        let service =
+            ShardedService::start(vec![problem(1), problem(2)], &ServiceConfig::default()).unwrap();
+        assert_eq!(service.num_shards(), 2);
+        let mut reader = service.reader();
+        assert_eq!(reader.num_shards(), 2);
+
+        // an update to shard 1 never shows on shard 0
+        let v0 = reader.snapshot(0).unwrap().version();
+        service
+            .submit(
+                1,
+                UpdateOp::InsertObject(ObjectRecord::new(999, Point::from_slice(&[0.9, 0.9]))),
+            )
+            .unwrap();
+        service.flush_shard(1).unwrap();
+        assert!(reader.snapshot(1).unwrap().version() > 1);
+        assert!(reader
+            .snapshot(1)
+            .unwrap()
+            .objects()
+            .iter()
+            .any(|o| o.id == RecordId(999)));
+        assert_eq!(reader.snapshot(0).unwrap().version(), v0);
+        assert!(!reader
+            .snapshot(0)
+            .unwrap()
+            .objects()
+            .iter()
+            .any(|o| o.id == RecordId(999)));
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shard_keys_route_deterministically_and_cover_all_shards() {
+        let service = ShardedService::start(
+            vec![problem(1), problem(2), problem(3)],
+            &ServiceConfig::default(),
+        )
+        .unwrap();
+        let mut hit = vec![false; service.num_shards()];
+        for key in 0..64u64 {
+            let shard = service.shard_of_key(key);
+            assert_eq!(shard, service.shard_of_key(key), "routing must be stable");
+            assert!(shard < service.num_shards());
+            hit[shard] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "64 keys should cover 3 shards");
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn aggregate_stats_sum_over_shards() {
+        let service =
+            ShardedService::start(vec![problem(1), problem(2)], &ServiceConfig::default()).unwrap();
+        service
+            .submit(0, UpdateOp::RemoveFunction(FunctionId(0)))
+            .unwrap();
+        service
+            .submit(1, UpdateOp::RemoveFunction(FunctionId(1)))
+            .unwrap();
+        service
+            .submit(1, UpdateOp::RemoveFunction(FunctionId(777))) // rejected
+            .unwrap();
+        service.flush().unwrap();
+        let stats = service.stats();
+        assert_eq!(stats.shards.len(), 2);
+        assert_eq!(stats.submitted(), 3);
+        assert_eq!(stats.processed(), 3);
+        assert_eq!(stats.rejected(), 1);
+        assert_eq!(stats.live_functions(), 3 + 3);
+        assert_eq!(stats.live_objects(), 40);
+        assert!(stats.published_versions() >= 2 + 2);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn invalid_configs_and_shards_are_rejected() {
+        assert!(matches!(
+            ShardedService::start(vec![], &ServiceConfig::default()),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardedService::start(
+                vec![problem(1)],
+                &ServiceConfig {
+                    queue_capacity: 0,
+                    ..ServiceConfig::default()
+                }
+            ),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            ShardedService::start(
+                vec![problem(1)],
+                &ServiceConfig {
+                    max_batch: 0,
+                    ..ServiceConfig::default()
+                }
+            ),
+            Err(ServiceError::InvalidConfig(_))
+        ));
+        let service = ShardedService::start(vec![problem(1)], &ServiceConfig::default()).unwrap();
+        assert_eq!(
+            service.submit(5, UpdateOp::RemoveObject(RecordId(0))),
+            Err(ServiceError::UnknownShard(5))
+        );
+        assert!(matches!(
+            service.reader().pinned(9),
+            Err(ServiceError::UnknownShard(9))
+        ));
+        service.shutdown().unwrap();
+    }
+}

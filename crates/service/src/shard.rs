@@ -1,0 +1,353 @@
+//! One shard: a single-writer engine thread behind a bounded queue,
+//! publishing versioned snapshots.
+
+use crate::cell::{SnapshotCell, SnapshotReader};
+use crate::queue::UpdateQueue;
+use crate::snapshot::AssignmentSnapshot;
+use crate::{ServiceError, UpdateOp};
+use pref_assign::Problem;
+use pref_engine::{AssignmentEngine, EngineOptions, EngineStats};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Writer-side progress, shared with flush waiters.
+#[derive(Debug, Default)]
+struct ProgressState {
+    /// Updates consumed from the queue (applied + rejected), counted at
+    /// publication time — an update is "processed" only once the snapshot
+    /// reflecting it is visible to readers.
+    processed: u64,
+    /// Updates the engine rejected (duplicate / unknown ids, dimension
+    /// mismatches). Rejections do not tear the batch: the remaining ops
+    /// still apply, and the batch still publishes.
+    rejected: u64,
+    /// Snapshots published (equals the published version).
+    published_version: u64,
+    /// Description of the most recent rejection, for diagnostics.
+    last_rejection: Option<String>,
+    /// Set when the writer thread exits (clean shutdown or panic).
+    writer_exited: bool,
+}
+
+#[derive(Debug, Default)]
+struct Progress {
+    state: Mutex<ProgressState>,
+    advanced: Condvar,
+}
+
+/// Notifies flush waiters that the writer exited, even on unwind: a panicking
+/// writer must fail flushes, not hang them.
+struct ExitNotice(Arc<Progress>);
+
+impl Drop for ExitNotice {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("shard progress poisoned");
+        state.writer_exited = true;
+        self.0.advanced.notify_all();
+    }
+}
+
+/// Point-in-time counters of one shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardStats {
+    /// Updates submitted to the shard's queue so far.
+    pub submitted: u64,
+    /// Updates processed (applied + rejected) and published.
+    pub processed: u64,
+    /// Updates the engine rejected.
+    pub rejected: u64,
+    /// Version of the latest published snapshot. Version 1 is the initial
+    /// stabilization; each publication — which covers one or **more** whole
+    /// batches when the writer drains a backlog — advances it by 1.
+    pub published_version: u64,
+    /// Description of the most recent rejection, if any.
+    pub last_rejection: Option<String>,
+    /// Engine stats as of the latest published snapshot.
+    pub engine: EngineStats,
+}
+
+/// Handle to one shard: submit side + publication side.
+///
+/// Created by [`crate::ShardedService`]; the shard owns its writer thread.
+#[derive(Debug)]
+pub struct ShardHandle {
+    queue: Arc<UpdateQueue>,
+    cell: Arc<SnapshotCell>,
+    progress: Arc<Progress>,
+    /// Updates submitted (accepted by the queue) so far.
+    submitted: AtomicU64,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl ShardHandle {
+    /// Builds the shard's engine from its initial problem, publishes the
+    /// version-1 snapshot and starts the writer thread.
+    pub(crate) fn start(
+        problem: &Problem,
+        engine_options: &EngineOptions,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+    ) -> Result<Self, ServiceError> {
+        let mut engine = AssignmentEngine::new(problem, engine_options)?;
+        let cell = Arc::new(SnapshotCell::new(AssignmentSnapshot::from_export(
+            engine.export_snapshot(),
+            1,
+        )));
+        let queue = Arc::new(UpdateQueue::new(queue_capacity));
+        let progress = Arc::new(Progress::default());
+        {
+            let mut state = progress.state.lock().expect("shard progress poisoned");
+            state.published_version = 1;
+        }
+        let writer = {
+            let queue = Arc::clone(&queue);
+            let cell = Arc::clone(&cell);
+            let progress = Arc::clone(&progress);
+            std::thread::Builder::new()
+                .name(format!("shard-{shard_index}-writer"))
+                .spawn(move || {
+                    let _notice = ExitNotice(Arc::clone(&progress));
+                    writer_loop(&mut engine, &queue, &cell, &progress, max_batch);
+                })
+                .map_err(|e| ServiceError::InvalidConfig(format!("spawn failed: {e}")))?
+        };
+        Ok(Self {
+            queue,
+            cell,
+            progress,
+            submitted: AtomicU64::new(0),
+            writer: Some(writer),
+        })
+    }
+
+    /// Submits one batch (blocking while the queue is at capacity). The
+    /// batch will become visible atomically in one published snapshot.
+    pub fn submit_batch(&self, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
+        // Count the submission BEFORE the queue accepts it (rolled back on a
+        // closed queue): an update can only be processed after it was
+        // queued, so `processed <= submitted` holds at every instant and
+        // stats consumers can rely on `submitted - processed` as a backlog
+        // gauge.
+        let len = batch.len() as u64;
+        self.submitted.fetch_add(len, Ordering::AcqRel);
+        if let Err(e) = self.queue.push(batch) {
+            self.submitted.fetch_sub(len, Ordering::AcqRel);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Submits a single update (a batch of one).
+    pub fn submit(&self, op: UpdateOp) -> Result<(), ServiceError> {
+        self.submit_batch(vec![op])
+    }
+
+    /// Blocks until every update submitted to this shard before the call has
+    /// been processed and published — the read-your-writes barrier. Fails
+    /// with [`ServiceError::Stopped`] if the writer exited first.
+    pub fn flush(&self) -> Result<(), ServiceError> {
+        let target = self.submitted.load(Ordering::Acquire);
+        let mut state = self.progress.state.lock().expect("shard progress poisoned");
+        loop {
+            if state.processed >= target {
+                return Ok(());
+            }
+            if state.writer_exited {
+                return Err(ServiceError::Stopped);
+            }
+            state = self
+                .progress
+                .advanced
+                .wait(state)
+                .expect("shard progress poisoned");
+        }
+    }
+
+    /// A new reader pinned to the latest published snapshot.
+    pub fn reader(&self) -> SnapshotReader {
+        self.cell.reader()
+    }
+
+    /// Pins the latest published snapshot once (slow path; readers that
+    /// query repeatedly should hold a [`SnapshotReader`]).
+    pub fn latest(&self) -> Arc<AssignmentSnapshot> {
+        self.cell.latest()
+    }
+
+    /// The shard's current counters plus the engine stats of the latest
+    /// published snapshot.
+    pub fn stats(&self) -> ShardStats {
+        let state = self.progress.state.lock().expect("shard progress poisoned");
+        ShardStats {
+            submitted: self.submitted.load(Ordering::Acquire),
+            processed: state.processed,
+            rejected: state.rejected,
+            published_version: state.published_version,
+            last_rejection: state.last_rejection.clone(),
+            engine: *self.latest().stats(),
+        }
+    }
+
+    /// Closes the shard's queue: in-flight batches still apply and publish,
+    /// then the writer exits. Producers fail fast from now on.
+    pub(crate) fn close(&self) {
+        self.queue.close();
+    }
+
+    /// Joins the writer thread (after [`ShardHandle::close`]); propagates a
+    /// writer panic as [`ServiceError::Stopped`].
+    pub(crate) fn join(&mut self) -> Result<(), ServiceError> {
+        match self.writer.take() {
+            Some(writer) => writer.join().map_err(|_| ServiceError::Stopped),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for ShardHandle {
+    fn drop(&mut self) {
+        self.close();
+        if let Some(writer) = self.writer.take() {
+            // on drop-without-shutdown, still reap the thread; a panic is
+            // already recorded via ExitNotice and must not double-panic here
+            let _ = writer.join();
+        }
+    }
+}
+
+/// The shard's writer loop: drain → apply → export → publish → acknowledge.
+fn writer_loop(
+    engine: &mut AssignmentEngine,
+    queue: &UpdateQueue,
+    cell: &SnapshotCell,
+    progress: &Progress,
+    max_batch: usize,
+) {
+    let mut version = 1u64;
+    while let Some(batches) = queue.pop(max_batch) {
+        let mut processed = 0u64;
+        let mut rejected = 0u64;
+        let mut last_rejection = None;
+        for batch in &batches {
+            for op in batch {
+                processed += 1;
+                if let Err(e) = op.apply(engine) {
+                    rejected += 1;
+                    last_rejection = Some(format!("{op:?}: {e}"));
+                }
+            }
+        }
+        version += 1;
+        cell.publish(AssignmentSnapshot::from_export(
+            engine.export_snapshot(),
+            version,
+        ));
+        // acknowledge only after publication: a flushed producer is
+        // guaranteed its updates are visible to every subsequent read
+        let mut state = progress.state.lock().expect("shard progress poisoned");
+        state.processed += processed;
+        state.rejected += rejected;
+        state.published_version = version;
+        if last_rejection.is_some() {
+            state.last_rejection = last_rejection;
+        }
+        progress.advanced.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pref_assign::{FunctionId, ObjectRecord, PreferenceFunction};
+    use pref_geom::{LinearFunction, Point};
+    use pref_rtree::RecordId;
+
+    fn problem() -> Problem {
+        Problem::new(
+            vec![
+                PreferenceFunction::new(0, LinearFunction::new(vec![0.8, 0.2]).unwrap()),
+                PreferenceFunction::new(1, LinearFunction::new(vec![0.2, 0.8]).unwrap()),
+            ],
+            vec![
+                ObjectRecord::new(0, Point::from_slice(&[0.5, 0.6])),
+                ObjectRecord::new(1, Point::from_slice(&[0.2, 0.7])),
+                ObjectRecord::new(2, Point::from_slice(&[0.8, 0.2])),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn start_shard() -> ShardHandle {
+        ShardHandle::start(&problem(), &EngineOptions::default(), 64, 16, 0).unwrap()
+    }
+
+    #[test]
+    fn flush_is_a_read_your_writes_barrier() {
+        let mut shard = start_shard();
+        assert_eq!(shard.latest().version(), 1);
+        shard
+            .submit(UpdateOp::InsertObject(ObjectRecord::new(
+                9,
+                Point::from_slice(&[0.95, 0.95]),
+            )))
+            .unwrap();
+        shard.flush().unwrap();
+        let snap = shard.latest();
+        assert!(snap.version() >= 2);
+        assert!(snap.objects().iter().any(|o| o.id == RecordId(9)));
+        snap.verify().unwrap();
+        // the newcomer dominates everything: it must hold an assignment
+        assert_eq!(snap.functions_of(RecordId(9)).unwrap().len(), 1);
+        shard.close();
+        shard.join().unwrap();
+    }
+
+    #[test]
+    fn rejected_updates_are_counted_not_fatal() {
+        let mut shard = start_shard();
+        shard
+            .submit_batch(vec![
+                UpdateOp::RemoveObject(RecordId(777)), // unknown: rejected
+                UpdateOp::InsertObject(ObjectRecord::new(5, Point::from_slice(&[0.4, 0.4]))),
+            ])
+            .unwrap();
+        shard.flush().unwrap();
+        let stats = shard.stats();
+        assert_eq!(stats.submitted, 2);
+        assert_eq!(stats.processed, 2);
+        assert_eq!(stats.rejected, 1);
+        assert!(stats.last_rejection.unwrap().contains("unknown object"));
+        // the non-rejected op of the batch still applied
+        assert!(shard.latest().objects().iter().any(|o| o.id == RecordId(5)));
+        shard.close();
+        shard.join().unwrap();
+    }
+
+    #[test]
+    fn submits_after_close_fail_fast() {
+        let mut shard = start_shard();
+        shard.close();
+        shard.join().unwrap();
+        assert_eq!(
+            shard.submit(UpdateOp::RemoveFunction(FunctionId(0))),
+            Err(ServiceError::Stopped)
+        );
+    }
+
+    #[test]
+    fn empty_batches_publish_fresh_snapshots() {
+        let mut shard = start_shard();
+        let v1 = shard.latest().version();
+        shard.submit_batch(Vec::new()).unwrap();
+        // an empty batch cannot be flushed on (it adds no updates), so spin
+        // on the published version
+        while shard.latest().version() == v1 {
+            std::thread::yield_now();
+        }
+        assert_eq!(shard.latest().num_pairs(), 2);
+        shard.close();
+        shard.join().unwrap();
+    }
+}

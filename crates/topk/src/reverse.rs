@@ -105,7 +105,14 @@ impl ReverseTopOne {
             let current_best = self.candidates.first().copied();
             let threshold = self.current_threshold(budget);
             if let Some((score, func)) = current_best {
-                if score >= threshold - 1e-12 {
+                // Accept only once the bound on *unseen* functions is
+                // strictly below the front candidate. At `score == threshold`
+                // an unseen function can still TIE the front exactly, and the
+                // stable loop's tie rule (lowest function index, the oracle's
+                // order) requires every tied function to reach the candidate
+                // queue — where insertion order resolves the tie — before the
+                // search answers.
+                if score > threshold + 1e-12 {
                     return Some((func, score));
                 }
             }

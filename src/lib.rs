@@ -54,6 +54,7 @@ pub use pref_datagen as datagen;
 pub use pref_engine as engine;
 pub use pref_geom as geom;
 pub use pref_rtree as rtree;
+pub use pref_service as service;
 pub use pref_skyline as skyline;
 pub use pref_storage as storage;
 pub use pref_topk as topk;
@@ -65,6 +66,7 @@ pub use pref_assign::{
     SbAltSolver, SbOptions, SbSolver, Solver, StabilityViolation,
 };
 pub use pref_engine::{AssignmentEngine, EngineOptions};
+pub use pref_service::{ServiceConfig, ShardedService, UpdateOp};
 
 #[cfg(test)]
 mod tests {
