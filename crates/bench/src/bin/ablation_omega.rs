@@ -1,4 +1,6 @@
 //! Ablation of the Ω (candidate-queue) knob of SB's resumable TA search.
+#![forbid(unsafe_code)]
+
 use pref_bench::{experiments, CliOptions};
 
 fn main() {

@@ -7,6 +7,8 @@
 //! the measurement tables are printed in the canonical figure order, so
 //! stdout is identical to a sequential run.
 
+#![forbid(unsafe_code)]
+
 use pref_bench::{experiments, CliOptions, Report, Scale};
 use std::path::Path;
 use std::sync::Mutex;

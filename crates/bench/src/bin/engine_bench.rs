@@ -22,6 +22,8 @@
 //! unstable engine matching, or if incremental repair fails to strictly
 //! undercut the recompute baseline's total update-phase I/O in any cell.
 
+#![forbid(unsafe_code)]
+
 use pref_assign::{oracle, verify_stable, Problem, SbSolver, Solver};
 use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
 use pref_engine::{AssignmentEngine, EngineOptions};

@@ -1,4 +1,6 @@
 //! Regenerates Figure 14 of the paper's evaluation (see DESIGN.md §4).
+#![forbid(unsafe_code)]
+
 use pref_bench::{experiments, CliOptions};
 
 fn main() {

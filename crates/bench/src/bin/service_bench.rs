@@ -26,6 +26,8 @@
 //! monotonicity; any violation fails the run. Usage:
 //! `service_bench [--smoke] [--out <path>]`.
 
+#![forbid(unsafe_code)]
+
 use pref_assign::Problem;
 use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
 use pref_engine::EngineOptions;
@@ -174,7 +176,9 @@ fn main() {
             .name("bench-writer".into())
             .spawn(move || {
                 let mut cursor = 0usize;
-                while !stop.load(Ordering::Acquire) && cursor + WRITER_BATCH <= stream.len() {
+                // ordering: pure stop signal; nothing is published through
+                // it (final state is synchronized by join below)
+                while !stop.load(Ordering::Relaxed) && cursor + WRITER_BATCH <= stream.len() {
                     let batch = stream[cursor..cursor + WRITER_BATCH].to_vec();
                     cursor += WRITER_BATCH;
                     if service.submit_batch(0, batch).is_err() {
@@ -236,7 +240,8 @@ fn main() {
         }
     }
 
-    stop_writer.store(true, Ordering::Release);
+    // ordering: pure stop signal, synchronized by the join on the next line
+    stop_writer.store(true, Ordering::Relaxed);
     writer.join().expect("writer joins");
     service.flush().expect("flush after writer stop");
     let stats = service.stats();
@@ -348,20 +353,22 @@ fn run_fleet(
                     let mut my_verified = 0u64;
                     let mut next = Instant::now();
                     let mut probe = r as u64; // deterministic per-reader walk
-                    while !stop.load(Ordering::Acquire) {
+                                              // ordering: pure stop signal; counters are synchronized
+                                              // by the joins at the end of the fleet run
+                    while !stop.load(Ordering::Relaxed) {
                         let snapshot = reader.snapshot(0).expect("shard 0 exists");
                         let version = snapshot.version();
                         if version < last_version {
-                            violations.fetch_add(1, Ordering::AcqRel);
+                            violations.fetch_add(1, Ordering::Relaxed); // ordering: statistics tally
                         }
                         if version > last_version {
                             last_version = version;
-                            observed.fetch_add(1, Ordering::AcqRel);
-                            // re-verify a sample of the newly published
-                            // snapshots end-to-end (quadratic, so capped)
+                            observed.fetch_add(1, Ordering::Relaxed); // ordering: statistics tally
+                                                                      // re-verify a sample of the newly published
+                                                                      // snapshots end-to-end (quadratic, so capped)
                             if my_verified < 64 || version.is_multiple_of(8) {
                                 if snapshot.verify().is_err() {
-                                    violations.fetch_add(1, Ordering::AcqRel);
+                                    violations.fetch_add(1, Ordering::Relaxed); // ordering: statistics tally
                                 }
                                 my_verified += 1;
                             }
@@ -378,12 +385,13 @@ fn run_fleet(
                                         .map(|mut it| it.any(|(bf, _)| bf == f))
                                         .unwrap_or(false);
                                     if !back {
-                                        violations.fetch_add(1, Ordering::AcqRel);
+                                        violations.fetch_add(1, Ordering::Relaxed);
+                                        // ordering: statistics tally
                                     }
                                 }
                             } else {
                                 // live function missing from its own snapshot
-                                violations.fetch_add(1, Ordering::AcqRel);
+                                violations.fetch_add(1, Ordering::Relaxed); // ordering: statistics tally
                             }
                         }
                         probe = probe.wrapping_add(0x9e37_79b9);
@@ -399,21 +407,22 @@ fn run_fleet(
                             }
                         }
                     }
-                    reads.fetch_add(my_reads, Ordering::AcqRel);
-                    verified.fetch_add(my_verified, Ordering::AcqRel);
+                    reads.fetch_add(my_reads, Ordering::Relaxed); // ordering: statistics tally
+                    verified.fetch_add(my_verified, Ordering::Relaxed); // ordering: statistics tally
                 })
                 .expect("spawn reader")
         })
         .collect();
     std::thread::sleep(window);
-    stop.store(true, Ordering::Release);
+    // ordering: pure stop signal, synchronized by the joins below
+    stop.store(true, Ordering::Relaxed);
     for handle in handles {
         handle.join().expect("reader joins");
     }
     FleetOutcome {
-        total_reads: reads.load(Ordering::Acquire),
-        snapshots_observed: observed.load(Ordering::Acquire),
-        snapshots_verified: verified.load(Ordering::Acquire),
-        violations: violations.load(Ordering::Acquire),
+        total_reads: reads.load(Ordering::Relaxed), // ordering: tally read after join
+        snapshots_observed: observed.load(Ordering::Relaxed), // ordering: tally read after join
+        snapshots_verified: verified.load(Ordering::Relaxed), // ordering: tally read after join
+        violations: violations.load(Ordering::Relaxed), // ordering: tally read after join
     }
 }

@@ -14,6 +14,8 @@
 //! from the oracle — CI runs `--smoke` as a correctness gate and uploads the
 //! JSON as an artifact.
 
+#![forbid(unsafe_code)]
+
 use pref_assign::{oracle, sb, AssignmentResult, Problem, SbOptions};
 use pref_bench::sb_hash_baseline;
 use pref_datagen::ObjectDistribution;

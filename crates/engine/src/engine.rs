@@ -254,6 +254,7 @@ impl EngineSnapshot {
             self.objects.iter().map(|o| o.id).collect(),
             &self.pairs,
         )
+        // lint: allow(no-unwrap) -- internal invariant: pairs only ever hold live, unique ids
         .expect("engine pairs reference live ids and live ids are unique")
     }
 }
@@ -587,6 +588,7 @@ impl AssignmentEngine {
         let splits = self
             .tree
             .insert_tracked(object.id, object.point.clone())
+            // lint: allow(no-unwrap) -- internal invariant: dimensionality was validated at the API boundary
             .expect("dimensionality was checked");
         for split in &splits {
             // Pre-existing entries that moved to the sibling must stay
@@ -786,12 +788,14 @@ impl AssignmentEngine {
             let oi = self
                 .tombstones
                 .pop_front()
+                // lint: allow(no-unwrap) -- internal invariant: batch size is computed from the queue length
                 .expect("batch size is bounded by the queue length");
             let record = self.objects[oi].record.id;
             let point = self.objects[oi].record.point.clone();
             let outcome = self
                 .tree
                 .delete_tracked(record, &point)
+                // lint: allow(no-unwrap) -- internal invariant: a tombstone is created only for resident records
                 .expect("tombstoned records are resident in the object tree");
             self.skyline.patch_page_delete(&outcome);
             self.obj_index.remove(&record);
@@ -855,6 +859,7 @@ impl AssignmentEngine {
                     *self
                         .obj_index
                         .get(&record)
+                        // lint: allow(no-unwrap) -- internal invariant: the skyline only yields registered records
                         .expect("skyline records are registered"),
                     point,
                 )
@@ -920,6 +925,7 @@ impl AssignmentEngine {
         if self.functions[cand.fi].remaining == 0 {
             let victim = self
                 .worst_pair_index(|&(fi, _, _)| fi == cand.fi)
+                // lint: allow(no-unwrap) -- internal invariant: a function at capacity has at least one pair
                 .expect("saturated function has pairs");
             let (_, oi, _) = self.pairs.swap_remove(victim);
             self.functions[cand.fi].remaining += 1;
@@ -930,6 +936,7 @@ impl AssignmentEngine {
         if cand.kind == SlotKind::Steal {
             let victim = self
                 .worst_pair_index(|&(_, oi, _)| oi == cand.oi)
+                // lint: allow(no-unwrap) -- internal invariant: a stolen object is assigned, so it has a pair
                 .expect("stolen object has pairs");
             let (fi, _, _) = self.pairs.swap_remove(victim);
             self.functions[fi].remaining += 1;

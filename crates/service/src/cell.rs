@@ -1,8 +1,8 @@
 //! Versioned snapshot publication: single writer, many lock-free readers.
 
 use crate::snapshot::AssignmentSnapshot;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use pref_sync::{AtomicU64, Mutex, Ordering};
+use std::sync::Arc;
 
 /// The publication point of one shard: holds the latest
 /// [`AssignmentSnapshot`] and its version.
@@ -50,7 +50,7 @@ impl SnapshotCell {
     /// increasing; publishing a stale version is a writer bug and panics.
     pub fn publish(&self, snapshot: AssignmentSnapshot) {
         let version = snapshot.version();
-        let mut slot = self.slot.lock().expect("snapshot slot poisoned");
+        let mut slot = self.slot.lock();
         assert!(
             version > slot.version(),
             "snapshot versions must be strictly monotonic: {} after {}",
@@ -61,17 +61,23 @@ impl SnapshotCell {
         // Publish the version while still holding the slot lock: a reader
         // that observes the new version and then takes the lock is
         // guaranteed to find (at least) this snapshot installed.
+        // ordering: Release pairs with the Acquire loads in version() and
+        // SnapshotReader::snapshot(); it orders the slot update above before
+        // the version becomes visible, so version-then-slot readers never
+        // see the new version with the old snapshot
         self.version.store(version, Ordering::Release);
     }
 
     /// The latest published version (one atomic load).
     pub fn version(&self) -> u64 {
+        // ordering: Acquire pairs with the Release store in publish(); any
+        // snapshot at or above the returned version is already in the slot
         self.version.load(Ordering::Acquire)
     }
 
     /// Pins the latest snapshot (slow path: takes the slot lock briefly).
     pub fn latest(&self) -> Arc<AssignmentSnapshot> {
-        self.slot.lock().expect("snapshot slot poisoned").clone()
+        self.slot.lock().clone()
     }
 
     /// Creates a reader pinned to the current snapshot.
@@ -99,6 +105,8 @@ impl SnapshotReader {
     /// one atomic load and only touches the shared slot when it moved.
     /// Returned versions are strictly monotonic across calls on one handle.
     pub fn snapshot(&mut self) -> &AssignmentSnapshot {
+        // ordering: Acquire pairs with publish()'s Release store — observing
+        // a new version guarantees the slot already holds that snapshot
         let published = self.cell.version.load(Ordering::Acquire);
         if published != self.cached.version() {
             let latest = self.cell.latest();

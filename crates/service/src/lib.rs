@@ -29,7 +29,11 @@
 //! once every update submitted before the call has been applied *and*
 //! published, giving producers read-your-writes on their own shard.
 //!
-//! Everything is built on `std::thread` + `std::sync` only.
+//! All synchronization goes through the [`pref_sync`] shim: zero-cost std
+//! passthroughs in normal builds, and — in test builds, which enable the
+//! shim's `model` feature — a deterministic model-checking scheduler that the
+//! `model_tests` module uses to systematically explore interleavings of the
+//! cell/queue/shard protocols and check happens-before invariants on each.
 //!
 //! # Quick start
 //!
@@ -70,6 +74,8 @@
 #![forbid(unsafe_code)]
 
 mod cell;
+#[cfg(test)]
+mod model_tests;
 mod queue;
 mod service;
 mod shard;

@@ -1,8 +1,8 @@
 //! The bounded multi-producer update queue feeding a shard's writer thread.
 
 use crate::{ServiceError, UpdateOp};
+use pref_sync::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
 
 /// A bounded blocking queue of update **batches**.
 ///
@@ -56,7 +56,7 @@ impl UpdateQueue {
     /// applies nothing and publishes a snapshot). Fails with
     /// [`ServiceError::Stopped`] once the queue is closed.
     pub fn push(&self, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
-        let mut state = self.state.lock().expect("update queue poisoned");
+        let mut state = self.state.lock();
         loop {
             if state.closed {
                 return Err(ServiceError::Stopped);
@@ -70,7 +70,7 @@ impl UpdateQueue {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            state = self.not_full.wait(state).expect("update queue poisoned");
+            state = self.not_full.wait(state);
         }
     }
 
@@ -79,17 +79,28 @@ impl UpdateQueue {
     /// once the queue is closed **and** drained — the writer's signal to
     /// exit.
     pub fn pop(&self, max_updates: usize) -> Option<Vec<Vec<UpdateOp>>> {
-        let mut state = self.state.lock().expect("update queue poisoned");
+        let mut state = self.state.lock();
         loop {
             if !state.batches.is_empty() {
                 let mut drained = Vec::new();
                 let mut drained_updates = 0;
-                while let Some(front) = state.batches.front() {
-                    if !drained.is_empty() && drained_updates + front.len() > max_updates {
+                loop {
+                    let take = match state.batches.front() {
+                        Some(front) => {
+                            drained.is_empty() || drained_updates + front.len() <= max_updates
+                        }
+                        None => false,
+                    };
+                    if !take {
                         break;
                     }
-                    drained_updates += front.len();
-                    drained.push(state.batches.pop_front().expect("front exists"));
+                    match state.batches.pop_front() {
+                        Some(front) => {
+                            drained_updates += front.len();
+                            drained.push(front);
+                        }
+                        None => break,
+                    }
                 }
                 state.queued_updates -= drained_updates;
                 self.not_full.notify_all();
@@ -98,14 +109,14 @@ impl UpdateQueue {
             if state.closed {
                 return None;
             }
-            state = self.not_empty.wait(state).expect("update queue poisoned");
+            state = self.not_empty.wait(state);
         }
     }
 
     /// Closes the queue: producers fail fast, the writer drains what is left
     /// and exits.
     pub fn close(&self) {
-        let mut state = self.state.lock().expect("update queue poisoned");
+        let mut state = self.state.lock();
         state.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -113,10 +124,7 @@ impl UpdateQueue {
 
     /// Updates currently queued (diagnostics).
     pub fn queued_updates(&self) -> usize {
-        self.state
-            .lock()
-            .expect("update queue poisoned")
-            .queued_updates
+        self.state.lock().queued_updates
     }
 }
 

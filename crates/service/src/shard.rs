@@ -7,9 +7,9 @@ use crate::snapshot::AssignmentSnapshot;
 use crate::{ServiceError, UpdateOp};
 use pref_assign::Problem;
 use pref_engine::{AssignmentEngine, EngineOptions, EngineStats};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
+use pref_sync::thread::JoinHandle;
+use pref_sync::{AtomicU64, Condvar, Mutex, Ordering};
+use std::sync::Arc;
 
 /// Writer-side progress, shared with flush waiters.
 #[derive(Debug, Default)]
@@ -42,11 +42,17 @@ struct ExitNotice(Arc<Progress>);
 
 impl Drop for ExitNotice {
     fn drop(&mut self) {
-        let mut state = self.0.state.lock().expect("shard progress poisoned");
+        let mut state = self.0.state.lock();
         state.writer_exited = true;
         self.0.advanced.notify_all();
     }
 }
+
+/// Test-only fault injection: called by the writer just before publishing
+/// each version. A hook that panics simulates a writer crash mid-batch —
+/// after the updates were consumed, before they were published — which is
+/// exactly the window where a buggy flush would hang forever.
+pub(crate) type WriterFault = Box<dyn FnMut(u64) + Send + 'static>;
 
 /// Point-in-time counters of one shard.
 #[derive(Debug, Clone, Default)]
@@ -90,6 +96,26 @@ impl ShardHandle {
         max_batch: usize,
         shard_index: usize,
     ) -> Result<Self, ServiceError> {
+        Self::start_with_fault(
+            problem,
+            engine_options,
+            queue_capacity,
+            max_batch,
+            shard_index,
+            None,
+        )
+    }
+
+    /// [`ShardHandle::start`] plus an optional injected writer fault (model
+    /// scenario tests use it to crash the writer at a chosen publication).
+    pub(crate) fn start_with_fault(
+        problem: &Problem,
+        engine_options: &EngineOptions,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+        fault: Option<WriterFault>,
+    ) -> Result<Self, ServiceError> {
         let mut engine = AssignmentEngine::new(problem, engine_options)?;
         let cell = Arc::new(SnapshotCell::new(AssignmentSnapshot::from_export(
             engine.export_snapshot(),
@@ -98,18 +124,18 @@ impl ShardHandle {
         let queue = Arc::new(UpdateQueue::new(queue_capacity));
         let progress = Arc::new(Progress::default());
         {
-            let mut state = progress.state.lock().expect("shard progress poisoned");
+            let mut state = progress.state.lock();
             state.published_version = 1;
         }
         let writer = {
             let queue = Arc::clone(&queue);
             let cell = Arc::clone(&cell);
             let progress = Arc::clone(&progress);
-            std::thread::Builder::new()
+            pref_sync::thread::Builder::new()
                 .name(format!("shard-{shard_index}-writer"))
                 .spawn(move || {
                     let _notice = ExitNotice(Arc::clone(&progress));
-                    writer_loop(&mut engine, &queue, &cell, &progress, max_batch);
+                    writer_loop(&mut engine, &queue, &cell, &progress, max_batch, fault);
                 })
                 .map_err(|e| ServiceError::InvalidConfig(format!("spawn failed: {e}")))?
         };
@@ -131,9 +157,20 @@ impl ShardHandle {
         // stats consumers can rely on `submitted - processed` as a backlog
         // gauge.
         let len = batch.len() as u64;
-        self.submitted.fetch_add(len, Ordering::AcqRel);
+        // ordering: Relaxed is enough for this counter. Its consumers never
+        // use it to reach other data: flush() reads it on the *same* thread
+        // that incremented it (program order), and the `processed >=
+        // submitted` comparison is ordered by the queue/progress mutexes —
+        // fetch_add happens-before queue.push (program order), push
+        // happens-before the writer's drain (queue mutex), and the writer's
+        // progress update happens-before the waiter's read (progress mutex).
+        // The previous AcqRel ordered nothing extra and put a full barrier
+        // on every submission.
+        self.submitted.fetch_add(len, Ordering::Relaxed);
         if let Err(e) = self.queue.push(batch) {
-            self.submitted.fetch_sub(len, Ordering::AcqRel);
+            // ordering: Relaxed — same-thread rollback of the count above;
+            // per-location coherence keeps the counter itself consistent
+            self.submitted.fetch_sub(len, Ordering::Relaxed);
             return Err(e);
         }
         Ok(())
@@ -148,8 +185,12 @@ impl ShardHandle {
     /// been processed and published — the read-your-writes barrier. Fails
     /// with [`ServiceError::Stopped`] if the writer exited first.
     pub fn flush(&self) -> Result<(), ServiceError> {
-        let target = self.submitted.load(Ordering::Acquire);
-        let mut state = self.progress.state.lock().expect("shard progress poisoned");
+        // ordering: Relaxed — the caller's own submissions are ordered by
+        // program order; concurrent submitters' in-flight updates are not
+        // part of this caller's read-your-writes contract (see submit_batch
+        // for why the counter itself needs no barrier)
+        let target = self.submitted.load(Ordering::Relaxed);
+        let mut state = self.progress.state.lock();
         loop {
             if state.processed >= target {
                 return Ok(());
@@ -157,11 +198,7 @@ impl ShardHandle {
             if state.writer_exited {
                 return Err(ServiceError::Stopped);
             }
-            state = self
-                .progress
-                .advanced
-                .wait(state)
-                .expect("shard progress poisoned");
+            state = self.progress.advanced.wait(state);
         }
     }
 
@@ -179,9 +216,13 @@ impl ShardHandle {
     /// The shard's current counters plus the engine stats of the latest
     /// published snapshot.
     pub fn stats(&self) -> ShardStats {
-        let state = self.progress.state.lock().expect("shard progress poisoned");
+        let state = self.progress.state.lock();
         ShardStats {
-            submitted: self.submitted.load(Ordering::Acquire),
+            // ordering: Relaxed — a monitoring read; the progress mutex held
+            // here orders it against the writer's processed/rejected updates
+            // well enough for `submitted >= processed` to hold (an update is
+            // counted before it is queued, and processed only after)
+            submitted: self.submitted.load(Ordering::Relaxed),
             processed: state.processed,
             rejected: state.rejected,
             published_version: state.published_version,
@@ -224,6 +265,7 @@ fn writer_loop(
     cell: &SnapshotCell,
     progress: &Progress,
     max_batch: usize,
+    mut fault: Option<WriterFault>,
 ) {
     let mut version = 1u64;
     while let Some(batches) = queue.pop(max_batch) {
@@ -240,13 +282,18 @@ fn writer_loop(
             }
         }
         version += 1;
+        if let Some(fault) = fault.as_mut() {
+            // test-only injected fault: may panic here, i.e. after consuming
+            // the updates but before publishing them
+            fault(version);
+        }
         cell.publish(AssignmentSnapshot::from_export(
             engine.export_snapshot(),
             version,
         ));
         // acknowledge only after publication: a flushed producer is
         // guaranteed its updates are visible to every subsequent read
-        let mut state = progress.state.lock().expect("shard progress poisoned");
+        let mut state = progress.state.lock();
         state.processed += processed;
         state.rejected += rejected;
         state.published_version = version;

@@ -1,0 +1,852 @@
+//! The deterministic cooperative scheduler behind a model run.
+//!
+//! Model threads are real OS threads, but a run-wide token guarantees that
+//! exactly one of them executes at any moment: every shim operation hands the
+//! token back to the scheduler, which records the event, updates the
+//! vector-clock state, and picks the next thread to run — by seeded random
+//! walk or by replaying a choice prefix (the DFS driver). Determinism falls
+//! out of the serialization: given the same policy decisions, the execution
+//! is identical, so any failure replays from its seed or choice schedule.
+
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, PoisonError};
+
+/// Splitmix64: the crate's only RNG — tiny, seedable, reproducible.
+#[derive(Debug, Clone)]
+pub(crate) struct SplitMix64(u64);
+
+impl SplitMix64 {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self(seed)
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// What the happens-before checker or the scheduler found wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No thread is runnable but some are blocked.
+    Deadlock,
+    /// A deadlock where a blocked condvar waiter's notifications were
+    /// consumed while no one was waiting — the classic lost wakeup.
+    LostWakeup,
+    /// A model thread panicked (and was not in the allowed-panic list).
+    Panic,
+    /// A [`crate::model::check`] invariant failed.
+    CheckFailed,
+    /// A [`crate::RaceCell`] access was not ordered (happens-before) after
+    /// the last write — e.g. payload read past a `Relaxed` publication.
+    DataRace,
+    /// The run exceeded the per-run step budget (livelock guard).
+    StepLimit,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::LostWakeup => "lost wakeup",
+            ViolationKind::Panic => "panic",
+            ViolationKind::CheckFailed => "check failed",
+            ViolationKind::DataRace => "data race",
+            ViolationKind::StepLimit => "step limit exceeded",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One detected violation.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Classification.
+    pub kind: ViolationKind,
+    /// Human-readable description with thread/object names.
+    pub message: String,
+}
+
+/// One scheduling decision, recorded for hashing, replay and DFS backtracking.
+#[derive(Debug, Clone)]
+pub(crate) struct ChoiceRecord {
+    /// How many threads were eligible at this point.
+    pub eligible_len: usize,
+    /// Index (into the eligible list) that was chosen.
+    pub chosen_idx: usize,
+    /// Index of the previously running thread in the eligible list, if it
+    /// was still eligible — choosing anything else is a preemption.
+    pub nonpreemptive_idx: Option<usize>,
+    /// Preemptions committed before this choice.
+    pub preemptions_before: usize,
+}
+
+/// Scheduling policy of one run.
+#[derive(Debug)]
+pub(crate) enum Policy {
+    /// Uniform choice among eligible threads, from a seeded RNG.
+    Random(SplitMix64),
+    /// Follow `prefix` (as indices into the eligible list), then default to
+    /// the non-preemptive continuation. Drives both DFS and exact replays.
+    Replay { prefix: Vec<usize> },
+}
+
+/// Per-run configuration the scheduler needs.
+#[derive(Debug, Clone)]
+pub(crate) struct RunCfg {
+    pub max_steps: usize,
+    /// Substrings; a panic in a thread whose name contains one is expected
+    /// (recorded in the trace, not a violation).
+    pub allow_panic_from: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Block {
+    Lock(usize),
+    Wait(usize, usize),
+    Reacquire(usize),
+    Join(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    Running,
+    Runnable,
+    Blocked(Block),
+    Finished,
+}
+
+#[derive(Debug)]
+struct Th {
+    name: String,
+    status: Status,
+    clock: Vec<u64>,
+    exit_clock: Option<Vec<u64>>,
+}
+
+#[derive(Debug, Default)]
+struct AtomicState {
+    /// Clock of the last releasing store (or release-sequence-continuing
+    /// RMW); `None` after a plain `Relaxed` store severs the chain.
+    release: Option<Vec<u64>>,
+}
+
+#[derive(Debug, Default)]
+struct MutexState {
+    holder: Option<usize>,
+    clock: Vec<u64>,
+}
+
+#[derive(Debug, Default)]
+struct CvState {
+    waiters: Vec<usize>,
+    wasted_notifies: usize,
+}
+
+#[derive(Debug, Default)]
+struct CellState {
+    last_write: Option<(usize, Vec<u64>)>,
+    reads: Vec<(usize, Vec<u64>)>,
+    raced: bool,
+}
+
+#[derive(Debug)]
+struct State {
+    cfg: RunCfg,
+    policy: Policy,
+    threads: Vec<Th>,
+    current: Option<usize>,
+    step: usize,
+    preemptions: usize,
+    hard_failed: bool,
+    run_done: bool,
+    violations: Vec<Violation>,
+    choices: Vec<ChoiceRecord>,
+    schedule_hash: u64,
+    trace: Vec<String>,
+    atomics: Vec<AtomicState>,
+    mutexes: Vec<MutexState>,
+    condvars: Vec<CvState>,
+    cells: Vec<CellState>,
+}
+
+/// What a completed (or hard-failed) run looked like.
+#[derive(Debug)]
+pub(crate) struct RunOutcome {
+    pub violations: Vec<Violation>,
+    pub hard_failed: bool,
+    pub schedule_hash: u64,
+    pub chosen: Vec<usize>,
+    pub choices: Vec<ChoiceRecord>,
+    pub trace: Vec<String>,
+}
+
+enum Outcome<R> {
+    Proceed(R),
+    Block(Block, R),
+}
+
+fn join_clock(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn clock_le(a: &[u64], b: &[u64]) -> bool {
+    a.iter()
+        .enumerate()
+        .all(|(i, &av)| av <= b.get(i).copied().unwrap_or(0))
+}
+
+fn is_acquiring(order: Ordering) -> bool {
+    // ordering: classifying the caller's requested ordering, not an atomic op
+    matches!(
+        order,
+        Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+fn is_releasing(order: Ordering) -> bool {
+    // ordering: classifying the caller's requested ordering, not an atomic op
+    matches!(
+        order,
+        Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
+    )
+}
+
+/// The run-wide scheduler; every shim object of a run holds an `Arc` to it.
+#[derive(Debug)]
+pub(crate) struct Scheduler {
+    state: StdMutex<State>,
+    cv: StdCondvar,
+}
+
+type Guard<'a> = std::sync::MutexGuard<'a, State>;
+
+impl Scheduler {
+    /// Creates the scheduler with the root thread (tid 0) already running.
+    pub(crate) fn new(cfg: RunCfg, policy: Policy, root_name: &str) -> Self {
+        Self {
+            state: StdMutex::new(State {
+                cfg,
+                policy,
+                threads: vec![Th {
+                    name: root_name.to_string(),
+                    status: Status::Running,
+                    clock: vec![1],
+                    exit_clock: None,
+                }],
+                current: Some(0),
+                step: 0,
+                preemptions: 0,
+                hard_failed: false,
+                run_done: false,
+                violations: Vec::new(),
+                choices: Vec::new(),
+                schedule_hash: 0xcbf2_9ce4_8422_2325,
+                trace: Vec::new(),
+                atomics: Vec::new(),
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                cells: Vec::new(),
+            }),
+            cv: StdCondvar::new(),
+        }
+    }
+
+    fn lock(&self) -> Guard<'_> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Parks the calling thread forever (the run hard-failed; the controller
+    /// has been woken and abandons these threads — bounded by fail-fast).
+    fn park(&self, mut st: Guard<'_>) -> ! {
+        loop {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn record_violation(st: &mut State, kind: ViolationKind, message: String) {
+        if st.violations.len() < 8 {
+            st.violations.push(Violation { kind, message });
+        }
+    }
+
+    fn trace_line(st: &mut State, tid: usize, label: &str) {
+        let name = &st.threads[tid].name;
+        let line = format!("{:>5}  t{}:{:<20} {}", st.step, tid, name, label);
+        st.trace.push(line);
+    }
+
+    fn hard_fail(&self, st: &mut State) {
+        st.hard_failed = true;
+        st.current = None;
+        self.cv.notify_all();
+    }
+
+    /// Is `tid` schedulable right now?
+    fn eligible(st: &State, tid: usize) -> bool {
+        match &st.threads[tid].status {
+            Status::Runnable => true,
+            Status::Blocked(Block::Lock(m)) | Status::Blocked(Block::Reacquire(m)) => {
+                st.mutexes[*m].holder.is_none()
+            }
+            Status::Blocked(Block::Join(t)) => st.threads[*t].status == Status::Finished,
+            Status::Blocked(Block::Wait(_, _)) | Status::Running | Status::Finished => false,
+        }
+    }
+
+    /// Grants the token to `tid`, completing whatever it was blocked on.
+    fn commit_grant(st: &mut State, tid: usize) {
+        let status = st.threads[tid].status.clone();
+        match status {
+            Status::Blocked(Block::Lock(m)) | Status::Blocked(Block::Reacquire(m)) => {
+                st.mutexes[m].holder = Some(tid);
+                let mclock = st.mutexes[m].clock.clone();
+                join_clock(&mut st.threads[tid].clock, &mclock);
+                Self::trace_line(st, tid, &format!("acquired m{m}"));
+            }
+            Status::Blocked(Block::Join(t)) => {
+                let child = st.threads[t].exit_clock.clone().unwrap_or_default();
+                join_clock(&mut st.threads[tid].clock, &child);
+                Self::trace_line(st, tid, &format!("joined t{t}"));
+            }
+            Status::Runnable => {}
+            Status::Blocked(Block::Wait(_, _)) | Status::Running | Status::Finished => {
+                unreachable!("granting a non-eligible thread")
+            }
+        }
+        st.threads[tid].status = Status::Running;
+        st.current = Some(tid);
+    }
+
+    /// Picks the next thread (the single choice point of the whole model).
+    fn choose_next(&self, st: &mut State) {
+        let prev = st.current.take();
+        let eligible: Vec<usize> = (0..st.threads.len())
+            .filter(|&i| Self::eligible(st, i))
+            .collect();
+        if eligible.is_empty() {
+            if st.threads.iter().all(|t| t.status == Status::Finished) {
+                st.run_done = true;
+                self.cv.notify_all();
+            } else {
+                let (kind, message) = Self::describe_deadlock(st);
+                Self::record_violation(st, kind, message);
+                self.hard_fail(st);
+            }
+            return;
+        }
+        let nonpreemptive_idx = prev.and_then(|p| eligible.iter().position(|&t| t == p));
+        let pos = st.choices.len();
+        let chosen_idx = match &mut st.policy {
+            Policy::Random(rng) => (rng.next() as usize) % eligible.len(),
+            Policy::Replay { prefix } => {
+                if pos < prefix.len() {
+                    prefix[pos].min(eligible.len() - 1)
+                } else {
+                    nonpreemptive_idx.unwrap_or(0)
+                }
+            }
+        };
+        let preemptive = nonpreemptive_idx.is_some_and(|ni| ni != chosen_idx);
+        st.choices.push(ChoiceRecord {
+            eligible_len: eligible.len(),
+            chosen_idx,
+            nonpreemptive_idx,
+            preemptions_before: st.preemptions,
+        });
+        if preemptive {
+            st.preemptions += 1;
+        }
+        let chosen = eligible[chosen_idx];
+        // fnv1a over the chosen tids: the schedule's identity
+        st.schedule_hash = (st.schedule_hash ^ chosen as u64).wrapping_mul(0x0000_0100_0000_01b3);
+        Self::commit_grant(st, chosen);
+        self.cv.notify_all();
+    }
+
+    fn describe_deadlock(st: &State) -> (ViolationKind, String) {
+        let mut lost_wakeup = false;
+        let mut parts = Vec::new();
+        for (i, t) in st.threads.iter().enumerate() {
+            let reason = match &t.status {
+                Status::Blocked(Block::Lock(m)) => format!("wants m{m}"),
+                Status::Blocked(Block::Reacquire(m)) => format!("reacquiring m{m}"),
+                Status::Blocked(Block::Wait(cv, m)) => {
+                    if st.condvars[*cv].wasted_notifies > 0 {
+                        lost_wakeup = true;
+                    }
+                    format!(
+                        "waiting on cv{cv} (mutex m{m}, {} notify(s) hit no waiter)",
+                        st.condvars[*cv].wasted_notifies
+                    )
+                }
+                Status::Blocked(Block::Join(j)) => format!("joining t{j}"),
+                Status::Finished => continue,
+                Status::Running | Status::Runnable => continue,
+            };
+            parts.push(format!("t{i}:{} {}", t.name, reason));
+        }
+        let kind = if lost_wakeup {
+            ViolationKind::LostWakeup
+        } else {
+            ViolationKind::Deadlock
+        };
+        (kind, format!("all threads blocked: {}", parts.join("; ")))
+    }
+
+    fn wait_for_grant<'a>(&'a self, mut st: Guard<'a>, tid: usize) -> Guard<'a> {
+        loop {
+            if st.hard_failed {
+                self.park(st);
+            }
+            if st.current == Some(tid) && st.threads[tid].status == Status::Running {
+                return st;
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// The universal schedule point. The policy choice happens *before* the
+    /// operation (loom-style pre-yield): the calling thread offers the token
+    /// back, the policy picks who runs next (possibly someone else, possibly
+    /// this thread again), and only once re-granted does the operation
+    /// execute — atomically, keeping the token. That way any other thread
+    /// can be interleaved between two consecutive operations of this one.
+    fn step<R>(
+        &self,
+        tid: usize,
+        label: impl FnOnce() -> String,
+        action: impl FnOnce(&mut State) -> Outcome<R>,
+    ) -> R {
+        let mut st = self.lock();
+        if st.hard_failed {
+            self.park(st);
+        }
+        debug_assert_eq!(st.current, Some(tid), "step by a thread without the token");
+        st.step += 1;
+        if st.step > st.cfg.max_steps {
+            let msg = format!("run exceeded {} steps (livelock?)", st.cfg.max_steps);
+            Self::record_violation(&mut st, ViolationKind::StepLimit, msg);
+            self.hard_fail(&mut st);
+            self.park(st);
+        }
+        // pre-emption point: offer the token before the operation
+        st.threads[tid].status = Status::Runnable;
+        self.choose_next(&mut st);
+        let mut st = self.wait_for_grant(st, tid);
+        let tick = tid;
+        if st.threads[tid].clock.len() <= tick {
+            st.threads[tid].clock.resize(tick + 1, 0);
+        }
+        st.threads[tid].clock[tick] += 1;
+        let outcome = action(&mut st);
+        {
+            let l = label();
+            Self::trace_line(&mut st, tid, &l);
+        }
+        match outcome {
+            // the operation is done; keep the token and continue
+            Outcome::Proceed(r) => r,
+            Outcome::Block(reason, r) => {
+                st.threads[tid].status = Status::Blocked(reason);
+                self.choose_next(&mut st);
+                let _st = self.wait_for_grant(st, tid);
+                r
+            }
+        }
+    }
+
+    // ---- registration (deterministic bookkeeping, not schedule points) ----
+
+    pub(crate) fn register_atomic(&self) -> usize {
+        let mut st = self.lock();
+        st.atomics.push(AtomicState::default());
+        st.atomics.len() - 1
+    }
+
+    pub(crate) fn register_mutex(&self) -> usize {
+        let mut st = self.lock();
+        st.mutexes.push(MutexState::default());
+        st.mutexes.len() - 1
+    }
+
+    pub(crate) fn register_condvar(&self) -> usize {
+        let mut st = self.lock();
+        st.condvars.push(CvState::default());
+        st.condvars.len() - 1
+    }
+
+    pub(crate) fn register_cell(&self) -> usize {
+        let mut st = self.lock();
+        st.cells.push(CellState::default());
+        st.cells.len() - 1
+    }
+
+    // ---- atomics ----
+
+    pub(crate) fn atomic_load(
+        &self,
+        tid: usize,
+        id: usize,
+        atomic: &std::sync::atomic::AtomicU64,
+        order: Ordering,
+    ) -> u64 {
+        self.step(
+            tid,
+            || format!("a{id} load({order:?})"),
+            |st| {
+                // serialized execution: the real load always sees the latest
+                // store; the clocks model what the *ordering* promises
+                // ordering: model-internal op, serialized under the scheduler lock
+                let v = atomic.load(Ordering::SeqCst);
+                if is_acquiring(order) {
+                    if let Some(release) = st.atomics[id].release.clone() {
+                        join_clock(&mut st.threads[tid].clock, &release);
+                    }
+                }
+                Outcome::Proceed(v)
+            },
+        )
+    }
+
+    pub(crate) fn atomic_store(
+        &self,
+        tid: usize,
+        id: usize,
+        atomic: &std::sync::atomic::AtomicU64,
+        value: u64,
+        order: Ordering,
+    ) {
+        self.step(
+            tid,
+            || format!("a{id} store({order:?}) = {value}"),
+            |st| {
+                // ordering: model-internal op, serialized under the scheduler lock
+                atomic.store(value, Ordering::SeqCst);
+                st.atomics[id].release = if is_releasing(order) {
+                    Some(st.threads[tid].clock.clone())
+                } else {
+                    // a plain Relaxed store severs the release chain: later
+                    // Acquire loads inherit nothing
+                    None
+                };
+                Outcome::Proceed(())
+            },
+        )
+    }
+
+    pub(crate) fn atomic_rmw(
+        &self,
+        tid: usize,
+        id: usize,
+        atomic: &std::sync::atomic::AtomicU64,
+        delta: u64,
+        subtract: bool,
+        order: Ordering,
+    ) -> u64 {
+        self.step(
+            tid,
+            || {
+                let op = if subtract { "fetch_sub" } else { "fetch_add" };
+                format!("a{id} {op}({order:?}) {delta}")
+            },
+            |st| {
+                let old = if subtract {
+                    atomic.fetch_sub(delta, Ordering::SeqCst) // ordering: model-internal, serialized
+                } else {
+                    atomic.fetch_add(delta, Ordering::SeqCst) // ordering: model-internal, serialized
+                };
+                if is_acquiring(order) {
+                    if let Some(release) = st.atomics[id].release.clone() {
+                        join_clock(&mut st.threads[tid].clock, &release);
+                    }
+                }
+                if is_releasing(order) {
+                    let mut clock = st.threads[tid].clock.clone();
+                    if let Some(prev) = &st.atomics[id].release {
+                        join_clock(&mut clock, prev);
+                    }
+                    st.atomics[id].release = Some(clock);
+                }
+                // a relaxed RMW continues an existing release sequence:
+                // leave the stored release clock untouched
+                Outcome::Proceed(old)
+            },
+        )
+    }
+
+    // ---- mutexes ----
+
+    pub(crate) fn mutex_lock(&self, tid: usize, id: usize) {
+        self.step(
+            tid,
+            || format!("m{id} lock"),
+            |st| {
+                if st.mutexes[id].holder.is_none() {
+                    st.mutexes[id].holder = Some(tid);
+                    let mclock = st.mutexes[id].clock.clone();
+                    join_clock(&mut st.threads[tid].clock, &mclock);
+                    Outcome::Proceed(())
+                } else {
+                    Outcome::Block(Block::Lock(id), ())
+                }
+            },
+        )
+    }
+
+    pub(crate) fn mutex_unlock(&self, tid: usize, id: usize) {
+        self.step(
+            tid,
+            || format!("m{id} unlock"),
+            |st| {
+                debug_assert_eq!(st.mutexes[id].holder, Some(tid));
+                st.mutexes[id].holder = None;
+                let tclock = st.threads[tid].clock.clone();
+                join_clock(&mut st.mutexes[id].clock, &tclock);
+                Outcome::Proceed(())
+            },
+        )
+    }
+
+    // ---- condvars ----
+
+    pub(crate) fn condvar_wait(&self, tid: usize, cv_id: usize, mutex_id: usize) {
+        self.step(
+            tid,
+            || format!("cv{cv_id} wait (releases m{mutex_id})"),
+            |st| {
+                debug_assert_eq!(st.mutexes[mutex_id].holder, Some(tid));
+                st.mutexes[mutex_id].holder = None;
+                let tclock = st.threads[tid].clock.clone();
+                join_clock(&mut st.mutexes[mutex_id].clock, &tclock);
+                st.condvars[cv_id].waiters.push(tid);
+                Outcome::Block(Block::Wait(cv_id, mutex_id), ())
+            },
+        )
+    }
+
+    pub(crate) fn condvar_notify(&self, tid: usize, cv_id: usize, all: bool) {
+        self.step(
+            tid,
+            || {
+                let which = if all { "notify_all" } else { "notify_one" };
+                format!("cv{cv_id} {which}")
+            },
+            |st| {
+                if st.condvars[cv_id].waiters.is_empty() {
+                    st.condvars[cv_id].wasted_notifies += 1;
+                } else if all {
+                    let waiters = std::mem::take(&mut st.condvars[cv_id].waiters);
+                    for w in waiters {
+                        if let Status::Blocked(Block::Wait(_, m)) = st.threads[w].status.clone() {
+                            st.threads[w].status = Status::Blocked(Block::Reacquire(m));
+                        }
+                    }
+                } else {
+                    // deterministic FIFO: the first waiter wakes
+                    let w = st.condvars[cv_id].waiters.remove(0);
+                    if let Status::Blocked(Block::Wait(_, m)) = st.threads[w].status.clone() {
+                        st.threads[w].status = Status::Blocked(Block::Reacquire(m));
+                    }
+                }
+                Outcome::Proceed(())
+            },
+        )
+    }
+
+    // ---- race-checked plain data ----
+
+    pub(crate) fn cell_read(&self, tid: usize, id: usize) {
+        self.step(
+            tid,
+            || format!("cell{id} read"),
+            |st| {
+                let clock = st.threads[tid].clock.clone();
+                let mut race_msg = None;
+                if let Some((wtid, wclock)) = &st.cells[id].last_write {
+                    if *wtid != tid && !clock_le(wclock, &clock) && !st.cells[id].raced {
+                        race_msg = Some(format!(
+                            "cell{id}: read by t{tid}:{} is not ordered after the last \
+                             write by t{wtid}:{} (no happens-before edge — was the \
+                             publishing store downgraded from Release?)",
+                            st.threads[tid].name, st.threads[*wtid].name
+                        ));
+                    }
+                }
+                if let Some(msg) = race_msg {
+                    st.cells[id].raced = true;
+                    Self::record_violation(st, ViolationKind::DataRace, msg);
+                }
+                st.cells[id].reads.push((tid, clock));
+                Outcome::Proceed(())
+            },
+        )
+    }
+
+    pub(crate) fn cell_write(&self, tid: usize, id: usize) {
+        self.step(
+            tid,
+            || format!("cell{id} write"),
+            |st| {
+                let clock = st.threads[tid].clock.clone();
+                let mut race_msg = None;
+                if !st.cells[id].raced {
+                    if let Some((wtid, wclock)) = &st.cells[id].last_write {
+                        if *wtid != tid && !clock_le(wclock, &clock) {
+                            race_msg = Some(format!(
+                                "cell{id}: write by t{tid}:{} races the previous write by t{wtid}",
+                                st.threads[tid].name
+                            ));
+                        }
+                    }
+                    if race_msg.is_none() {
+                        for (rtid, rclock) in &st.cells[id].reads {
+                            if *rtid != tid && !clock_le(rclock, &clock) {
+                                race_msg = Some(format!(
+                                    "cell{id}: write by t{tid}:{} races an unordered read by t{rtid}",
+                                    st.threads[tid].name
+                                ));
+                                break;
+                            }
+                        }
+                    }
+                }
+                if let Some(msg) = race_msg {
+                    st.cells[id].raced = true;
+                    Self::record_violation(st, ViolationKind::DataRace, msg);
+                }
+                st.cells[id].last_write = Some((tid, clock));
+                st.cells[id].reads.clear();
+                Outcome::Proceed(())
+            },
+        )
+    }
+
+    // ---- threads ----
+
+    pub(crate) fn yield_point(&self, tid: usize) {
+        self.step(tid, || "yield".to_string(), |_| Outcome::Proceed(()));
+    }
+
+    pub(crate) fn annotate(&self, tid: usize, msg: &str) {
+        self.step(tid, || format!("note: {msg}"), |_| Outcome::Proceed(()));
+    }
+
+    /// Registers a child thread; the OS thread is spawned by the shim right
+    /// after. Deliberately NOT a schedule point: the parent must keep the
+    /// token until the OS thread exists, else the scheduler could grant a
+    /// thread that cannot run yet. The child is eligible from the parent's
+    /// next schedule point on — deterministically, regardless of how fast
+    /// the OS actually starts it (the token grant waits for it).
+    pub(crate) fn spawn_thread(&self, tid: usize, name: &str) -> usize {
+        let mut st = self.lock();
+        if st.hard_failed {
+            self.park(st);
+        }
+        let mut clock = st.threads[tid].clock.clone();
+        let child = st.threads.len();
+        if clock.len() <= child {
+            clock.resize(child + 1, 0);
+        }
+        clock[child] += 1;
+        st.threads.push(Th {
+            name: name.to_string(),
+            status: Status::Runnable,
+            clock,
+            exit_clock: None,
+        });
+        let label = format!("spawn t{child}:'{name}'");
+        Self::trace_line(&mut st, tid, &label);
+        child
+    }
+
+    /// Blocks the new OS thread until the scheduler first grants it.
+    pub(crate) fn wait_first_grant(&self, tid: usize) {
+        let st = self.lock();
+        let _st = self.wait_for_grant(st, tid);
+    }
+
+    /// Blocks until `target` finishes (the model side of `join`).
+    pub(crate) fn join_thread(&self, tid: usize, target: usize) {
+        self.step(
+            tid,
+            || format!("join t{target}"),
+            |st| {
+                if st.threads[target].status == Status::Finished {
+                    let child = st.threads[target].exit_clock.clone().unwrap_or_default();
+                    join_clock(&mut st.threads[tid].clock, &child);
+                    Outcome::Proceed(())
+                } else {
+                    Outcome::Block(Block::Join(target), ())
+                }
+            },
+        )
+    }
+
+    /// Marks `tid` finished. `panic`: `(message, was_model_check)` when the
+    /// thread is exiting by panic. Does not wait for a grant — the OS thread
+    /// exits right after.
+    pub(crate) fn thread_exit(&self, tid: usize, panic: Option<(String, bool)>) {
+        let mut st = self.lock();
+        if st.hard_failed {
+            self.park(st);
+        }
+        st.step += 1;
+        let tick_len = st.threads[tid].clock.len().max(tid + 1);
+        st.threads[tid].clock.resize(tick_len, 0);
+        st.threads[tid].clock[tid] += 1;
+        match &panic {
+            None => Self::trace_line(&mut st, tid, "exit"),
+            Some((msg, _)) => {
+                let l = format!("exit by panic: {msg}");
+                Self::trace_line(&mut st, tid, &l);
+            }
+        }
+        if let Some((msg, is_check)) = panic {
+            let allowed = {
+                let name = &st.threads[tid].name;
+                st.cfg.allow_panic_from.iter().any(|p| name.contains(p))
+            };
+            if !allowed {
+                let kind = if is_check {
+                    ViolationKind::CheckFailed
+                } else {
+                    ViolationKind::Panic
+                };
+                let message = format!("t{tid}:{}: {msg}", st.threads[tid].name);
+                Self::record_violation(&mut st, kind, message);
+            }
+        }
+        st.threads[tid].status = Status::Finished;
+        let clock = st.threads[tid].clock.clone();
+        st.threads[tid].exit_clock = Some(clock);
+        self.choose_next(&mut st);
+    }
+
+    // ---- controller ----
+
+    /// Blocks the controller until the run completes or hard-fails.
+    pub(crate) fn wait_run_end(&self) -> RunOutcome {
+        let mut st = self.lock();
+        while !st.run_done && !st.hard_failed {
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+        RunOutcome {
+            violations: st.violations.clone(),
+            hard_failed: st.hard_failed,
+            schedule_hash: st.schedule_hash,
+            chosen: st.choices.iter().map(|c| c.chosen_idx).collect(),
+            choices: st.choices.clone(),
+            trace: st.trace.clone(),
+        }
+    }
+}

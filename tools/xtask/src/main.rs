@@ -1,0 +1,469 @@
+//! Workspace automation. Currently one subcommand:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! A source-level invariant linter for the concurrency rules this workspace
+//! commits to. It is a deliberate *token scanner* — line-by-line, no parser,
+//! no dependencies — which keeps it trivially auditable and fast, at the cost
+//! of heuristics documented on each rule:
+//!
+//! * **forbid-unsafe** — every crate root (`src/lib.rs`, `src/main.rs`,
+//!   `src/bin/*.rs`) carries `#![forbid(unsafe_code)]`.
+//! * **ordering-comment** — every use of an atomic memory ordering
+//!   (`Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel` / `SeqCst`)
+//!   carries an adjacent `// ordering:` comment justifying it: on the same
+//!   line, or in the contiguous comment block directly above. The variant
+//!   names are disjoint from `cmp::Ordering`'s (`Less` / `Equal` /
+//!   `Greater`), so comparison code never trips this rule.
+//! * **no-raw-sync** — `crates/service` goes through the `pref_sync` shim:
+//!   no direct `std::sync::atomic` / `std::sync::Mutex` /
+//!   `std::sync::Condvar` / `std::sync::RwLock` / `std::thread` in its
+//!   non-test library code (`std::sync::Arc` is fine — the shim does not
+//!   wrap it, and it needs no wrapping: it has no blocking or ordering
+//!   behaviour of its own for the model scheduler to interpose on).
+//! * **no-unwrap** — no `.unwrap()` / `.expect(` in non-test library code of
+//!   `crates/service` and `crates/engine`; service/engine code must surface
+//!   errors, not abort a writer thread.
+//!
+//! Suppress a finding where it is genuinely intended with an exception
+//! comment on the same line or the line above:
+//!
+//! ```text
+//! // lint: allow(no-unwrap) -- internal invariant: ids are interned above
+//! ```
+//!
+//! Test code is exempt from `no-raw-sync` and `no-unwrap` (tests may panic
+//! and may race real threads on purpose): everything after the first
+//! `#[cfg(test)]` in a file, and whole files named `tests.rs` / `*_tests.rs`.
+//! `forbid-unsafe` and `ordering-comment` apply everywhere.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint_workspace(),
+        Some(other) => {
+            eprintln!("xtask: unknown subcommand `{other}`");
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn lint_workspace() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    for member_dir in ["crates", "tools"] {
+        collect_rs_files(&root.join(member_dir), &mut files);
+    }
+    files.sort();
+
+    let mut diagnostics = Vec::new();
+    let mut checked = 0usize;
+    for path in &files {
+        let Ok(source) = std::fs::read_to_string(path) else {
+            eprintln!("xtask: cannot read {}", path.display());
+            return ExitCode::FAILURE;
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path);
+        diagnostics.extend(lint_file(&rel.display().to_string(), &source));
+        checked += 1;
+    }
+
+    if diagnostics.is_empty() {
+        println!("xtask lint: {checked} files clean");
+        ExitCode::SUCCESS
+    } else {
+        for d in &diagnostics {
+            println!("{d}");
+        }
+        println!(
+            "xtask lint: {} violation(s) in {checked} files",
+            diagnostics.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+/// `tools/xtask` lives two levels below the workspace root.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("xtask manifest has a workspace root two levels up")
+        .to_path_buf()
+}
+
+/// Recursively collects `.rs` files under `dir`, looking only inside `src/`
+/// trees (integration `tests/`, `benches/` and build outputs are out of
+/// scope for the library-code rules).
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            let name = entry.file_name();
+            if name == "target" || name == "vendor" {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs")
+            && path.components().any(|c| c.as_os_str() == "src")
+        {
+            out.push(path);
+        }
+    }
+}
+
+// ---- rules ---------------------------------------------------------------
+
+const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
+const RULE_ORDERING_COMMENT: &str = "ordering-comment";
+const RULE_NO_RAW_SYNC: &str = "no-raw-sync";
+const RULE_NO_UNWRAP: &str = "no-unwrap";
+
+const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Raw primitives `crates/service` must route through the shim.
+/// `std::sync::Arc` is deliberately absent (see the module docs).
+const RAW_SYNC_TOKENS: [&str; 5] = [
+    "std::sync::atomic",
+    "std::sync::Mutex",
+    "std::sync::Condvar",
+    "std::sync::RwLock",
+    "std::thread",
+];
+
+/// One linter finding, rendered `path:line: rule: message`.
+struct Diagnostic {
+    path: String,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Lints one file's source. `path` is used for rule scoping (which crate the
+/// file belongs to, whether it is a crate root) and diagnostics.
+fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
+    let lines: Vec<&str> = source.lines().collect();
+    let mut out = Vec::new();
+
+    if is_crate_root(path) && !lines.iter().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
+        out.push(Diagnostic {
+            path: path.to_string(),
+            line: 1,
+            rule: RULE_FORBID_UNSAFE,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        });
+    }
+
+    // the line index where test code starts, if any: library-code rules stop
+    // there (the token scan cannot see module boundaries, so the heuristic is
+    // "first `#[cfg(test)]` onwards" — in this workspace test modules are
+    // trailing, and a misplaced test module would re-expose library code to
+    // the stricter rules, never the reverse)
+    let test_start = if is_test_file(path) {
+        Some(0)
+    } else {
+        lines.iter().position(|l| l.contains("#[cfg(test)]"))
+    };
+
+    let service_lib = path_in(path, "crates/service") && !is_test_file(path);
+    let unwrap_scoped =
+        (path_in(path, "crates/service") || path_in(path, "crates/engine")) && !is_test_file(path);
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let in_tests = test_start.is_some_and(|t| idx >= t);
+        let code = code_part(raw);
+
+        // ordering-comment applies everywhere, tests included: a memory
+        // ordering needs a justification no matter where it appears
+        for variant in ATOMIC_ORDERINGS {
+            let needle = format!("Ordering::{variant}");
+            if contains_token(code, &needle)
+                && !has_adjacent_ordering_comment(&lines, idx)
+                && !has_exception(&lines, idx, RULE_ORDERING_COMMENT)
+            {
+                out.push(Diagnostic {
+                    path: path.to_string(),
+                    line: line_no,
+                    rule: RULE_ORDERING_COMMENT,
+                    message: format!(
+                        "`{needle}` has no adjacent `// ordering:` justification comment"
+                    ),
+                });
+            }
+        }
+
+        if in_tests {
+            continue;
+        }
+
+        if service_lib {
+            for token in RAW_SYNC_TOKENS {
+                if code.contains(token) && !has_exception(&lines, idx, RULE_NO_RAW_SYNC) {
+                    out.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: RULE_NO_RAW_SYNC,
+                        message: format!(
+                            "`{token}` in crates/service library code — use the `pref_sync` shim"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if unwrap_scoped {
+            for pattern in [".unwrap()", ".expect("] {
+                if code.contains(pattern) && !has_exception(&lines, idx, RULE_NO_UNWRAP) {
+                    out.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: RULE_NO_UNWRAP,
+                        message: format!(
+                            "`{pattern}` in library code — propagate the error or annotate the \
+                             invariant with `// lint: allow(no-unwrap) -- <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs")
+        || path.ends_with("src/main.rs")
+        || (path.contains("src/bin/") && path.ends_with(".rs"))
+}
+
+/// Whole-file test modules (declared `#[cfg(test)] mod x;` at the crate
+/// root) carry it in their name by workspace convention.
+fn is_test_file(path: &str) -> bool {
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    stem == "tests" || stem.ends_with("_tests")
+}
+
+fn path_in(path: &str, prefix: &str) -> bool {
+    path.starts_with(prefix) || path.contains(&format!("/{prefix}/"))
+}
+
+/// The code part of a line: everything before the first `//`. A heuristic —
+/// `//` inside a string literal is cut too — but none of the scanned tokens
+/// can be bisected by it into a false positive, only masked, and masking
+/// requires a literal `//` mid-expression.
+fn code_part(line: &str) -> &str {
+    match line.find("//") {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Lines that do not break a contiguous comment block above a flagged line:
+/// comments and attributes (an attribute may sit between the justification
+/// and the expression).
+fn is_comment_line(line: &str) -> bool {
+    let t = line.trim_start();
+    t.starts_with("//") || t.starts_with("#[")
+}
+
+/// `needle` occurs in `code` as a standalone path token (not as a suffix of
+/// a longer identifier, e.g. `MyOrdering::Relaxed`). A preceding `:` is a
+/// path separator — `atomic::Ordering::Relaxed` still matches.
+fn contains_token(code: &str, needle: &str) -> bool {
+    let mut start = 0;
+    while let Some(pos) = code[start..].find(needle) {
+        let at = start + pos;
+        let before = code[..at].chars().next_back();
+        if !before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+            return true;
+        }
+        start = at + needle.len();
+    }
+    false
+}
+
+/// True when line `idx` has a `// ordering:` comment on the same line or in
+/// the contiguous run of comment/attribute lines directly above it.
+fn has_adjacent_ordering_comment(lines: &[&str], idx: usize) -> bool {
+    if lines[idx].contains("// ordering:") {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        if !is_comment_line(lines[i]) {
+            return false;
+        }
+        if lines[i].contains("// ordering:") {
+            return true;
+        }
+    }
+    false
+}
+
+/// True when line `idx` (or the line above) carries
+/// `// lint: allow(<rule>)`.
+fn has_exception(lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("// lint: allow({rule})");
+    lines[idx].contains(&marker) || (idx > 0 && lines[idx - 1].contains(&marker))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules(path: &str, source: &str) -> Vec<String> {
+        lint_file(path, source)
+            .into_iter()
+            .map(|d| d.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn crate_roots_must_forbid_unsafe() {
+        let found = rules("crates/x/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(found.len(), 1);
+        assert!(found[0].starts_with("crates/x/src/lib.rs:1: forbid-unsafe:"));
+        assert!(rules(
+            "crates/x/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub fn f() {}\n"
+        )
+        .is_empty());
+        // non-root modules are not required to repeat the attribute
+        assert!(rules("crates/x/src/util.rs", "pub fn f() {}\n").is_empty());
+        // bin targets are crate roots too
+        assert_eq!(rules("crates/x/src/bin/tool.rs", "fn main() {}\n").len(), 1);
+    }
+
+    #[test]
+    fn bare_orderings_are_flagged_with_file_and_line() {
+        // lint: allow(ordering-comment) -- lint self-test fixture
+        let src = "fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Acquire)\n}\n";
+        let found = rules("crates/x/src/m.rs", src);
+        assert_eq!(found.len(), 1);
+        assert!(
+            found[0].starts_with("crates/x/src/m.rs:2: ordering-comment:"),
+            "{}",
+            found[0]
+        );
+    }
+
+    #[test]
+    fn ordering_comments_may_be_inline_or_in_the_block_above() {
+        let inline = "let v = a.load(Ordering::Relaxed); // ordering: tally only\n";
+        assert!(rules("crates/x/src/m.rs", inline).is_empty());
+        let above = "// ordering: Release pairs with the reader's Acquire;\n\
+                     // the slot write above must be visible first\n\
+                     a.store(1, Ordering::Release);\n"; // lint: allow(ordering-comment) -- fixture
+        assert!(rules("crates/x/src/m.rs", above).is_empty());
+        // a non-comment line breaks the contiguous block
+        // lint: allow(ordering-comment) -- lint self-test fixture
+        let detached =
+            "// ordering: stale justification\nlet x = 1;\na.store(x, Ordering::Release);\n";
+        assert_eq!(rules("crates/x/src/m.rs", detached).len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_never_trips_the_atomic_rule() {
+        let src = "fn f(a: i32, b: i32) -> std::cmp::Ordering {\n\
+                       a.cmp(&b).then(std::cmp::Ordering::Less)\n}\n";
+        assert!(rules("crates/x/src/m.rs", src).is_empty());
+    }
+
+    #[test]
+    fn orderings_must_be_justified_even_in_test_modules() {
+        // lint: allow(ordering-comment) -- lint self-test fixture
+        let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &A) { a.load(Ordering::SeqCst); }\n}\n";
+        assert_eq!(rules("crates/x/src/m.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn raw_sync_is_rejected_in_service_library_code_only() {
+        let src = "use std::sync::Mutex;\n";
+        let found = rules("crates/service/src/m.rs", src);
+        assert_eq!(found.len(), 1);
+        assert!(
+            found[0].starts_with("crates/service/src/m.rs:1: no-raw-sync:"),
+            "{}",
+            found[0]
+        );
+        // other crates may use std::sync directly (the shim itself must)
+        assert!(rules("crates/sync/src/m.rs", src).is_empty());
+        // Arc is not a blocking/ordering primitive — allowed
+        assert!(rules("crates/service/src/m.rs", "use std::sync::Arc;\n").is_empty());
+        // test code drives real threads on purpose
+        let test_src = "#[cfg(test)]\nmod tests {\n    use std::thread;\n}\n";
+        assert!(rules("crates/service/src/m.rs", test_src).is_empty());
+        let named_test_file = "use std::thread;\n";
+        assert!(rules("crates/service/src/model_tests.rs", named_test_file).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_expect_are_rejected_in_service_and_engine() {
+        for path in ["crates/service/src/m.rs", "crates/engine/src/m.rs"] {
+            let found = rules(path, "fn f() { g().unwrap(); }\n");
+            assert_eq!(found.len(), 1, "{path}");
+            assert!(found[0].contains(": no-unwrap:"), "{}", found[0]);
+            assert_eq!(rules(path, "fn f() { g().expect(\"x\"); }\n").len(), 1);
+        }
+        // out-of-scope crates may unwrap
+        assert!(rules("crates/geom/src/m.rs", "fn f() { g().unwrap(); }\n").is_empty());
+        // doc-comment examples are comments, not code
+        assert!(rules(
+            "crates/service/src/m.rs",
+            "/// let x = g().unwrap();\nfn f() {}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn exception_comments_suppress_a_single_finding() {
+        let same_line = "fn f() { g().unwrap() } // lint: allow(no-unwrap) -- startup only\n";
+        assert!(rules("crates/service/src/m.rs", same_line).is_empty());
+        let line_above = "// lint: allow(no-unwrap) -- internal invariant: id interned above\n\
+                          fn f() { g().unwrap() }\n";
+        assert!(rules("crates/service/src/m.rs", line_above).is_empty());
+        // the exception names a rule; a different rule's marker does not leak
+        let wrong_rule = "// lint: allow(no-raw-sync) -- reason\nfn f() { g().unwrap() }\n";
+        assert_eq!(rules("crates/service/src/m.rs", wrong_rule).len(), 1);
+        // and it only reaches one line
+        let too_far = "// lint: allow(no-unwrap) -- reason\n\nfn f() { g().unwrap() }\n";
+        assert_eq!(rules("crates/service/src/m.rs", too_far).len(), 1);
+    }
+
+    #[test]
+    fn commented_out_code_is_not_linted() {
+        let src = "// let x = g().unwrap();\n//     a.load(Ordering::Acquire);\n";
+        assert!(rules("crates/service/src/m.rs", src).is_empty());
+    }
+}
