@@ -94,6 +94,11 @@ struct ChurnRow {
     /// Freed pages that were resident in the LRU buffer when compaction
     /// dropped them (wired through `PagedStore::free`).
     buffer_invalidations: u64,
+    /// Backend page writes / fsyncs on the object tree. The stock bench runs
+    /// on the in-memory backend, so both must stay 0 — a regression here
+    /// means the hot path started touching a durable backend.
+    tree_page_writes: u64,
+    tree_sync_calls: u64,
     /// Mean per-update object-tree I/O over the first / last quarter of the
     /// stream (compaction enabled). Boundedness means the last quarter does
     /// not degrade versus the first.
@@ -269,6 +274,7 @@ fn main() {
         rows,
         churn: vec![churn_row],
     };
+    // lint: allow(no-raw-fs) -- bench report output, not durable state
     let file = std::fs::File::create(&out).expect("create bench output file");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
         .expect("serialize bench report");
@@ -378,6 +384,14 @@ fn run_churn_soak(smoke: bool) -> (ChurnRow, bool) {
         failed = true;
         eprintln!("!! churn-soak index growth unbounded: peak {worst_growth:.2}x live population");
     }
+    // gate: the in-memory backend never writes pages or fsyncs
+    if stats.tree_page_writes != 0 || stats.tree_sync_calls != 0 {
+        failed = true;
+        eprintln!(
+            "!! in-memory bench performed durable I/O: {} page writes, {} syncs",
+            stats.tree_page_writes, stats.tree_sync_calls
+        );
+    }
     // gate: per-update I/O must not degrade as the stream ages
     if last_q > 3.0 * first_q + 2.0 {
         failed = true;
@@ -399,6 +413,8 @@ fn run_churn_soak(smoke: bool) -> (ChurnRow, bool) {
         compaction_batches: stats.compaction_batches,
         physical_deletes: stats.physical_deletes,
         buffer_invalidations: engine.total_object_io().buffer_invalidations,
+        tree_page_writes: stats.tree_page_writes,
+        tree_sync_calls: stats.tree_sync_calls,
         io_per_update_first_quarter: first_q,
         io_per_update_last_quarter: last_q,
         matches_oracle: matches,

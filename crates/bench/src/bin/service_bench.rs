@@ -32,7 +32,9 @@ use pref_assign::Problem;
 use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
 use pref_engine::EngineOptions;
 use pref_rtree::RecordId;
-use pref_service::{ServiceConfig, ShardedService, UpdateOp};
+use pref_service::{
+    AssignmentSnapshot, DurabilityConfig, FsyncPolicy, ServiceConfig, ShardedService, UpdateOp,
+};
 use serde::Serialize;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -76,6 +78,25 @@ struct WriterRow {
     live_functions_end: u64,
 }
 
+/// The durability cell: wall time to recover a shard from its WAL +
+/// checkpoint directory, and whether the recovered matching is canonically
+/// identical to the pre-shutdown one.
+#[derive(Debug, Clone, Serialize)]
+struct RecoveryRow {
+    /// Update batches logged to the WAL across the durable run.
+    batches_logged: u64,
+    /// Checkpoint cadence (batches between rotations).
+    checkpoint_every: u64,
+    /// Wall time of `ShardedService::recover` (restore + replay + re-solve
+    /// + first publication).
+    recover_wall_ms: f64,
+    /// Matched pairs in the recovered snapshot.
+    recovered_pairs: usize,
+    /// Recovered matching equals the pre-shutdown matching, pair for pair
+    /// and score bit for score bit (gated).
+    matches_pre_shutdown: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
@@ -85,6 +106,7 @@ struct BenchReport {
     paced_interval_us: u64,
     rows: Vec<ReaderRow>,
     writer: WriterRow,
+    recovery: RecoveryRow,
 }
 
 /// Shared flag + counters for one reader fleet run.
@@ -163,6 +185,7 @@ fn main() {
                 queue_capacity: 512,
                 max_batch: 32,
                 engine: EngineOptions::default(),
+                durability: None,
             },
         )
         .expect("service starts"),
@@ -294,6 +317,20 @@ fn main() {
         );
     }
 
+    // --- durability / recovery cell -----------------------------------------
+    let recovery = run_recovery_cell(smoke);
+    eprintln!(
+        "== recovery: {} logged batches replayed in {:.1}ms, {} pairs, identical={} ==",
+        recovery.batches_logged,
+        recovery.recover_wall_ms,
+        recovery.recovered_pairs,
+        recovery.matches_pre_shutdown
+    );
+    if !recovery.matches_pre_shutdown {
+        failed = true;
+        eprintln!("!! recovered matching differs from the pre-shutdown matching");
+    }
+
     let report = BenchReport {
         bench: "service".to_string(),
         scale: if smoke { "smoke" } else { "default" }.to_string(),
@@ -307,7 +344,9 @@ fn main() {
         paced_interval_us: PACED_INTERVAL.as_micros() as u64,
         rows,
         writer: writer_row,
+        recovery,
     };
+    // lint: allow(no-raw-fs) -- bench report output, not durable state
     let file = std::fs::File::create(&out).expect("create bench output file");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
         .expect("serialize bench report");
@@ -322,6 +361,95 @@ fn main() {
         eprintln!("FAILED: stability violation or read-throughput collapse (see log above)");
         std::process::exit(1);
     }
+}
+
+/// Canonical matching of a snapshot: sorted `(function, object, score-bits)`
+/// triples, the identity recovery is gated on.
+fn canonical(snap: &AssignmentSnapshot) -> Vec<(usize, u64, u64)> {
+    let mut out = Vec::new();
+    for f in snap.functions() {
+        if let Some(assigned) = snap.assignment_of(f.id) {
+            for (object, score) in assigned {
+                out.push((f.id.0, object.0, score.to_bits()));
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+/// The durability cell: run a durable shard under churn, shut it down
+/// cleanly, and measure the wall time of a full recovery (checkpoint restore
+/// + WAL tail replay + re-solve + first publication).
+fn run_recovery_cell(smoke: bool) -> RecoveryRow {
+    const CHECKPOINT_EVERY: u64 = 64;
+    let num_batches = if smoke { 60 } else { 200 };
+    let dir = std::env::temp_dir().join(format!("service_bench_durable_{}", std::process::id()));
+    // lint: allow(no-raw-fs) -- scratch durability dir cleanup for the bench
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let functions = pref_datagen::uniform_weight_functions(NUM_FUNCTIONS, DIMS, SEED ^ 0x7d);
+    let objects = ObjectDistribution::Independent.generate(NUM_OBJECTS, DIMS, SEED ^ 0x7e11);
+    let problem = Problem::from_parts(functions, objects).expect("generated workload is valid");
+    let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+    let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+    let stream: Vec<UpdateOp> = update_stream(
+        &UpdateStreamConfig {
+            num_events: num_batches * WRITER_BATCH,
+            dims: DIMS,
+            distribution: ObjectDistribution::Independent,
+            insert_fraction: 0.5,
+            object_fraction: 0.85,
+            min_objects: NUM_OBJECTS / 2,
+            min_functions: NUM_FUNCTIONS / 2,
+            max_capacity: 2,
+            seed: SEED ^ 0xd0,
+        },
+        &live_objects,
+        &live_functions,
+    )
+    .iter()
+    .map(UpdateOp::from_event)
+    .collect();
+
+    let config = ServiceConfig {
+        queue_capacity: 512,
+        max_batch: 32,
+        engine: EngineOptions::default(),
+        durability: Some(DurabilityConfig {
+            dir: dir.clone(),
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: CHECKPOINT_EVERY,
+        }),
+    };
+    let service = ShardedService::start(vec![problem], &config).expect("durable service starts");
+    let mut batches_logged = 0u64;
+    for batch in stream.chunks(WRITER_BATCH) {
+        service
+            .submit_batch(0, batch.to_vec())
+            .expect("durable submit");
+        batches_logged += 1;
+    }
+    service.flush().expect("durable flush");
+    let before = canonical(&service.shard(0).expect("shard 0").latest());
+    service.shutdown().expect("durable shutdown");
+
+    let started = Instant::now();
+    let recovered = ShardedService::recover(&config).expect("service recovers");
+    let recover_wall_ms = started.elapsed().as_secs_f64() * 1e3;
+    let snap = recovered.shard(0).expect("shard 0").latest();
+    let after = canonical(&snap);
+    let row = RecoveryRow {
+        batches_logged,
+        checkpoint_every: CHECKPOINT_EVERY,
+        recover_wall_ms,
+        recovered_pairs: snap.num_pairs(),
+        matches_pre_shutdown: before == after,
+    };
+    recovered.shutdown().expect("recovered service shutdown");
+    // lint: allow(no-raw-fs) -- scratch durability dir cleanup for the bench
+    let _ = std::fs::remove_dir_all(&dir);
+    row
 }
 
 /// Runs one reader fleet for `window`, returning the aggregate counters.
@@ -385,8 +513,8 @@ fn run_fleet(
                                         .map(|mut it| it.any(|(bf, _)| bf == f))
                                         .unwrap_or(false);
                                     if !back {
-                                        violations.fetch_add(1, Ordering::Relaxed);
                                         // ordering: statistics tally
+                                        violations.fetch_add(1, Ordering::Relaxed);
                                     }
                                 }
                             } else {

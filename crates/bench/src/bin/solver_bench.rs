@@ -195,6 +195,7 @@ fn main() {
             .unwrap_or(0),
         rows,
     };
+    // lint: allow(no-raw-fs) -- bench report output, not durable state
     let file = std::fs::File::create(&out).expect("create bench output file");
     serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
         .expect("serialize bench report");

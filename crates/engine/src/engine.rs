@@ -152,6 +152,12 @@ pub struct EngineStats {
     pub tree_records: u64,
     /// Gauge: R-tree nodes (= live pages of the simulated store).
     pub tree_pages: u64,
+    /// Gauge: node pages written back to a persistent storage backend (dirty
+    /// evictions and flushes). Zero for the default in-memory backend.
+    pub tree_page_writes: u64,
+    /// Gauge: durability barriers (`fsync`-like) issued by the tree's storage
+    /// backend. Zero for the default in-memory backend.
+    pub tree_sync_calls: u64,
 }
 
 impl EngineStats {
@@ -427,6 +433,21 @@ impl AssignmentEngine {
         Ok(engine)
     }
 
+    /// Rebuilds an engine from an exported checkpoint — the restore half of
+    /// [`AssignmentEngine::export_snapshot`], used by the serving tier's
+    /// crash recovery. The live populations are re-indexed and re-solved from
+    /// scratch; by the restart-equivalence guarantee (pinned by the
+    /// `restart_equivalence` test battery) the resulting canonical matching
+    /// is byte-identical to the exporting engine's.
+    pub fn restore(
+        snapshot: &EngineSnapshot,
+        options: &EngineOptions,
+    ) -> Result<Self, EngineError> {
+        let problem = Problem::new(snapshot.functions.clone(), snapshot.objects.clone())
+            .map_err(|_| EngineError::EmptyProblem)?;
+        Self::new(&problem, options)
+    }
+
     /// Dimensionality of the engine's problem.
     pub fn dims(&self) -> usize {
         self.dims
@@ -450,6 +471,9 @@ impl AssignmentEngine {
         stats.tombstoned_objects = self.tombstones.len() as u64;
         stats.tree_records = self.tree.len() as u64;
         stats.tree_pages = self.tree.num_pages() as u64;
+        let io = self.tree.stats();
+        stats.tree_page_writes = io.page_writes;
+        stats.tree_sync_calls = io.sync_calls;
         stats
     }
 

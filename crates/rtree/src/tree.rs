@@ -82,7 +82,11 @@ impl std::fmt::Display for RTreeError {
 impl std::error::Error for RTreeError {}
 
 /// A disk-style R-tree storing one node per simulated 4 KiB page.
-#[derive(Debug, Clone)]
+///
+/// Not `Clone`: under an on-disk backend ([`RTree::new_on_disk`]) a deep
+/// clone would have to copy or alias a page file. Use
+/// [`RTree::fork_in_memory`] for an explicit in-memory copy.
+#[derive(Debug)]
 pub struct RTree {
     pub(crate) store: PagedStore<Node>,
     pub(crate) root: Option<PageId>,
@@ -94,11 +98,7 @@ pub struct RTree {
 impl RTree {
     /// Creates an empty tree.
     pub fn new(config: RTreeConfig) -> Self {
-        assert!(config.dims > 0, "dimensionality must be positive");
-        assert!(
-            config.min_entries * 2 <= config.max_entries,
-            "min_entries must be at most half of max_entries"
-        );
+        Self::validate_config(&config);
         let buffer = config.buffer_frames;
         Self {
             store: PagedStore::new(buffer),
@@ -107,6 +107,67 @@ impl RTree {
             height: 0,
             len: 0,
         }
+    }
+
+    /// Creates an empty tree whose pages live in a real page file at `path`
+    /// (created/truncated). The buffer capacity in `config.buffer_frames` is
+    /// *real* here: pages evicted from the buffer are written to the file and
+    /// faulted back on demand, so the tree can exceed the buffer — and RAM.
+    /// [`IoStats::page_writes`]/[`IoStats::sync_calls`] report the resulting
+    /// file I/O.
+    ///
+    /// The page file is a capacity mechanism, not a durability one (see
+    /// [`pref_storage::FileBackend`]); it is only meaningful while this tree
+    /// is alive.
+    pub fn new_on_disk(
+        config: RTreeConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, pref_storage::StorageError> {
+        Self::validate_config(&config);
+        let slot = crate::codec::node_slot_size(config.dims, config.max_entries);
+        let backend = pref_storage::FileBackend::<Node>::create(path, slot)?;
+        let buffer = config.buffer_frames.max(1);
+        Ok(Self {
+            store: PagedStore::with_backend(Box::new(backend), buffer),
+            root: None,
+            config,
+            height: 0,
+            len: 0,
+        })
+    }
+
+    fn validate_config(config: &RTreeConfig) {
+        assert!(config.dims > 0, "dimensionality must be positive");
+        assert!(
+            config.min_entries * 2 <= config.max_entries,
+            "min_entries must be at most half of max_entries"
+        );
+    }
+
+    /// Materializes an explicit in-memory copy of this tree (the replacement
+    /// for the old derived `Clone`): every node page is cloned — faulted in
+    /// from the backend if evicted — into a fresh in-memory store preserving
+    /// page ids, buffer state and I/O statistics.
+    pub fn fork_in_memory(&mut self) -> RTree {
+        RTree {
+            store: self.store.fork_in_memory(),
+            root: self.root,
+            config: self.config.clone(),
+            height: self.height,
+            len: self.len,
+        }
+    }
+
+    /// Writes every dirty page back to the backend and issues a durability
+    /// barrier. A no-op for in-memory trees.
+    pub fn flush(&mut self) -> Result<(), pref_storage::StorageError> {
+        self.store.flush()
+    }
+
+    /// `true` when the tree's pages live in a persistent backend (a page
+    /// file) rather than the in-memory simulation.
+    pub fn is_on_disk(&self) -> bool {
+        self.store.is_persistent()
     }
 
     /// Convenience constructor with the default configuration for `dims`.
@@ -217,6 +278,9 @@ impl RTree {
 
     /// Checks the structural invariants of the tree. Used extensively by
     /// tests; returns a description of the first violation found.
+    ///
+    /// Walks resident pages only: for an on-disk tree (whose cold pages are
+    /// not resident) call [`RTree::fork_in_memory`] and validate the fork.
     pub fn check_invariants(&self) -> Result<(), RTreeError> {
         let Some(root) = self.root else {
             if self.len != 0 || self.height != 0 {
@@ -335,6 +399,8 @@ impl RTree {
     }
 
     /// Collects every data entry without charging I/O (test/diagnostic path).
+    /// Resident pages only — see [`RTree::check_invariants`] for the on-disk
+    /// caveat.
     pub fn all_data_unaccounted(&self) -> Vec<DataEntry> {
         let mut out = Vec::with_capacity(self.len);
         if let Some(root) = self.root {

@@ -29,6 +29,15 @@
 //! once every update submitted before the call has been applied *and*
 //! published, giving producers read-your-writes on their own shard.
 //!
+//! With a [`DurabilityConfig`], each shard additionally keeps a write-ahead
+//! log and periodic checkpoints on disk (via `pref_storage`'s WAL): every
+//! non-empty batch is logged and fsynced *before* it is applied and acked, so
+//! the batch is the durability unit exactly as it is the isolation unit.
+//! [`ShardedService::recover`] rebuilds every shard from its newest readable
+//! checkpoint plus the log tail and lands on the byte-identical canonical
+//! matching — see the `durability` module and the README's "Durability"
+//! section for the crash-consistency model.
+//!
 //! All synchronization goes through the [`pref_sync`] shim: zero-cost std
 //! passthroughs in normal builds, and — in test builds, which enable the
 //! shim's `model` feature — a deterministic model-checking scheduler that the
@@ -74,6 +83,7 @@
 #![forbid(unsafe_code)]
 
 mod cell;
+mod durability;
 #[cfg(test)]
 mod model_tests;
 mod queue;
@@ -82,12 +92,14 @@ mod shard;
 mod snapshot;
 
 pub use cell::{SnapshotCell, SnapshotReader};
+pub use durability::{DurabilityConfig, FsyncPolicy, ShardDurability};
 pub use queue::UpdateQueue;
 pub use service::{ServiceConfig, ServiceReader, ServiceStats, ShardedService};
-pub use shard::{ShardHandle, ShardStats};
+pub use shard::{FaultEvent, ShardHandle, ShardStats, WriterFault};
 pub use snapshot::AssignmentSnapshot;
 
 use pref_engine::EngineError;
+use pref_storage::StorageError;
 
 pub use pref_engine::UpdateOp;
 
@@ -103,6 +115,9 @@ pub enum ServiceError {
     InvalidConfig(String),
     /// Building a shard's engine failed.
     Engine(EngineError),
+    /// A durability operation (WAL append/fsync, checkpoint, recovery)
+    /// failed; the message carries the storage-level cause.
+    Durability(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -112,6 +127,7 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Stopped => write!(f, "the service has stopped"),
             ServiceError::InvalidConfig(msg) => write!(f, "invalid service config: {msg}"),
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
+            ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),
         }
     }
 }
@@ -121,5 +137,11 @@ impl std::error::Error for ServiceError {}
 impl From<EngineError> for ServiceError {
     fn from(e: EngineError) -> Self {
         ServiceError::Engine(e)
+    }
+}
+
+impl From<StorageError> for ServiceError {
+    fn from(e: StorageError) -> Self {
+        ServiceError::Durability(e.to_string())
     }
 }

@@ -351,8 +351,11 @@ fn model_flush_fails_not_hangs_when_the_writer_panics() {
     // the injected writer crash is the scenario, not a finding
     cfg.allow_panic_from = vec!["writer".to_string()];
     let report = model::explore(&cfg, || {
-        let fault: crate::shard::WriterFault = Box::new(|version| {
-            if version >= 2 {
+        let fault: crate::shard::WriterFault = Box::new(|event| {
+            if matches!(
+                event,
+                crate::shard::FaultEvent::PrePublish { version } if version >= 2
+            ) {
                 // quiet panic (no hook noise): simulates a writer crash
                 // after consuming updates, before publishing them
                 std::panic::resume_unwind(Box::new("injected writer fault".to_string()));

@@ -1,11 +1,13 @@
 //! The sharded front: routing, flush barriers and aggregated stats.
 
 use crate::cell::SnapshotReader;
+use crate::durability::DurabilityConfig;
 use crate::shard::{ShardHandle, ShardStats};
 use crate::snapshot::AssignmentSnapshot;
 use crate::{ServiceError, UpdateOp};
 use pref_assign::Problem;
 use pref_engine::EngineOptions;
+use pref_storage::wal;
 
 /// Configuration of a [`ShardedService`] (applies to every shard).
 #[derive(Debug, Clone)]
@@ -19,6 +21,9 @@ pub struct ServiceConfig {
     pub max_batch: usize,
     /// Engine options for every shard's engine.
     pub engine: EngineOptions,
+    /// Per-shard durability (WAL + checkpoints under a root directory).
+    /// `None` (the default) serves purely in memory, exactly as before.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for ServiceConfig {
@@ -27,6 +32,7 @@ impl Default for ServiceConfig {
             queue_capacity: 1024,
             max_batch: 64,
             engine: EngineOptions::default(),
+            durability: None,
         }
     }
 }
@@ -42,6 +48,9 @@ impl ServiceConfig {
             return Err(ServiceError::InvalidConfig(
                 "max_batch must be at least 1".into(),
             ));
+        }
+        if let Some(durability) = &self.durability {
+            durability.validate()?;
         }
         Ok(())
     }
@@ -111,12 +120,68 @@ impl ShardedService {
         }
         let mut shards = Vec::with_capacity(problems.len());
         for (i, problem) in problems.iter().enumerate() {
-            shards.push(ShardHandle::start(
-                problem,
+            let shard = match &config.durability {
+                Some(durability) => ShardHandle::start_durable(
+                    problem,
+                    &config.engine,
+                    config.queue_capacity,
+                    config.max_batch,
+                    i,
+                    &durability.shard_dir(i),
+                    durability.fsync,
+                    durability.checkpoint_every,
+                )?,
+                None => ShardHandle::start(
+                    problem,
+                    &config.engine,
+                    config.queue_capacity,
+                    config.max_batch,
+                    i,
+                )?,
+            };
+            shards.push(shard);
+        }
+        Ok(Self { shards })
+    }
+
+    /// Recovers a durable service from `config.durability.dir`: rediscovers
+    /// the `shard-<i>` subdirectories, restores each shard from its newest
+    /// valid checkpoint plus log tail, and resumes serving. The recovered
+    /// state of every shard equals its pre-crash state at some batch
+    /// boundary at or after the last acknowledged flush — never a torn
+    /// batch. Versions restart at 1 (readers re-pin on the new cells).
+    pub fn recover(config: &ServiceConfig) -> Result<Self, ServiceError> {
+        config.validate()?;
+        let Some(durability) = &config.durability else {
+            return Err(ServiceError::InvalidConfig(
+                "recover needs a durability config".into(),
+            ));
+        };
+        let dirs = wal::list_numbered_dirs(&durability.dir, "shard-")?;
+        if dirs.is_empty() {
+            return Err(ServiceError::Durability(format!(
+                "no shard-<i> directories under {}",
+                durability.dir.display()
+            )));
+        }
+        for (want, &(found, _)) in dirs.iter().enumerate() {
+            if found != want as u64 {
+                return Err(ServiceError::Durability(format!(
+                    "shard directories under {} are not consecutive: expected shard-{want}, found shard-{found}",
+                    durability.dir.display()
+                )));
+            }
+        }
+        let mut shards = Vec::with_capacity(dirs.len());
+        for (i, (_, dir)) in dirs.iter().enumerate() {
+            shards.push(ShardHandle::recover(
+                dir,
                 &config.engine,
                 config.queue_capacity,
                 config.max_batch,
                 i,
+                durability.fsync,
+                durability.checkpoint_every,
             )?);
         }
         Ok(Self { shards })

@@ -2,6 +2,7 @@
 //! publishing versioned snapshots.
 
 use crate::cell::{SnapshotCell, SnapshotReader};
+use crate::durability::{FsyncPolicy, ShardDurability};
 use crate::queue::UpdateQueue;
 use crate::snapshot::AssignmentSnapshot;
 use crate::{ServiceError, UpdateOp};
@@ -9,6 +10,7 @@ use pref_assign::Problem;
 use pref_engine::{AssignmentEngine, EngineOptions, EngineStats};
 use pref_sync::thread::JoinHandle;
 use pref_sync::{AtomicU64, Condvar, Mutex, Ordering};
+use std::path::Path;
 use std::sync::Arc;
 
 /// Writer-side progress, shared with flush waiters.
@@ -48,11 +50,39 @@ impl Drop for ExitNotice {
     }
 }
 
-/// Test-only fault injection: called by the writer just before publishing
-/// each version. A hook that panics simulates a writer crash mid-batch —
-/// after the updates were consumed, before they were published — which is
-/// exactly the window where a buggy flush would hang forever.
-pub(crate) type WriterFault = Box<dyn FnMut(u64) + Send + 'static>;
+/// Milestones the writer reports to an injected fault hook, in the order
+/// they happen within one publication cycle. Crash tests pick a milestone
+/// and panic the writer there: [`FaultEvent::PrePublish`] is the classic
+/// torn window — updates logged and consumed, snapshot not yet published.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// One batch was appended to the WAL (not necessarily fsynced yet);
+    /// `seq` is its log record sequence number.
+    BatchLogged {
+        /// Log record sequence number of the appended batch.
+        seq: u64,
+    },
+    /// Every consumed update was applied; the writer is about to publish
+    /// snapshot `version`.
+    PrePublish {
+        /// The version about to be published.
+        version: u64,
+    },
+    /// A checkpoint was written at log sequence `seq` and older generations
+    /// were collected.
+    CheckpointWritten {
+        /// Log sequence the checkpoint was taken at.
+        seq: u64,
+    },
+}
+
+/// Fault injection for crash tests: called by the writer at each
+/// [`FaultEvent`] milestone. A hook that panics simulates a writer crash at
+/// that point — the exact windows where a buggy flush would hang forever or
+/// a buggy recovery would observe a torn batch.
+#[doc(hidden)]
+pub type WriterFault = Box<dyn FnMut(FaultEvent) + Send + 'static>;
 
 /// Point-in-time counters of one shard.
 #[derive(Debug, Clone, Default)]
@@ -116,7 +146,147 @@ impl ShardHandle {
         shard_index: usize,
         fault: Option<WriterFault>,
     ) -> Result<Self, ServiceError> {
-        let mut engine = AssignmentEngine::new(problem, engine_options)?;
+        let engine = AssignmentEngine::new(problem, engine_options)?;
+        Self::start_inner(engine, queue_capacity, max_batch, shard_index, None, fault)
+    }
+
+    /// Starts a shard with per-shard durability: initializes (or reuses the
+    /// layout of) `dir` with a generation-0 checkpoint of the initial
+    /// populations, then logs every subsequent batch ahead of applying it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn start_durable(
+        problem: &Problem,
+        engine_options: &EngineOptions,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+        dir: &Path,
+        fsync: FsyncPolicy,
+        checkpoint_every: u64,
+    ) -> Result<Self, ServiceError> {
+        Self::start_durable_with_fault(
+            problem,
+            engine_options,
+            queue_capacity,
+            max_batch,
+            shard_index,
+            dir,
+            fsync,
+            checkpoint_every,
+            None,
+        )
+    }
+
+    /// [`ShardHandle::start_durable`] plus an injected writer fault. Public
+    /// (but hidden) so the crash-recovery battery can kill writers at exact
+    /// milestones from integration tests.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn start_durable_with_fault(
+        problem: &Problem,
+        engine_options: &EngineOptions,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+        dir: &Path,
+        fsync: FsyncPolicy,
+        checkpoint_every: u64,
+        fault: Option<WriterFault>,
+    ) -> Result<Self, ServiceError> {
+        let engine = AssignmentEngine::new(problem, engine_options)?;
+        let snapshot = engine.export_snapshot();
+        let durability = ShardDurability::create(
+            dir,
+            fsync,
+            checkpoint_every,
+            &snapshot.functions,
+            &snapshot.objects,
+        )?;
+        Self::start_inner(
+            engine,
+            queue_capacity,
+            max_batch,
+            shard_index,
+            Some(durability),
+            fault,
+        )
+    }
+
+    /// Recovers a shard from its durability directory: restores the engine
+    /// from the newest valid checkpoint, replays the whole logged batches
+    /// after it (rejections are counted-not-fatal, exactly as on the live
+    /// path), truncates any torn tail, and resumes serving. The recovered
+    /// shard re-publishes as version 1.
+    pub(crate) fn recover(
+        dir: &Path,
+        engine_options: &EngineOptions,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+        fsync: FsyncPolicy,
+        checkpoint_every: u64,
+    ) -> Result<Self, ServiceError> {
+        Self::recover_with_fault(
+            dir,
+            engine_options,
+            queue_capacity,
+            max_batch,
+            shard_index,
+            fsync,
+            checkpoint_every,
+            None,
+        )
+    }
+
+    /// [`ShardHandle::recover`] plus an injected writer fault (see
+    /// [`ShardHandle::start_durable_with_fault`]).
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_with_fault(
+        dir: &Path,
+        engine_options: &EngineOptions,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+        fsync: FsyncPolicy,
+        checkpoint_every: u64,
+        fault: Option<WriterFault>,
+    ) -> Result<Self, ServiceError> {
+        let recovered = ShardDurability::recover(dir, fsync, checkpoint_every)?;
+        let problem = Problem::new(recovered.functions, recovered.objects).map_err(|e| {
+            ServiceError::Durability(format!(
+                "checkpoint in {} does not form a valid problem: {e}",
+                dir.display()
+            ))
+        })?;
+        let mut engine = AssignmentEngine::new(&problem, engine_options)?;
+        for batch in &recovered.batches {
+            for op in batch {
+                // rejections (duplicate ids, unknown ids) were counted, not
+                // fatal, when first applied — replay treats them the same
+                let _ = op.apply(&mut engine);
+            }
+        }
+        Self::start_inner(
+            engine,
+            queue_capacity,
+            max_batch,
+            shard_index,
+            Some(recovered.durability),
+            fault,
+        )
+    }
+
+    /// Common tail of every constructor: publish version 1 from the (built,
+    /// restored, or replayed) engine and spawn the writer thread.
+    fn start_inner(
+        mut engine: AssignmentEngine,
+        queue_capacity: usize,
+        max_batch: usize,
+        shard_index: usize,
+        durability: Option<ShardDurability>,
+        fault: Option<WriterFault>,
+    ) -> Result<Self, ServiceError> {
         let cell = Arc::new(SnapshotCell::new(AssignmentSnapshot::from_export(
             engine.export_snapshot(),
             1,
@@ -135,7 +305,15 @@ impl ShardHandle {
                 .name(format!("shard-{shard_index}-writer"))
                 .spawn(move || {
                     let _notice = ExitNotice(Arc::clone(&progress));
-                    writer_loop(&mut engine, &queue, &cell, &progress, max_batch, fault);
+                    writer_loop(
+                        &mut engine,
+                        &queue,
+                        &cell,
+                        &progress,
+                        max_batch,
+                        durability,
+                        fault,
+                    );
                 })
                 .map_err(|e| ServiceError::InvalidConfig(format!("spawn failed: {e}")))?
         };
@@ -258,17 +436,43 @@ impl Drop for ShardHandle {
     }
 }
 
-/// The shard's writer loop: drain → apply → export → publish → acknowledge.
+/// The shard's writer loop: drain → log → fsync → apply → export →
+/// checkpoint (when due) → publish → acknowledge.
+///
+/// The log-before-apply order is the durability contract: a batch reaches
+/// the engine only after its WAL record exists (and, per policy, is
+/// fsynced), so an acknowledged batch is always recoverable and recovery can
+/// never observe a torn one (record checksums cut torn tails). A durability
+/// I/O failure panics the writer — acknowledging without the log would lie —
+/// which surfaces to producers as [`ServiceError::Stopped`] via `ExitNotice`.
 fn writer_loop(
     engine: &mut AssignmentEngine,
     queue: &UpdateQueue,
     cell: &SnapshotCell,
     progress: &Progress,
     max_batch: usize,
+    mut durability: Option<ShardDurability>,
     mut fault: Option<WriterFault>,
 ) {
     let mut version = 1u64;
     while let Some(batches) = queue.pop(max_batch) {
+        if let Some(dur) = durability.as_mut() {
+            for batch in &batches {
+                if batch.is_empty() {
+                    // an empty batch publishes a fresh snapshot but changes
+                    // nothing: no record needed
+                    continue;
+                }
+                let seq = dur
+                    .log_batch(batch)
+                    .unwrap_or_else(|e| panic!("shard WAL append failed: {e}"));
+                if let Some(fault) = fault.as_mut() {
+                    fault(FaultEvent::BatchLogged { seq });
+                }
+            }
+            dur.sync_for_ack()
+                .unwrap_or_else(|e| panic!("shard WAL fsync failed: {e}"));
+        }
         let mut processed = 0u64;
         let mut rejected = 0u64;
         let mut last_rejection = None;
@@ -283,14 +487,23 @@ fn writer_loop(
         }
         version += 1;
         if let Some(fault) = fault.as_mut() {
-            // test-only injected fault: may panic here, i.e. after consuming
-            // the updates but before publishing them
-            fault(version);
+            // may panic here, i.e. after logging + consuming the updates but
+            // before publishing them — the canonical torn window
+            fault(FaultEvent::PrePublish { version });
         }
-        cell.publish(AssignmentSnapshot::from_export(
-            engine.export_snapshot(),
-            version,
-        ));
+        let export = engine.export_snapshot();
+        if let Some(dur) = durability.as_mut() {
+            match dur.maybe_checkpoint(&export.functions, &export.objects) {
+                Ok(Some(seq)) => {
+                    if let Some(fault) = fault.as_mut() {
+                        fault(FaultEvent::CheckpointWritten { seq });
+                    }
+                }
+                Ok(None) => {}
+                Err(e) => panic!("shard checkpoint failed: {e}"),
+            }
+        }
+        cell.publish(AssignmentSnapshot::from_export(export, version));
         // acknowledge only after publication: a flushed producer is
         // guaranteed its updates are visible to every subsequent read
         let mut state = progress.state.lock();

@@ -113,6 +113,7 @@ fn readers_never_observe_torn_or_unstable_state() {
                     compaction_batch: 16,
                     ..EngineOptions::default()
                 },
+                durability: None,
             },
         )
         .unwrap(),

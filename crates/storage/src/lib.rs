@@ -5,27 +5,41 @@
 //! buffer whose default size is 2% of the tree). This crate provides the
 //! machinery to reproduce that accounting without a real disk:
 //!
-//! * [`PagedStore`] — an in-memory collection of fixed-size pages addressed by
+//! * [`PagedStore`] — a buffer manager over fixed-size pages addressed by
 //!   [`PageId`], standing in for the disk file that holds the R-tree,
+//! * [`StorageBackend`] — where pages live when they are not resident:
+//!   [`MemoryBackend`] (the historical zero-cost simulation) or
+//!   [`FileBackend`] (a real page file, so data sets can exceed RAM),
 //! * [`LruBuffer`] — an LRU buffer pool over page identifiers,
 //! * [`IoStats`] — logical/physical read and write counters,
 //! * [`PeakTracker`] — a peak-memory gauge for the in-memory search structures
 //!   (priority queues, pruned lists, TA states) that the paper reports as
-//!   "memory usage".
+//!   "memory usage",
+//! * [`wal`] — write-ahead-log and checkpoint file primitives used by the
+//!   service tier's per-shard durability.
 //!
 //! The store is generic over the page payload so the R-tree crate can store
-//! its node type directly; the simulation only needs to know *which* page is
-//! touched, not its byte representation. [`PAGE_SIZE`] documents the page
-//! size used to derive R-tree fanout.
+//! its node type directly; the in-memory simulation only needs to know
+//! *which* page is touched, while the file backend serializes payloads via
+//! [`PageCodec`]. [`PAGE_SIZE`] documents the page size used to derive R-tree
+//! fanout.
+//!
+//! This crate is the only place in the workspace allowed to touch `std::fs`
+//! (enforced by the xtask `no-raw-fs` lint): every other crate goes through
+//! the backends or the [`wal`] helpers, keeping file-descriptor lifetimes and
+//! fsync ordering auditable in one spot.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod backend;
 mod lru;
 mod stats;
 mod store;
 mod tracker;
+pub mod wal;
 
+pub use backend::{fnv1a64, FileBackend, MemoryBackend, PageCodec, StorageBackend, StorageError};
 pub use lru::LruBuffer;
 pub use stats::IoStats;
 pub use store::{PageId, PagedStore};

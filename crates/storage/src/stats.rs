@@ -9,7 +9,12 @@ use serde::{Deserialize, Serialize};
 /// * a *physical read* is a logical read that missed the buffer — this is the
 ///   paper's "I/O accesses" metric;
 /// * *physical writes* count page allocations and updates flushed to the
-///   simulated disk (structure modifications by insert/delete).
+///   simulated disk (structure modifications by insert/delete);
+/// * *page writes* count pages actually pushed to a persistent
+///   [`crate::StorageBackend`] (dirty evictions and explicit flushes) —
+///   always zero for the in-memory backend;
+/// * *sync calls* count durability barriers (`fsync`-like) issued to a
+///   persistent backend.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct IoStats {
     /// Total page accesses requested by algorithms.
@@ -28,6 +33,14 @@ pub struct IoStats {
     /// invalidated (a stale frame served after a free would be a correctness
     /// bug, not just an accounting one).
     pub buffer_invalidations: u64,
+    /// Pages written back to a persistent backend (dirty evictions plus
+    /// explicit flushes). Unlike the read counters this is never suspended by
+    /// accounting pauses: it reports real I/O, not modelled cost.
+    #[serde(default)]
+    pub page_writes: u64,
+    /// Durability barriers (`fsync`-like calls) issued to the backend.
+    #[serde(default)]
+    pub sync_calls: u64,
 }
 
 impl IoStats {
@@ -66,6 +79,8 @@ impl IoStats {
         self.pages_allocated += other.pages_allocated;
         self.pages_freed += other.pages_freed;
         self.buffer_invalidations += other.buffer_invalidations;
+        self.page_writes += other.page_writes;
+        self.sync_calls += other.sync_calls;
     }
 
     /// Returns the difference `self - baseline` counter-by-counter, saturating
@@ -85,6 +100,8 @@ impl IoStats {
             buffer_invalidations: self
                 .buffer_invalidations
                 .saturating_sub(baseline.buffer_invalidations),
+            page_writes: self.page_writes.saturating_sub(baseline.page_writes),
+            sync_calls: self.sync_calls.saturating_sub(baseline.sync_calls),
         }
     }
 }
@@ -93,12 +110,14 @@ impl std::fmt::Display for IoStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "io={} (logical={}, hits={}, hit-ratio={:.1}%), writes={}",
+            "io={} (logical={}, hits={}, hit-ratio={:.1}%), writes={}, page-writes={}, syncs={}",
             self.physical_reads,
             self.logical_reads,
             self.buffer_hits,
             self.hit_ratio() * 100.0,
-            self.physical_writes
+            self.physical_writes,
+            self.page_writes,
+            self.sync_calls
         )
     }
 }
@@ -122,17 +141,17 @@ mod tests {
             physical_reads: 6,
             physical_writes: 2,
             pages_allocated: 1,
-            pages_freed: 0,
-            buffer_invalidations: 0,
+            ..IoStats::new()
         };
         let b = IoStats {
             logical_reads: 5,
             buffer_hits: 5,
-            physical_reads: 0,
             physical_writes: 1,
-            pages_allocated: 0,
             pages_freed: 1,
             buffer_invalidations: 1,
+            page_writes: 2,
+            sync_calls: 1,
+            ..IoStats::new()
         };
         let before = a;
         a.merge(&b);
@@ -159,13 +178,13 @@ mod tests {
             buffer_hits: 60,
             physical_reads: 40,
             physical_writes: 3,
-            pages_allocated: 0,
-            pages_freed: 0,
-            buffer_invalidations: 0,
+            page_writes: 7,
+            ..IoStats::new()
         };
         let text = s.to_string();
         assert!(text.contains("io=40"));
         assert!(text.contains("60.0%"));
+        assert!(text.contains("page-writes=7"));
     }
 
     #[test]
@@ -178,6 +197,8 @@ mod tests {
             pages_allocated: 1,
             pages_freed: 1,
             buffer_invalidations: 1,
+            page_writes: 1,
+            sync_calls: 1,
         };
         s.reset();
         assert_eq!(s, IoStats::new());

@@ -1,5 +1,6 @@
-//! The simulated disk: a paged store with buffer-managed access counting.
+//! The paged store: a buffer manager over a pluggable storage backend.
 
+use crate::backend::{MemoryBackend, StorageBackend, StorageError};
 use crate::{IoStats, LruBuffer};
 use serde::{Deserialize, Serialize};
 
@@ -29,44 +30,94 @@ impl std::fmt::Display for PageId {
     }
 }
 
-/// An in-memory stand-in for a disk file of fixed-size pages.
+/// A buffer manager over fixed-size pages stored in a [`StorageBackend`].
 ///
 /// Every read goes through an [`LruBuffer`]; reads that miss the buffer are
 /// counted as physical I/O in [`IoStats`], reproducing the paper's
-/// measurement methodology. The payload type `P` is whatever the caller wants
-/// to store in a page (the R-tree stores one node per page).
-#[derive(Debug, Clone)]
+/// measurement methodology. With the default in-memory backend the buffer is
+/// accounting-only and every page stays resident (the historical simulated
+/// disk). With a persistent backend (see [`crate::FileBackend`]) the buffer
+/// capacity is real: dirty pages evicted from the buffer are written back to
+/// the backend and faulted in again on the next access, so the data set can
+/// exceed the configured buffer — and RAM.
+///
+/// The store deliberately does not implement `Clone`: deep-cloning a
+/// disk-backed store would silently copy an entire page file (or worse, alias
+/// it). Use [`PagedStore::fork_in_memory`] to materialize an explicit
+/// in-memory copy.
+#[derive(Debug)]
 pub struct PagedStore<P> {
+    /// Resident payloads. `None` for freed slots and (under a persistent
+    /// backend) for live pages currently evicted to the backend.
     pages: Vec<Option<P>>,
+    /// Which slots hold live (allocated, not freed) pages.
+    live: Vec<bool>,
+    /// Which resident payloads differ from their backend copy.
+    dirty: Vec<bool>,
+    live_count: usize,
     free_list: Vec<PageId>,
     buffer: LruBuffer,
     stats: IoStats,
     /// When `true`, reads bypass the hit/miss accounting entirely. Used while
     /// bulk-loading a tree, whose construction cost the paper does not charge
-    /// to the assignment algorithms.
+    /// to the assignment algorithms. Real backend I/O (`page_writes`,
+    /// `sync_calls`) is still counted: it happens regardless of what the cost
+    /// model charges.
     accounting_paused: bool,
+    backend: Box<dyn StorageBackend<P>>,
+    /// Cached `backend.is_persistent()` so the hot read path never pays a
+    /// virtual call for the in-memory default.
+    persistent: bool,
 }
 
 impl<P> PagedStore<P> {
-    /// Creates an empty store whose buffer holds `buffer_frames` pages.
+    /// Creates an empty in-memory store whose buffer holds `buffer_frames`
+    /// pages. Semantically identical to the pre-backend store: pages never
+    /// leave memory and the buffer only decides hit/miss accounting.
     pub fn new(buffer_frames: usize) -> Self {
+        Self::with_backend(Box::new(MemoryBackend), buffer_frames)
+    }
+
+    /// Creates an empty store over an explicit backend.
+    ///
+    /// # Panics
+    /// Panics if the backend is persistent and `buffer_frames` is zero: a
+    /// persistent store must be able to keep at least the page being accessed
+    /// resident.
+    pub fn with_backend(backend: Box<dyn StorageBackend<P>>, buffer_frames: usize) -> Self {
+        let persistent = backend.is_persistent();
+        assert!(
+            !persistent || buffer_frames >= 1,
+            "a persistent backend needs at least one buffer frame"
+        );
         Self {
             pages: Vec::new(),
+            live: Vec::new(),
+            dirty: Vec::new(),
+            live_count: 0,
             free_list: Vec::new(),
             buffer: LruBuffer::new(buffer_frames),
             stats: IoStats::new(),
             accounting_paused: false,
+            backend,
+            persistent,
         }
+    }
+
+    /// `true` when evicted pages survive in the backend (i.e. the buffer
+    /// capacity is real, not accounting-only).
+    pub fn is_persistent(&self) -> bool {
+        self.persistent
     }
 
     /// Number of live (allocated and not freed) pages.
     pub fn len(&self) -> usize {
-        self.pages.iter().filter(|p| p.is_some()).count()
+        self.live_count
     }
 
     /// `true` when the store holds no live pages.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live_count == 0
     }
 
     /// Total number of page slots ever allocated (including freed ones);
@@ -86,19 +137,39 @@ impl<P> PagedStore<P> {
         self.stats.reset();
     }
 
-    /// Clears the buffer pool (all pages become non-resident).
+    /// Clears the buffer pool (all pages become non-resident). Under a
+    /// persistent backend, dirty pages are written back first.
     pub fn clear_buffer(&mut self) {
+        if self.persistent {
+            let resident = self.buffer.resident_mru_order();
+            for page in resident {
+                self.evict_payload(page);
+            }
+        }
         self.buffer.clear();
     }
 
-    /// Sets the buffer capacity in frames; shrinking evicts LRU pages.
+    /// Sets the buffer capacity in frames; shrinking evicts LRU pages
+    /// (writing dirty ones back under a persistent backend).
+    ///
+    /// # Panics
+    /// Panics when asked to shrink a persistent store's buffer to zero.
     pub fn set_buffer_frames(&mut self, frames: usize) {
-        self.buffer.set_capacity(frames);
+        assert!(
+            !self.persistent || frames >= 1,
+            "a persistent backend needs at least one buffer frame"
+        );
+        let mut evicted = Vec::new();
+        self.buffer.set_capacity_evicting(frames, &mut evicted);
+        for page in evicted {
+            self.evict_payload(page);
+        }
     }
 
     /// Sets the buffer capacity as a fraction of the current number of live
     /// pages (the paper's "buffer size 2% of the tree size"). A fraction of
-    /// zero disables the buffer.
+    /// zero disables the buffer (in-memory backend only: a persistent store
+    /// keeps at least one frame).
     ///
     /// # Panics
     /// Panics on a fraction outside `[0, 1]` (or NaN): a negative fraction
@@ -110,8 +181,11 @@ impl<P> PagedStore<P> {
             fraction.is_finite() && (0.0..=1.0).contains(&fraction),
             "buffer fraction must lie in [0, 1], got {fraction}"
         );
-        let frames = (fraction * self.len() as f64).round() as usize;
-        self.buffer.set_capacity(frames);
+        let mut frames = (fraction * self.len() as f64).round() as usize;
+        if self.persistent {
+            frames = frames.max(1);
+        }
+        self.set_buffer_frames(frames);
     }
 
     /// Current buffer capacity in frames.
@@ -134,13 +208,27 @@ impl<P> PagedStore<P> {
         if !self.accounting_paused {
             self.stats.physical_writes += 1;
         }
-        if let Some(id) = self.free_list.pop() {
+        let id = if let Some(id) = self.free_list.pop() {
             self.pages[id.index()] = Some(payload);
+            self.live[id.index()] = true;
             id
         } else {
             self.pages.push(Some(payload));
+            self.live.push(true);
+            self.dirty.push(false);
             PageId::new((self.pages.len() - 1) as u64)
+        };
+        self.live_count += 1;
+        if self.persistent {
+            // the fresh payload is resident and unwritten: admit it to the
+            // buffer so eviction (write-back) can ever reach it
+            self.dirty[id.index()] = true;
+            let (_, victim) = self.buffer.access_evicting(id);
+            if let Some(victim) = victim {
+                self.evict_payload(victim);
+            }
         }
+        id
     }
 
     /// Frees a page. Its slot may be reused by later allocations.
@@ -148,26 +236,34 @@ impl<P> PagedStore<P> {
     /// # Panics
     /// Panics if the page is not live.
     pub fn free(&mut self, id: PageId) {
-        let slot = self
-            .pages
-            .get_mut(id.index())
-            .unwrap_or_else(|| panic!("free of unknown page {id}"));
-        assert!(slot.is_some(), "double free of page {id}");
-        *slot = None;
+        assert!(
+            self.live.get(id.index()).copied() == Some(true),
+            "free of unknown or double-freed page {id}"
+        );
+        self.pages[id.index()] = None;
+        self.live[id.index()] = false;
+        self.dirty[id.index()] = false;
+        self.live_count -= 1;
         self.stats.pages_freed += 1;
         if self.buffer.invalidate(id) {
             self.stats.buffer_invalidations += 1;
+        }
+        if self.persistent {
+            self.backend.discard(id);
         }
         self.free_list.push(id);
     }
 
     /// Reads a page, charging a logical access and (on a buffer miss) a
-    /// physical read.
+    /// physical read. Under a persistent backend a miss on a non-resident
+    /// page faults it in from the backend.
     ///
     /// # Panics
-    /// Panics if the page is not live.
+    /// Panics if the page is not live, or if the backend fails to produce a
+    /// page it previously persisted (storage failure is unrecoverable for the
+    /// in-process index).
     pub fn read(&mut self, id: PageId) -> &P {
-        self.charge_read(id);
+        self.touch(id, false);
         self.pages[id.index()]
             .as_ref()
             .unwrap_or_else(|| panic!("read of freed page {id}"))
@@ -176,7 +272,7 @@ impl<P> PagedStore<P> {
     /// Reads a page mutably (same accounting as [`PagedStore::read`], plus a
     /// physical write, since the caller is going to modify the page).
     pub fn read_mut(&mut self, id: PageId) -> &mut P {
-        self.charge_read(id);
+        self.touch(id, true);
         if !self.accounting_paused {
             self.stats.physical_writes += 1;
         }
@@ -185,52 +281,189 @@ impl<P> PagedStore<P> {
             .unwrap_or_else(|| panic!("read_mut of freed page {id}"))
     }
 
-    /// Peeks at a page without touching the buffer or the counters. Intended
-    /// for validation, debugging and test oracles only.
+    /// Peeks at a *resident* page without touching the buffer or the
+    /// counters. Intended for validation, debugging and test oracles only.
+    /// Under a persistent backend a live page may be evicted and return
+    /// `None` here; use [`PagedStore::read_unaccounted`] to force residency.
     pub fn peek(&self, id: PageId) -> Option<&P> {
         self.pages.get(id.index()).and_then(|p| p.as_ref())
     }
 
+    /// Reads a page without charging the cost model (the buffer is still
+    /// warmed and backend faults still happen). Intended for validation and
+    /// snapshot extraction, where the paper's accounting does not apply.
+    ///
+    /// # Panics
+    /// Same as [`PagedStore::read`].
+    pub fn read_unaccounted(&mut self, id: PageId) -> &P {
+        self.with_accounting_paused(|s| {
+            s.touch(id, false);
+        });
+        self.pages[id.index()]
+            .as_ref()
+            .unwrap_or_else(|| panic!("read of freed page {id}"))
+    }
+
     /// Replaces the payload of a live page, charging a physical write.
     pub fn write(&mut self, id: PageId, payload: P) {
-        let slot = self
-            .pages
-            .get_mut(id.index())
-            .unwrap_or_else(|| panic!("write of unknown page {id}"));
-        assert!(slot.is_some(), "write of freed page {id}");
-        *slot = Some(payload);
+        assert!(
+            self.live.get(id.index()).copied() == Some(true),
+            "write of unknown or freed page {id}"
+        );
+        self.pages[id.index()] = Some(payload);
         if !self.accounting_paused {
             self.stats.physical_writes += 1;
         }
+        if self.persistent {
+            self.dirty[id.index()] = true;
+            let (_, victim) = self.buffer.access_evicting(id);
+            if let Some(victim) = victim {
+                self.evict_payload(victim);
+            }
+        }
+    }
+
+    /// Writes every dirty resident page back to the backend and issues a
+    /// durability barrier. A no-op for the in-memory backend.
+    pub fn flush(&mut self) -> Result<(), StorageError> {
+        if !self.persistent {
+            return Ok(());
+        }
+        for i in 0..self.pages.len() {
+            if !self.dirty[i] {
+                continue;
+            }
+            let id = PageId::new(i as u64);
+            if let Some(payload) = self.pages[i].as_ref() {
+                self.backend.persist(id, payload)?;
+                self.stats.page_writes += 1;
+                self.dirty[i] = false;
+            }
+        }
+        self.sync()
+    }
+
+    /// Issues a durability barrier on the backend (fsync-like). A no-op for
+    /// the in-memory backend.
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        if !self.persistent {
+            return Ok(());
+        }
+        self.backend.sync()?;
+        self.stats.sync_calls += 1;
+        Ok(())
     }
 
     /// Identifiers of all live pages (ascending). Intended for validation.
     pub fn live_pages(&self) -> Vec<PageId> {
-        self.pages
+        self.live
             .iter()
             .enumerate()
-            .filter_map(|(i, p)| p.as_ref().map(|_| PageId::new(i as u64)))
+            .filter(|&(_, &l)| l)
+            .map(|(i, _)| PageId::new(i as u64))
             .collect()
     }
 
-    fn charge_read(&mut self, id: PageId) {
-        if self.accounting_paused {
-            // still keep the buffer warm so post-build behaviour is realistic
-            self.buffer.access(id);
+    /// Materializes an explicit in-memory copy of this store: every live page
+    /// (resident or evicted) is cloned into a fresh store with the in-memory
+    /// backend, preserving page ids, buffer capacity/recency and statistics.
+    ///
+    /// This replaces the old derived `Clone`, which under a persistent
+    /// backend would have aliased or half-copied the page file.
+    pub fn fork_in_memory(&mut self) -> PagedStore<P>
+    where
+        P: Clone,
+    {
+        let mut pages: Vec<Option<P>> = Vec::with_capacity(self.pages.len());
+        for i in 0..self.pages.len() {
+            if !self.live[i] {
+                pages.push(None);
+                continue;
+            }
+            let payload = match &self.pages[i] {
+                Some(p) => p.clone(),
+                None => {
+                    let id = PageId::new(i as u64);
+                    self.backend
+                        .fetch(id)
+                        .unwrap_or_else(|e| panic!("fork_in_memory could not fault page {id}: {e}"))
+                }
+            };
+            pages.push(Some(payload));
+        }
+        PagedStore {
+            pages,
+            live: self.live.clone(),
+            dirty: vec![false; self.dirty.len()],
+            live_count: self.live_count,
+            free_list: self.free_list.clone(),
+            buffer: self.buffer.clone(),
+            stats: self.stats,
+            accounting_paused: self.accounting_paused,
+            backend: Box::new(MemoryBackend),
+            persistent: false,
+        }
+    }
+
+    /// Handles the buffer walk for one access: hit/miss accounting, eviction
+    /// write-back and fault-in. `for_write` marks the page dirty.
+    fn touch(&mut self, id: PageId, for_write: bool) {
+        assert!(
+            self.live.get(id.index()).copied() == Some(true),
+            "access to unknown or freed page {id}"
+        );
+        let (hit, victim) = self.buffer.access_evicting(id);
+        if !self.accounting_paused {
+            self.stats.logical_reads += 1;
+            if hit {
+                self.stats.buffer_hits += 1;
+            } else {
+                self.stats.physical_reads += 1;
+            }
+        }
+        if self.persistent {
+            if let Some(victim) = victim {
+                self.evict_payload(victim);
+            }
+            if self.pages[id.index()].is_none() {
+                let payload = self
+                    .backend
+                    .fetch(id)
+                    .unwrap_or_else(|e| panic!("backend fault of page {id} failed: {e}"));
+                self.pages[id.index()] = Some(payload);
+                self.dirty[id.index()] = false;
+            }
+            if for_write {
+                self.dirty[id.index()] = true;
+            }
+        }
+    }
+
+    /// Writes a page back to the backend (if dirty) and drops its resident
+    /// payload. Only meaningful under a persistent backend.
+    fn evict_payload(&mut self, id: PageId) {
+        let idx = id.index();
+        if self.pages[idx].is_none() {
             return;
         }
-        self.stats.logical_reads += 1;
-        if self.buffer.access(id) {
-            self.stats.buffer_hits += 1;
-        } else {
-            self.stats.physical_reads += 1;
+        if self.dirty[idx] {
+            if let Some(payload) = self.pages[idx].as_ref() {
+                self.backend
+                    .persist(id, payload)
+                    .unwrap_or_else(|e| panic!("write-back of page {id} failed: {e}"));
+                self.stats.page_writes += 1;
+                self.dirty[idx] = false;
+            }
         }
+        self.pages[idx] = None;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{FileBackend, PageCodec};
+    use std::path::PathBuf;
 
     #[test]
     fn allocate_read_roundtrip() {
@@ -267,6 +500,21 @@ mod tests {
         }
         assert_eq!(store.stats().physical_reads, 5);
         assert_eq!(store.stats().buffer_hits, 0);
+    }
+
+    #[test]
+    fn memory_backend_never_writes_pages() {
+        let mut store: PagedStore<u32> = PagedStore::new(1);
+        let a = store.allocate(1);
+        let b = store.allocate(2);
+        store.read(a);
+        store.read(b); // evicts a from the (accounting-only) buffer
+        *store.read_mut(a) += 1;
+        store.flush().unwrap();
+        store.sync().unwrap();
+        assert_eq!(store.stats().page_writes, 0);
+        assert_eq!(store.stats().sync_calls, 0);
+        assert!(!store.is_persistent());
     }
 
     #[test]
@@ -313,7 +561,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
+    #[should_panic(expected = "double-freed")]
     fn double_free_panics() {
         let mut store: PagedStore<u32> = PagedStore::new(2);
         let a = store.allocate(1);
@@ -322,7 +570,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "read of freed page")]
+    #[should_panic(expected = "access to unknown or freed page")]
     fn read_after_free_panics() {
         let mut store: PagedStore<u32> = PagedStore::new(2);
         let a = store.allocate(1);
@@ -379,5 +627,138 @@ mod tests {
         store.free(b);
         assert_eq!(store.live_pages(), vec![a, c]);
         assert_eq!(store.capacity(), 3);
+    }
+
+    #[test]
+    fn fork_in_memory_copies_pages_and_stats() {
+        let mut store: PagedStore<u32> = PagedStore::new(2);
+        let a = store.allocate(1);
+        let b = store.allocate(2);
+        store.read(a);
+        let mut fork = store.fork_in_memory();
+        assert_eq!(*fork.read(a), 1);
+        assert_eq!(*fork.read(b), 2);
+        *fork.read_mut(a) = 77;
+        assert_eq!(*store.read(a), 1, "fork is independent");
+        assert!(!fork.is_persistent());
+    }
+
+    // --- file-backed buffer-manager behaviour ---
+
+    impl PageCodec for u32 {
+        fn encode_page(&self, buf: &mut Vec<u8>) {
+            buf.extend_from_slice(&self.to_le_bytes());
+        }
+
+        fn decode_page(bytes: &[u8]) -> Result<Self, StorageError> {
+            let arr: [u8; 4] = bytes
+                .try_into()
+                .map_err(|_| StorageError::Corrupt("u32 page needs 4 bytes".into()))?;
+            Ok(u32::from_le_bytes(arr))
+        }
+    }
+
+    fn disk_store(name: &str, frames: usize) -> (PagedStore<u32>, PathBuf) {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pref_storage_store_{}_{name}", std::process::id()));
+        let backend: FileBackend<u32> = FileBackend::create(&path, 64).unwrap();
+        (PagedStore::with_backend(Box::new(backend), frames), path)
+    }
+
+    #[test]
+    fn disk_store_survives_eviction_beyond_buffer() {
+        let (mut store, path) = disk_store("beyond", 2);
+        let ids: Vec<PageId> = (0..16u32).map(|i| store.allocate(i * 10)).collect();
+        // far more pages than the 2-frame buffer: most are on disk now
+        assert!(store.stats().page_writes > 0, "evictions must hit the file");
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(*store.read(id), i as u32 * 10);
+        }
+        assert!(store.is_persistent());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn disk_store_writes_back_dirty_pages_only() {
+        let (mut store, path) = disk_store("dirty", 2);
+        let a = store.allocate(1);
+        let b = store.allocate(2);
+        let c = store.allocate(3); // evicts a (dirty: fresh allocation)
+        store.flush().unwrap(); // b, c written back; all clean now
+        let w = store.stats().page_writes;
+        store.read(a); // faults a in, evicting the LRU *clean* page
+        store.read(b);
+        store.read(c);
+        // only clean pages were evicted during those reads
+        assert_eq!(store.stats().page_writes, w);
+        *store.read_mut(a) = 100;
+        store.read(b);
+        store.read(c); // a (dirty) must be written back on its eviction
+        assert_eq!(store.stats().page_writes, w + 1);
+        assert_eq!(*store.read(a), 100);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn disk_store_flush_and_sync_count() {
+        let (mut store, path) = disk_store("flush", 4);
+        store.allocate(1);
+        store.allocate(2);
+        store.flush().unwrap();
+        let s = store.stats();
+        assert_eq!(s.page_writes, 2);
+        assert_eq!(s.sync_calls, 1);
+        // flushing again writes nothing (all clean)
+        store.flush().unwrap();
+        assert_eq!(store.stats().page_writes, 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn disk_store_fork_in_memory_materializes_evicted_pages() {
+        let (mut store, path) = disk_store("fork", 2);
+        let ids: Vec<PageId> = (0..8u32).map(|i| store.allocate(i + 1)).collect();
+        let mut fork = store.fork_in_memory();
+        assert!(!fork.is_persistent());
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(*fork.read(id), i as u32 + 1);
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn disk_store_free_then_reuse_keeps_contents_straight() {
+        let (mut store, path) = disk_store("reuse", 2);
+        let ids: Vec<PageId> = (0..6u32).map(|i| store.allocate(i)).collect();
+        store.free(ids[1]);
+        store.free(ids[4]);
+        let x = store.allocate(400);
+        let y = store.allocate(100);
+        assert_eq!(*store.read(x), 400);
+        assert_eq!(*store.read(y), 100);
+        assert_eq!(*store.read(ids[0]), 0);
+        assert_eq!(*store.read(ids[5]), 5);
+        assert_eq!(store.len(), 6);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one buffer frame")]
+    fn persistent_store_rejects_zero_buffer() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("pref_storage_store_zero_{}", std::process::id()));
+        let backend: FileBackend<u32> = FileBackend::create(&path, 64).unwrap();
+        let _ = PagedStore::<u32>::with_backend(Box::new(backend), 0);
+    }
+
+    #[test]
+    fn read_unaccounted_faults_without_charging() {
+        let (mut store, path) = disk_store("unaccounted", 2);
+        let ids: Vec<PageId> = (0..6u32).map(|i| store.allocate(i)).collect();
+        store.reset_stats();
+        assert_eq!(*store.read_unaccounted(ids[0]), 0);
+        assert_eq!(store.stats().logical_reads, 0);
+        assert_eq!(store.stats().physical_reads, 0);
+        std::fs::remove_file(path).ok();
     }
 }

@@ -1,0 +1,672 @@
+//! Write-ahead-log and checkpoint file primitives.
+//!
+//! The service tier gives every shard a directory holding *generations* of
+//! durable state:
+//!
+//! * `checkpoint-<S>.ckpt` — a full snapshot of the shard taken when the next
+//!   log record would have had sequence number `S`;
+//! * `wal-<S>.log` — the log segment holding records `S, S+1, …` appended
+//!   after that checkpoint.
+//!
+//! A log record is `[len: u32 LE][seq: u64 LE][crc: u64 LE][payload]` where
+//! `crc = fnv1a64(seq_le ++ payload)`. The payload is opaque bytes — the
+//! service encodes its `UpdateOp` batches one record per batch, making the
+//! batch the atomicity unit end to end. Readers accept the longest prefix of
+//! whole, checksum-valid, consecutively-numbered records and ignore the rest,
+//! so a record torn by a crash (or truncated by fault injection) is never
+//! half-applied.
+//!
+//! Checkpoints are written to a temporary file, fsynced, and renamed into
+//! place; a reader validates magic, length and checksum and falls back to the
+//! previous generation if the newest checkpoint is unreadable. Rotation order
+//! is crash-safe: first the new log segment is created, then the checkpoint
+//! is written, then generations older than the *previous* one are removed
+//! (the previous generation is kept so a later corruption of the newest
+//! checkpoint still leaves a recoverable chain).
+
+use crate::backend::{fnv1a64, StorageError};
+use std::fs::{self, File};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every checkpoint file.
+const CHECKPOINT_MAGIC: &[u8; 8] = b"FAIRCKP1";
+
+/// Size of a log record header: length (u32) + sequence (u64) + crc (u64).
+const RECORD_HEADER: usize = 4 + 8 + 8;
+
+/// Largest record payload accepted on read; guards recovery against a
+/// corrupted length field asking for gigabytes.
+const MAX_RECORD_LEN: usize = 64 * 1024 * 1024;
+
+fn io_err(op: &str, path: &Path, e: &std::io::Error) -> StorageError {
+    StorageError::Io(format!("{op} {}: {e}", path.display()))
+}
+
+/// Returns the path of the log segment starting at sequence `seq`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:020}.log"))
+}
+
+/// Returns the path of the checkpoint taken at sequence `seq`.
+pub fn checkpoint_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{seq:020}.ckpt"))
+}
+
+/// Creates `dir` (and parents) if missing.
+pub fn ensure_dir(dir: &Path) -> Result<(), StorageError> {
+    fs::create_dir_all(dir).map_err(|e| io_err("create directory", dir, &e))
+}
+
+/// Lists `(start_seq, path)` of files in `dir` matching `prefix<seq>suffix`,
+/// ascending by sequence number.
+fn list_numbered(
+    dir: &Path,
+    prefix: &str,
+    suffix: &str,
+) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| io_err("list directory", dir, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list directory", dir, &e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(prefix) else {
+            continue;
+        };
+        let Some(digits) = rest.strip_suffix(suffix) else {
+            continue;
+        };
+        let Ok(seq) = digits.parse::<u64>() else {
+            continue;
+        };
+        out.push((seq, entry.path()));
+    }
+    out.sort_by_key(|&(seq, _)| seq);
+    Ok(out)
+}
+
+/// Log segments in `dir`, ascending by start sequence.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    list_numbered(dir, "wal-", ".log")
+}
+
+/// Checkpoints in `dir`, ascending by sequence.
+pub fn list_checkpoints(dir: &Path) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    list_numbered(dir, "checkpoint-", ".ckpt")
+}
+
+/// Numbered subdirectories `<prefix><n>` of `root`, ascending by `n`. Used by
+/// the service to rediscover its shard directories on recovery.
+pub fn list_numbered_dirs(root: &Path, prefix: &str) -> Result<Vec<(u64, PathBuf)>, StorageError> {
+    let mut out = Vec::new();
+    let entries = fs::read_dir(root).map_err(|e| io_err("list directory", root, &e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err("list directory", root, &e))?;
+        if !entry.path().is_dir() {
+            continue;
+        }
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(digits) = name.strip_prefix(prefix) else {
+            continue;
+        };
+        let Ok(n) = digits.parse::<u64>() else {
+            continue;
+        };
+        out.push((n, entry.path()));
+    }
+    out.sort_by_key(|&(n, _)| n);
+    Ok(out)
+}
+
+/// An append-only writer for one log segment.
+#[derive(Debug)]
+pub struct WalWriter {
+    file: File,
+    path: PathBuf,
+    next_seq: u64,
+    scratch: Vec<u8>,
+}
+
+impl WalWriter {
+    /// Creates (truncating) the segment for records starting at `start_seq`.
+    pub fn create(dir: &Path, start_seq: u64) -> Result<Self, StorageError> {
+        let path = segment_path(dir, start_seq);
+        let file = File::options()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err("create log segment", &path, &e))?;
+        Ok(Self {
+            file,
+            path,
+            next_seq: start_seq,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Opens an existing segment for appending after `records` whole records
+    /// were recovered from it (the file is truncated to `valid_len` first, so
+    /// a torn tail can never precede fresh appends).
+    pub fn open_after_recovery(
+        dir: &Path,
+        start_seq: u64,
+        tail: &SegmentTail,
+    ) -> Result<Self, StorageError> {
+        let path = segment_path(dir, start_seq);
+        let file = File::options()
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("open log segment", &path, &e))?;
+        file.set_len(tail.valid_len)
+            .map_err(|e| io_err("truncate torn tail of", &path, &e))?;
+        let mut writer = Self {
+            file,
+            path,
+            next_seq: start_seq + tail.records.len() as u64,
+            scratch: Vec::new(),
+        };
+        writer
+            .file
+            .seek(SeekFrom::Start(tail.valid_len))
+            .map_err(|e| io_err("seek log segment", &writer.path, &e))?;
+        // make the truncation itself durable before anything is appended
+        writer.sync()?;
+        Ok(writer)
+    }
+
+    /// Sequence number the next appended record will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The segment file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and returns its sequence number. The record is in
+    /// the OS page cache after this call; it is durable only after
+    /// [`WalWriter::sync`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StorageError> {
+        let seq = self.next_seq;
+        let seq_bytes = seq.to_le_bytes();
+        let mut crc_input = Vec::with_capacity(8 + payload.len());
+        crc_input.extend_from_slice(&seq_bytes);
+        crc_input.extend_from_slice(payload);
+        let crc = fnv1a64(&crc_input);
+        self.scratch.clear();
+        self.scratch
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.scratch.extend_from_slice(&seq_bytes);
+        self.scratch.extend_from_slice(&crc.to_le_bytes());
+        self.scratch.extend_from_slice(payload);
+        self.file
+            .write_all(&self.scratch)
+            .map_err(|e| io_err("append to log segment", &self.path, &e))?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Makes all appended records durable (fsync).
+    pub fn sync(&mut self) -> Result<(), StorageError> {
+        self.file
+            .sync_data()
+            .map_err(|e| io_err("sync log segment", &self.path, &e))
+    }
+}
+
+/// The readable contents of one log segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentTail {
+    /// Whole, checksum-valid, consecutively numbered records: `(seq, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Byte length of the valid prefix (everything after it is torn/garbage).
+    pub valid_len: u64,
+    /// `true` when bytes beyond `valid_len` existed (a torn tail was cut).
+    pub torn_tail: bool,
+}
+
+/// Reads a log segment, accepting the longest valid prefix of records. The
+/// first record must carry `start_seq` and numbering must be consecutive;
+/// anything after the first violation (short read, bad checksum, wrong
+/// sequence) is reported as a torn tail, never surfaced as data.
+pub fn read_segment(dir: &Path, start_seq: u64) -> Result<SegmentTail, StorageError> {
+    let path = segment_path(dir, start_seq);
+    let mut file = File::open(&path).map_err(|e| io_err("open log segment", &path, &e))?;
+    let mut bytes = Vec::new();
+    file.read_to_end(&mut bytes)
+        .map_err(|e| io_err("read log segment", &path, &e))?;
+    let mut records = Vec::new();
+    let mut offset = 0usize;
+    let mut expect_seq = start_seq;
+    while let Some(header) = bytes.get(offset..offset + RECORD_HEADER) {
+        let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as usize;
+        if len > MAX_RECORD_LEN {
+            break;
+        }
+        let seq = u64::from_le_bytes([
+            header[4], header[5], header[6], header[7], header[8], header[9], header[10],
+            header[11],
+        ]);
+        let want_crc = u64::from_le_bytes([
+            header[12], header[13], header[14], header[15], header[16], header[17], header[18],
+            header[19],
+        ]);
+        if seq != expect_seq {
+            break;
+        }
+        let body_start = offset + RECORD_HEADER;
+        let Some(payload) = bytes.get(body_start..body_start + len) else {
+            break;
+        };
+        let mut crc_input = Vec::with_capacity(8 + len);
+        crc_input.extend_from_slice(&seq.to_le_bytes());
+        crc_input.extend_from_slice(payload);
+        if fnv1a64(&crc_input) != want_crc {
+            break;
+        }
+        records.push((seq, payload.to_vec()));
+        offset = body_start + len;
+        expect_seq += 1;
+    }
+    Ok(SegmentTail {
+        records,
+        valid_len: offset as u64,
+        torn_tail: offset < bytes.len(),
+    })
+}
+
+/// Atomically writes a checkpoint taken at sequence `seq`: the payload goes
+/// to a temporary file which is fsynced and renamed into place, then the
+/// directory entry is fsynced. A crash at any point leaves either the old
+/// state or the complete new checkpoint, never a half-written one with the
+/// final name.
+pub fn write_checkpoint(dir: &Path, seq: u64, payload: &[u8]) -> Result<(), StorageError> {
+    let final_path = checkpoint_path(dir, seq);
+    let tmp_path = dir.join(format!("checkpoint-{seq:020}.tmp"));
+    let mut bytes = Vec::with_capacity(CHECKPOINT_MAGIC.len() + 12 + payload.len());
+    bytes.extend_from_slice(CHECKPOINT_MAGIC);
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a64(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    {
+        let mut tmp = File::create(&tmp_path).map_err(|e| io_err("create", &tmp_path, &e))?;
+        tmp.write_all(&bytes)
+            .map_err(|e| io_err("write", &tmp_path, &e))?;
+        tmp.sync_data().map_err(|e| io_err("sync", &tmp_path, &e))?;
+    }
+    fs::rename(&tmp_path, &final_path)
+        .map_err(|e| io_err("rename checkpoint into", &final_path, &e))?;
+    // make the rename itself durable
+    let dir_handle = File::open(dir).map_err(|e| io_err("open", dir, &e))?;
+    dir_handle
+        .sync_all()
+        .map_err(|e| io_err("sync directory", dir, &e))?;
+    Ok(())
+}
+
+/// Reads and validates the checkpoint taken at sequence `seq`. Returns
+/// `Err(StorageError::Corrupt)` when the file exists but fails validation.
+pub fn read_checkpoint(dir: &Path, seq: u64) -> Result<Vec<u8>, StorageError> {
+    let path = checkpoint_path(dir, seq);
+    let mut bytes = Vec::new();
+    File::open(&path)
+        .and_then(|mut f| f.read_to_end(&mut bytes))
+        .map_err(|e| io_err("read checkpoint", &path, &e))?;
+    let header_len = CHECKPOINT_MAGIC.len() + 12;
+    if bytes.len() < header_len || &bytes[..8] != CHECKPOINT_MAGIC {
+        return Err(StorageError::Corrupt(format!(
+            "checkpoint {} has a bad header",
+            path.display()
+        )));
+    }
+    let len = u32::from_le_bytes([bytes[8], bytes[9], bytes[10], bytes[11]]) as usize;
+    let want_crc = u64::from_le_bytes([
+        bytes[12], bytes[13], bytes[14], bytes[15], bytes[16], bytes[17], bytes[18], bytes[19],
+    ]);
+    let payload = &bytes[header_len..];
+    if payload.len() != len || fnv1a64(payload) != want_crc {
+        return Err(StorageError::Corrupt(format!(
+            "checkpoint {} failed length/checksum validation",
+            path.display()
+        )));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Removes checkpoints and log segments strictly older than `keep_from_seq`.
+/// Callers pass the *previous* checkpoint's sequence, keeping one fallback
+/// generation behind the newest. Removal failures are ignored: garbage
+/// collection must never take down a healthy writer, and a leftover file is
+/// re-collected on the next rotation.
+pub fn remove_generations_before(dir: &Path, keep_from_seq: u64) {
+    let doomed = |items: Result<Vec<(u64, PathBuf)>, StorageError>| {
+        items
+            .unwrap_or_default()
+            .into_iter()
+            .filter(|&(seq, _)| seq < keep_from_seq)
+    };
+    for (_, path) in doomed(list_checkpoints(dir)).chain(doomed(list_segments(dir))) {
+        let _ = fs::remove_file(path);
+    }
+}
+
+/// Removes checkpoints newer than `checkpoint_seq` and segments newer than
+/// `active_start_seq` — files a completed recovery deliberately bypassed
+/// (corrupt newer checkpoints, segments stranded beyond a torn tail or a
+/// sequence gap). A recovery that truncates the tail and resumes appending
+/// re-declares the durable truth; bypassed newer files would otherwise make
+/// a *later* replay stop at a stale segment boundary. Removal failures are
+/// ignored for the same reason as in [`remove_generations_before`].
+pub fn remove_unreachable_generations(dir: &Path, checkpoint_seq: u64, active_start_seq: u64) {
+    for (seq, path) in list_checkpoints(dir).unwrap_or_default() {
+        if seq > checkpoint_seq {
+            let _ = fs::remove_file(path);
+        }
+    }
+    for (seq, path) in list_segments(dir).unwrap_or_default() {
+        if seq > active_start_seq {
+            let _ = fs::remove_file(path);
+        }
+    }
+}
+
+/// A shard's recovered durable state: the newest readable checkpoint plus
+/// every whole log record appended after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveredState {
+    /// Sequence number of the checkpoint the recovery started from.
+    pub checkpoint_seq: u64,
+    /// The checkpoint payload (opaque to this crate).
+    pub checkpoint: Vec<u8>,
+    /// Whole records after the checkpoint, ascending: `(seq, payload)`.
+    pub records: Vec<(u64, Vec<u8>)>,
+    /// Sequence number the next appended record must get.
+    pub next_seq: u64,
+    /// The segment tail of the *active* (last) segment, for reopening.
+    pub active_tail: SegmentTail,
+    /// Start sequence of the active segment.
+    pub active_start_seq: u64,
+}
+
+/// Recovers a shard directory: picks the newest checkpoint that validates,
+/// then replays every whole record from the log segments at or after it.
+/// Falls back to older checkpoints when the newest is corrupt (the GC policy
+/// keeps one previous generation for exactly this case).
+pub fn recover_dir(dir: &Path) -> Result<RecoveredState, StorageError> {
+    let checkpoints = list_checkpoints(dir)?;
+    if checkpoints.is_empty() {
+        return Err(StorageError::Corrupt(format!(
+            "no checkpoint found in {}",
+            dir.display()
+        )));
+    }
+    let segments = list_segments(dir)?;
+    let mut last_err: Option<StorageError> = None;
+    for &(ckpt_seq, _) in checkpoints.iter().rev() {
+        let checkpoint = match read_checkpoint(dir, ckpt_seq) {
+            Ok(payload) => payload,
+            Err(e) => {
+                last_err = Some(e);
+                continue;
+            }
+        };
+        // replay segments starting at or after the checkpoint, in order,
+        // requiring seamless sequence numbering across segment boundaries
+        let mut records: Vec<(u64, Vec<u8>)> = Vec::new();
+        let mut next_seq = ckpt_seq;
+        let mut active_tail = SegmentTail {
+            records: Vec::new(),
+            valid_len: 0,
+            torn_tail: false,
+        };
+        let mut active_start_seq = ckpt_seq;
+        let mut have_active = false;
+        for &(start_seq, _) in segments.iter() {
+            if start_seq < ckpt_seq {
+                continue;
+            }
+            if start_seq != next_seq {
+                // a gap means the later segments belong to a future this
+                // recovery never reached; stop at the gap
+                break;
+            }
+            let tail = read_segment(dir, start_seq)?;
+            next_seq = start_seq + tail.records.len() as u64;
+            records.extend(tail.records.iter().cloned());
+            active_tail = tail.clone();
+            active_start_seq = start_seq;
+            have_active = true;
+            if tail.torn_tail {
+                // nothing after a torn tail can be consecutive
+                break;
+            }
+        }
+        if !have_active {
+            // checkpoint without its segment: only acceptable when rotation
+            // crashed between checkpoint write and segment creation — fall
+            // back to an older generation that still has its log
+            last_err = Some(StorageError::Corrupt(format!(
+                "checkpoint {ckpt_seq} in {} has no log segment",
+                dir.display()
+            )));
+            continue;
+        }
+        return Ok(RecoveredState {
+            checkpoint_seq: ckpt_seq,
+            checkpoint,
+            records,
+            next_seq,
+            active_tail,
+            active_start_seq,
+        });
+    }
+    Err(last_err.unwrap_or_else(|| {
+        StorageError::Corrupt(format!("no recoverable generation in {}", dir.display()))
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("pref_storage_wal_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&p);
+        ensure_dir(&p).unwrap();
+        p
+    }
+
+    #[test]
+    fn wal_roundtrip_and_sequencing() {
+        let dir = temp_dir("roundtrip");
+        let mut w = WalWriter::create(&dir, 5).unwrap();
+        assert_eq!(w.append(b"one").unwrap(), 5);
+        assert_eq!(w.append(b"two").unwrap(), 6);
+        assert_eq!(w.append(b"").unwrap(), 7);
+        w.sync().unwrap();
+        let tail = read_segment(&dir, 5).unwrap();
+        assert!(!tail.torn_tail);
+        assert_eq!(
+            tail.records,
+            vec![(5, b"one".to_vec()), (6, b"two".to_vec()), (7, Vec::new())]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncation_at_every_offset_yields_a_record_prefix() {
+        let dir = temp_dir("truncate");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        let payloads: Vec<Vec<u8>> = (0..5u8).map(|i| vec![i; (i as usize + 1) * 3]).collect();
+        let mut boundaries = vec![0u64];
+        for p in &payloads {
+            w.append(p).unwrap();
+            boundaries.push((RECORD_HEADER + p.len()) as u64 + boundaries.last().unwrap());
+        }
+        w.sync().unwrap();
+        let full = fs::read(segment_path(&dir, 0)).unwrap();
+        for cut in 0..=full.len() {
+            fs::write(segment_path(&dir, 0), &full[..cut]).unwrap();
+            let tail = read_segment(&dir, 0).unwrap();
+            // the number of whole records is the number of boundaries <= cut
+            let want = boundaries[1..].iter().filter(|&&b| b <= cut as u64).count();
+            assert_eq!(tail.records.len(), want, "cut at {cut}");
+            assert_eq!(tail.valid_len, boundaries[want], "cut at {cut}");
+            assert_eq!(tail.torn_tail, (cut as u64) > boundaries[want]);
+            for (i, (seq, payload)) in tail.records.iter().enumerate() {
+                assert_eq!(*seq, i as u64);
+                assert_eq!(payload, &payloads[i]);
+            }
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_record_stops_the_replay() {
+        let dir = temp_dir("corrupt");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        for i in 0..4u8 {
+            w.append(&[i; 10]).unwrap();
+        }
+        w.sync().unwrap();
+        let path = segment_path(&dir, 0);
+        let full = fs::read(&path).unwrap();
+        // flip one byte inside record 2's payload
+        let record_size = RECORD_HEADER + 10;
+        let mut bad = full.clone();
+        bad[2 * record_size + RECORD_HEADER + 3] ^= 0xFF;
+        fs::write(&path, &bad).unwrap();
+        let tail = read_segment(&dir, 0).unwrap();
+        assert_eq!(
+            tail.records.len(),
+            2,
+            "records after the corruption are dropped"
+        );
+        assert!(tail.torn_tail);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn append_after_recovery_truncates_the_torn_tail() {
+        let dir = temp_dir("reopen");
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        w.append(b"aaaa").unwrap();
+        w.append(b"bbbb").unwrap();
+        w.sync().unwrap();
+        // simulate a torn append: half a record of garbage at the end
+        let path = segment_path(&dir, 0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes.extend_from_slice(&[0x11; 7]);
+        fs::write(&path, &bytes).unwrap();
+        let tail = read_segment(&dir, 0).unwrap();
+        assert!(tail.torn_tail);
+        let mut w = WalWriter::open_after_recovery(&dir, 0, &tail).unwrap();
+        assert_eq!(w.next_seq(), 2);
+        w.append(b"cccc").unwrap();
+        w.sync().unwrap();
+        let tail = read_segment(&dir, 0).unwrap();
+        assert!(!tail.torn_tail);
+        assert_eq!(
+            tail.records,
+            vec![
+                (0, b"aaaa".to_vec()),
+                (1, b"bbbb".to_vec()),
+                (2, b"cccc".to_vec())
+            ]
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_validation() {
+        let dir = temp_dir("ckpt");
+        write_checkpoint(&dir, 42, b"snapshot-bytes").unwrap();
+        assert_eq!(read_checkpoint(&dir, 42).unwrap(), b"snapshot-bytes");
+        // corrupt it: validation must fail, not return garbage
+        let path = checkpoint_path(&dir, 42);
+        let mut bytes = fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir, 42),
+            Err(StorageError::Corrupt(_))
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_dir_prefers_newest_checkpoint_and_replays_segments() {
+        let dir = temp_dir("recover");
+        // generation 0: checkpoint at 0, records 0..3
+        write_checkpoint(&dir, 0, b"gen0").unwrap();
+        let mut w = WalWriter::create(&dir, 0).unwrap();
+        for i in 0..3u8 {
+            w.append(&[i]).unwrap();
+        }
+        w.sync().unwrap();
+        // rotation: segment first, then checkpoint at 3, records 3..5
+        let mut w = WalWriter::create(&dir, 3).unwrap();
+        write_checkpoint(&dir, 3, b"gen1").unwrap();
+        for i in 3..5u8 {
+            w.append(&[i]).unwrap();
+        }
+        w.sync().unwrap();
+        let rec = recover_dir(&dir).unwrap();
+        assert_eq!(rec.checkpoint_seq, 3);
+        assert_eq!(rec.checkpoint, b"gen1");
+        assert_eq!(rec.records.len(), 2);
+        assert_eq!(rec.next_seq, 5);
+        assert_eq!(rec.active_start_seq, 3);
+        // corrupt the newest checkpoint: recovery falls back to gen 0 and
+        // replays *both* segments
+        let path = checkpoint_path(&dir, 3);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[10] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let rec = recover_dir(&dir).unwrap();
+        assert_eq!(rec.checkpoint_seq, 0);
+        assert_eq!(rec.checkpoint, b"gen0");
+        assert_eq!(rec.records.len(), 5);
+        assert_eq!(rec.next_seq, 5);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn gc_keeps_the_previous_generation() {
+        let dir = temp_dir("gc");
+        write_checkpoint(&dir, 0, b"g0").unwrap();
+        let _ = WalWriter::create(&dir, 0).unwrap();
+        write_checkpoint(&dir, 4, b"g1").unwrap();
+        let _ = WalWriter::create(&dir, 4).unwrap();
+        write_checkpoint(&dir, 9, b"g2").unwrap();
+        let _ = WalWriter::create(&dir, 9).unwrap();
+        // keep from the previous checkpoint (4): generation 0 goes away
+        remove_generations_before(&dir, 4);
+        let ckpts: Vec<u64> = list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        let segs: Vec<u64> = list_segments(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(ckpts, vec![4, 9]);
+        assert_eq!(segs, vec![4, 9]);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_dir_without_checkpoint_is_an_error() {
+        let dir = temp_dir("empty");
+        assert!(recover_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

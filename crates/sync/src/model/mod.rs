@@ -269,6 +269,7 @@ fn run_one(
 }
 
 fn dump_trace(dir: &Path, report: &ViolationReport) -> Option<PathBuf> {
+    // lint: allow(no-raw-fs) -- trace dump directory, diagnostic output only
     std::fs::create_dir_all(dir).ok()?;
     let tag = match report.seed {
         Some(seed) => format!("seed-{seed:016x}"),
@@ -291,6 +292,7 @@ fn dump_trace(dir: &Path, report: &ViolationReport) -> Option<PathBuf> {
         body.push_str(line);
         body.push('\n');
     }
+    // lint: allow(no-raw-fs) -- failure-trace dump, diagnostic output only
     std::fs::write(&path, body).ok()?;
     Some(path)
 }

@@ -206,17 +206,17 @@ fn clock_le(a: &[u64], b: &[u64]) -> bool {
 }
 
 fn is_acquiring(order: Ordering) -> bool {
-    // ordering: classifying the caller's requested ordering, not an atomic op
     matches!(
         order,
+        // ordering: classifying the caller's requested ordering, not an atomic op
         Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst
     )
 }
 
 fn is_releasing(order: Ordering) -> bool {
-    // ordering: classifying the caller's requested ordering, not an atomic op
     matches!(
         order,
+        // ordering: classifying the caller's requested ordering, not an atomic op
         Ordering::Release | Ordering::AcqRel | Ordering::SeqCst
     )
 }

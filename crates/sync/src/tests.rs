@@ -31,8 +31,8 @@ fn counters_add_up_across_threads() {
         for h in handles {
             h.join().unwrap();
         }
-        // ordering: counter read after both joins ordered the increments
         model::check(
+            // ordering: counter read after both joins ordered the increments
             counter.load(Ordering::Relaxed) == 2,
             "both increments visible",
         );

@@ -26,6 +26,13 @@
 //! * **no-unwrap** — no `.unwrap()` / `.expect(` in non-test library code of
 //!   `crates/service` and `crates/engine`; service/engine code must surface
 //!   errors, not abort a writer thread.
+//! * **no-raw-fs** — durable I/O is the storage crate's job: no `std::fs` in
+//!   non-test library code outside `crates/storage/src/backend.rs` and
+//!   `crates/storage/src/wal.rs` (plus `tools/xtask`, which must read the
+//!   tree to lint it). Anything else going to disk — trace dumps, bench
+//!   reports — carries an explicit
+//!   `// lint: allow(no-raw-fs) -- <reason>` so durability-relevant writes
+//!   cannot slip in unreviewed next to the WAL discipline.
 //!
 //! Suppress a finding where it is genuinely intended with an exception
 //! comment on the same line or the line above:
@@ -34,8 +41,9 @@
 //! // lint: allow(no-unwrap) -- internal invariant: ids are interned above
 //! ```
 //!
-//! Test code is exempt from `no-raw-sync` and `no-unwrap` (tests may panic
-//! and may race real threads on purpose): everything after the first
+//! Test code is exempt from `no-raw-sync`, `no-unwrap` and `no-raw-fs`
+//! (tests may panic, race real threads, and clean up scratch directories on
+//! purpose): everything after the first
 //! `#[cfg(test)]` in a file, and whole files named `tests.rs` / `*_tests.rs`.
 //! `forbid-unsafe` and `ordering-comment` apply everywhere.
 
@@ -134,6 +142,15 @@ const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
 const RULE_ORDERING_COMMENT: &str = "ordering-comment";
 const RULE_NO_RAW_SYNC: &str = "no-raw-sync";
 const RULE_NO_UNWRAP: &str = "no-unwrap";
+const RULE_NO_RAW_FS: &str = "no-raw-fs";
+
+/// Files allowed to touch `std::fs` wholesale: the storage backends and the
+/// WAL are the durable layer, and the linter itself must read the tree.
+const RAW_FS_ALLOWED: [&str; 3] = [
+    "crates/storage/src/backend.rs",
+    "crates/storage/src/wal.rs",
+    "tools/xtask/src/main.rs",
+];
 
 const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
@@ -194,6 +211,8 @@ fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
     let service_lib = path_in(path, "crates/service") && !is_test_file(path);
     let unwrap_scoped =
         (path_in(path, "crates/service") || path_in(path, "crates/engine")) && !is_test_file(path);
+    let raw_fs_scoped =
+        !RAW_FS_ALLOWED.iter().any(|allowed| path.ends_with(allowed)) && !is_test_file(path);
 
     for (idx, raw) in lines.iter().enumerate() {
         let line_no = idx + 1;
@@ -236,6 +255,21 @@ fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
                     });
                 }
             }
+        }
+
+        if raw_fs_scoped
+            && contains_token(code, "std::fs")
+            && !has_exception(&lines, idx, RULE_NO_RAW_FS)
+        {
+            out.push(Diagnostic {
+                path: path.to_string(),
+                line: line_no,
+                rule: RULE_NO_RAW_FS,
+                message: "`std::fs` outside the storage backend/WAL — go through \
+                          `pref_storage`, or annotate a deliberate non-durable write with \
+                          `// lint: allow(no-raw-fs) -- <reason>`"
+                    .to_string(),
+            });
         }
 
         if unwrap_scoped {
@@ -444,6 +478,38 @@ mod tests {
             "/// let x = g().unwrap();\nfn f() {}\n"
         )
         .is_empty());
+    }
+
+    #[test]
+    fn raw_fs_is_confined_to_the_storage_backend_and_wal() {
+        let src = "use std::fs;\nfn f() { std::fs::remove_file(\"x\").ok(); }\n";
+        // the durable layer and the linter itself are allowed wholesale
+        assert!(rules("crates/storage/src/backend.rs", src).is_empty());
+        assert!(rules("crates/storage/src/wal.rs", src).is_empty());
+        // the linter itself is a crate root, so satisfy forbid-unsafe too
+        let root_src = format!("#![forbid(unsafe_code)]\n{src}");
+        assert!(rules("tools/xtask/src/main.rs", &root_src).is_empty());
+        // everything else is flagged, line by line
+        let found = rules("crates/service/src/m.rs", src);
+        assert_eq!(found.len(), 2);
+        assert!(
+            found[0].starts_with("crates/service/src/m.rs:1: no-raw-fs:"),
+            "{}",
+            found[0]
+        );
+        // the rest of the storage crate is NOT allow-listed: buffer-manager
+        // code must go through its own backend abstraction too
+        assert_eq!(rules("crates/storage/src/store.rs", src).len(), 2);
+        // an annotated deliberate use is accepted
+        let annotated = "// lint: allow(no-raw-fs) -- bench report, not durable state\n\
+             let file = std::fs::File::create(&out)?;\n";
+        assert!(rules("crates/bench/src/report.rs", annotated).is_empty());
+        // test code cleans up scratch dirs freely
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::fs::remove_file(\"x\").ok(); }\n}\n";
+        assert!(rules("crates/service/src/m.rs", test_src).is_empty());
+        // comments and doc examples are not code
+        assert!(rules("crates/service/src/m.rs", "//! touches `std::fs` never\n").is_empty());
     }
 
     #[test]
