@@ -16,6 +16,13 @@
 //! beyond a constant factor of the live population or if late-stream
 //! per-update I/O degrades versus the early stream.
 //!
+//! An **ack-latency** cell drives a removal-heavy stream through an engine
+//! that compacts inline on the ack path vs. a deferred-compaction twin whose
+//! debt is drained between acks (the shard writer's background-compactor
+//! split). It reports per-update ack percentiles for both and fails the
+//! process if the deferred engine ever compacts inside a timed ack, if the
+//! inline engine never compacts at all, or if the matchings diverge.
+//!
 //! Usage: `engine_bench [--smoke] [--out <path>]`
 //!
 //! CI runs `--smoke` as a gate: non-zero exit on oracle divergence, on an
@@ -108,6 +115,36 @@ struct ChurnRow {
     matches_oracle: bool,
 }
 
+/// The ack-latency-under-compaction cell: the same removal-heavy stream
+/// through an engine that compacts inline on the ack path vs. one that
+/// defers compaction (the shard writer's background-compactor mode, drained
+/// between acks, outside the timed region).
+#[derive(Debug, Clone, Serialize)]
+struct AckRow {
+    workload: String,
+    num_functions: usize,
+    num_objects: usize,
+    num_events: usize,
+    /// Per-update ack latency percentiles, inline compaction (µs).
+    inline_ack_p50_us: f64,
+    inline_ack_p99_us: f64,
+    inline_ack_max_us: f64,
+    /// Per-update ack latency percentiles, deferred compaction (µs).
+    deferred_ack_p50_us: f64,
+    deferred_ack_p99_us: f64,
+    deferred_ack_max_us: f64,
+    /// Compaction batches the inline engine ran *inside* its ack path
+    /// (must be > 0 for the cell to mean anything).
+    inline_compaction_batches: u64,
+    /// Compaction batches the deferred engine ran inside a timed ack
+    /// (gated: must be 0 — that is the whole point of deferral).
+    deferred_batches_in_ack_path: u64,
+    /// Compaction batches the deferred engine ran in the untimed drain.
+    deferred_batches_total: u64,
+    /// Both engines agreed canonically after every event.
+    matches_inline: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
@@ -115,6 +152,7 @@ struct BenchReport {
     created_unix_s: u64,
     rows: Vec<BenchRow>,
     churn: Vec<ChurnRow>,
+    ack: Vec<AckRow>,
 }
 
 fn main() {
@@ -264,6 +302,9 @@ fn main() {
     let (churn_row, churn_failed) = run_churn_soak(smoke);
     failed |= churn_failed;
 
+    let (ack_row, ack_failed) = run_ack_cell(smoke);
+    failed |= ack_failed;
+
     let report = BenchReport {
         bench: "engine".to_string(),
         scale: if smoke { "smoke" } else { "default" }.to_string(),
@@ -273,6 +314,7 @@ fn main() {
             .unwrap_or(0),
         rows,
         churn: vec![churn_row],
+        ack: vec![ack_row],
     };
     // lint: allow(no-raw-fs) -- bench report output, not durable state
     let file = std::fs::File::create(&out).expect("create bench output file");
@@ -430,6 +472,137 @@ fn run_churn_soak(smoke: bool) -> (ChurnRow, bool) {
         row.io_per_update_last_quarter,
         row.physical_deletes,
         row.compaction_batches
+    );
+    (row, failed)
+}
+
+/// `q`-th percentile of an ascending-sorted latency sample, in microseconds.
+fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_nanos.len() as f64 - 1.0) * q).round() as usize;
+    sorted_nanos[rank.min(sorted_nanos.len() - 1)] as f64 / 1e3
+}
+
+/// Drives the ack-latency cell: a removal-heavy stream through an inline-
+/// compacting engine and a deferred-compaction twin. The twin's compaction
+/// debt is drained *between* events, outside the timed region — exactly the
+/// shard writer's background-compactor split. Returns the row and whether a
+/// gate failed (canonical divergence, compaction inside a deferred ack, or
+/// an inline engine that never compacted).
+fn run_ack_cell(smoke: bool) -> (AckRow, bool) {
+    let (num_functions, num_objects, num_events) = if smoke {
+        (24usize, 320usize, 240usize)
+    } else {
+        (32, 640, 900)
+    };
+    eprintln!(
+        "== ack-under-compaction |F|={num_functions} |O|={num_objects} events={num_events} =="
+    );
+    let problem = build_problem(&Cell {
+        distribution: ObjectDistribution::Independent,
+        num_functions,
+        num_objects,
+        num_events,
+    });
+    let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+    let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+    let events = update_stream(
+        &UpdateStreamConfig {
+            num_events,
+            dims: DIMS,
+            distribution: ObjectDistribution::Independent,
+            insert_fraction: 0.35, // removal-heavy: keeps the compactor in debt
+            object_fraction: 1.0,
+            min_objects: num_objects / 5,
+            min_functions: 4,
+            max_capacity: 1,
+            seed: SEED ^ 0xacu64,
+        },
+        &live_objects,
+        &live_functions,
+    );
+
+    let inline_opts = EngineOptions {
+        compaction_threshold: Some(0.05),
+        compaction_batch: 16,
+        ..EngineOptions::default()
+    };
+    let deferred_opts = EngineOptions {
+        deferred_compaction: true,
+        ..inline_opts.clone()
+    };
+    let mut inline = AssignmentEngine::new(&problem, &inline_opts).unwrap();
+    let mut deferred = AssignmentEngine::new(&problem, &deferred_opts).unwrap();
+
+    let mut failed = false;
+    let mut matches = true;
+    let mut inline_nanos: Vec<u64> = Vec::with_capacity(num_events);
+    let mut deferred_nanos: Vec<u64> = Vec::with_capacity(num_events);
+    let mut batches_in_ack_path = 0u64;
+    for (step, event) in events.iter().enumerate() {
+        let started = Instant::now();
+        inline.apply(event).expect("stream events are valid");
+        inline_nanos.push(started.elapsed().as_nanos() as u64);
+
+        let batches_before = deferred.stats().compaction_batches;
+        let started = Instant::now();
+        deferred.apply(event).expect("stream events are valid");
+        deferred_nanos.push(started.elapsed().as_nanos() as u64);
+        batches_in_ack_path += deferred.stats().compaction_batches - batches_before;
+
+        // the background compactor catches up between acks, untimed
+        while deferred.run_compaction_batch() {}
+
+        if inline.assignment().canonical() != deferred.assignment().canonical() {
+            matches = false;
+            failed = true;
+            eprintln!(
+                "!! ack cell: deferred compaction changed the matching at #{step} ({event:?})"
+            );
+        }
+    }
+
+    if batches_in_ack_path != 0 {
+        failed = true;
+        eprintln!(
+            "!! deferred engine compacted {batches_in_ack_path} batch(es) inside the ack path"
+        );
+    }
+    let inline_batches = inline.stats().compaction_batches;
+    if inline_batches == 0 {
+        failed = true;
+        eprintln!("!! ack cell never triggered inline compaction — the cell measured nothing");
+    }
+    inline_nanos.sort_unstable();
+    deferred_nanos.sort_unstable();
+    let row = AckRow {
+        workload: "ack-under-compaction".to_string(),
+        num_functions,
+        num_objects,
+        num_events,
+        inline_ack_p50_us: percentile_us(&inline_nanos, 0.50),
+        inline_ack_p99_us: percentile_us(&inline_nanos, 0.99),
+        inline_ack_max_us: percentile_us(&inline_nanos, 1.0),
+        deferred_ack_p50_us: percentile_us(&deferred_nanos, 0.50),
+        deferred_ack_p99_us: percentile_us(&deferred_nanos, 0.99),
+        deferred_ack_max_us: percentile_us(&deferred_nanos, 1.0),
+        inline_compaction_batches: inline_batches,
+        deferred_batches_in_ack_path: batches_in_ack_path,
+        deferred_batches_total: deferred.stats().compaction_batches,
+        matches_inline: matches,
+    };
+    eprintln!(
+        "  inline ack: p50={:.1}us p99={:.1}us max={:.1}us ({} compaction batches on the ack path)",
+        row.inline_ack_p50_us,
+        row.inline_ack_p99_us,
+        row.inline_ack_max_us,
+        row.inline_compaction_batches
+    );
+    eprintln!(
+        "  deferred ack: p50={:.1}us p99={:.1}us max={:.1}us ({} batches drained off-path, 0 on-path)",
+        row.deferred_ack_p50_us, row.deferred_ack_p99_us, row.deferred_ack_max_us, row.deferred_batches_total
     );
     (row, failed)
 }

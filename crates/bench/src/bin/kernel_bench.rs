@@ -1,0 +1,134 @@
+//! kernel_bench — the columnar scoring kernels' standing microbench gate.
+//!
+//! Runs the scalar-vs-kernel sweep of `pref_bench::kernel_perf` over every
+//! specialized dimensionality (1..=8) plus the generic fallback, and fails
+//! the process if any of the kernels' three contracts is broken:
+//!
+//! * **bit-identity** — block scores equal scalar scores bit for bit in
+//!   every cell;
+//! * **zero allocation** — the steady-state scoring loop never reallocates
+//!   its caller-owned scratch or the block lanes (pointer/capacity pinning;
+//!   see `kernel_perf` for why this needs no instrumented allocator);
+//! * **speedup** — the columnar path must beat the scalar AoS path by ≥ 2×
+//!   on the geometric mean across the sweep (single-threaded: this measures
+//!   the SoA layout + autovectorization alone, not the worker pool).
+//!
+//! Usage: `kernel_bench [--smoke] [--repeats <n>] [--out <path>]`. The JSON
+//! report is only written when `--out` is given — the canonical kernel cells
+//! live in `BENCH_solver.json` (written by `solver_bench`); this binary is
+//! the fast CI gate.
+
+#![forbid(unsafe_code)]
+
+use pref_bench::kernel_perf::{run_kernel_cells, KernelCell};
+use serde::Serialize;
+use std::path::PathBuf;
+
+const SEED: u64 = 20_090_824;
+/// The speedup gate: columnar scoring must at least double the scalar
+/// throughput on the geometric mean over the dimensionality sweep.
+const SPEEDUP_GATE: f64 = 2.0;
+
+#[derive(Debug, Clone, Serialize)]
+struct BenchReport {
+    bench: String,
+    scale: String,
+    repeats: usize,
+    created_unix_s: u64,
+    geomean_speedup: f64,
+    cells: Vec<KernelCell>,
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut repeats = 7usize;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--repeats" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => repeats = n,
+                None => {
+                    eprintln!("--repeats requires a count; try --help");
+                    std::process::exit(2);
+                }
+            },
+            "--out" => match args.next() {
+                Some(path) => out = Some(PathBuf::from(path)),
+                None => {
+                    eprintln!("--out requires a path; try --help");
+                    std::process::exit(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: kernel_bench [--smoke] [--repeats <n>] [--out <path>]");
+                return;
+            }
+            other => {
+                eprintln!("unknown option {other}; try --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    let (num_functions, num_points) = if smoke { (32, 4_096) } else { (64, 16_384) };
+
+    let cells = run_kernel_cells(num_functions, num_points, repeats, SEED);
+    let mut failed = false;
+    for cell in &cells {
+        eprintln!(
+            "== D={:<2} |F|={} n={}: scalar {:>8.1} Melem/s | kernel {:>8.1} Melem/s | x{:.2} | bits={} alloc-free={} ==",
+            cell.dims,
+            cell.num_functions,
+            cell.num_points,
+            cell.scalar_melems_per_s,
+            cell.kernel_melems_per_s,
+            cell.speedup,
+            cell.bit_identical,
+            cell.zero_alloc
+        );
+        if !cell.bit_identical {
+            failed = true;
+            eprintln!(
+                "!! D={}: block scores diverge from scalar scores",
+                cell.dims
+            );
+        }
+        if !cell.zero_alloc {
+            failed = true;
+            eprintln!("!! D={}: steady-state scoring loop reallocated", cell.dims);
+        }
+    }
+    let geomean = (cells.iter().map(|c| c.speedup.ln()).sum::<f64>() / cells.len() as f64).exp();
+    eprintln!("== geometric-mean speedup x{geomean:.2} (gate >= x{SPEEDUP_GATE:.1}) ==");
+    if geomean < SPEEDUP_GATE {
+        failed = true;
+        eprintln!(
+            "!! columnar kernels only reached x{geomean:.2} over scalar (need >= x{SPEEDUP_GATE:.1})"
+        );
+    }
+
+    if let Some(out) = out {
+        let report = BenchReport {
+            bench: "kernel".to_string(),
+            scale: if smoke { "smoke" } else { "default" }.to_string(),
+            repeats,
+            created_unix_s: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_secs())
+                .unwrap_or(0),
+            geomean_speedup: geomean,
+            cells,
+        };
+        // lint: allow(no-raw-fs) -- bench report output, not durable state
+        let file = std::fs::File::create(&out).expect("create bench output file");
+        serde_json::to_writer_pretty(std::io::BufWriter::new(file), &report)
+            .expect("serialize bench report");
+        eprintln!("wrote {}", out.display());
+    }
+
+    if failed {
+        eprintln!("FAILED: kernel contract violation (see log above)");
+        std::process::exit(1);
+    }
+}

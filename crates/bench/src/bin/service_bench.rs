@@ -23,7 +23,10 @@
 //!
 //! Every reader verifies each newly observed snapshot version against the
 //! snapshot's own problem (`verify_stable`) and checks per-reader version
-//! monotonicity; any violation fails the run. Usage:
+//! monotonicity; any violation fails the run. Each fleet row also reports
+//! p50/p99/p999 per-request read latency (snapshot pin + both lookups), and
+//! a dedicated **update-ack** cell reports p50/p99/p999 of the full
+//! producer-visible write ack (batch submit + flush-to-publication). Usage:
 //! `service_bench [--smoke] [--out <path>]`.
 
 #![forbid(unsafe_code)]
@@ -60,6 +63,11 @@ struct ReaderRow {
     reads_per_s: f64,
     /// Aggregate throughput relative to the 1-reader row of the same mode.
     scaling_vs_1: f64,
+    /// Per-request read latency percentiles over the fleet's merged sample
+    /// (snapshot pin + both point lookups; pacing sleep excluded), in µs.
+    read_p50_us: f64,
+    read_p99_us: f64,
+    read_p999_us: f64,
     /// Distinct snapshot versions the fleet observed (sum over readers).
     snapshots_observed: u64,
     /// Snapshots fully re-verified with `verify_stable` (sum over readers).
@@ -97,6 +105,18 @@ struct RecoveryRow {
     matches_pre_shutdown: bool,
 }
 
+/// The update-ack cell: submit-to-published latency of write batches on a
+/// dedicated shard (batch enqueue + `flush`, i.e. the full ack the writer
+/// protocol gives a producer), in µs.
+#[derive(Debug, Clone, Serialize)]
+struct UpdateAckRow {
+    batches: u64,
+    batch_size: usize,
+    ack_p50_us: f64,
+    ack_p99_us: f64,
+    ack_p999_us: f64,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
@@ -106,6 +126,7 @@ struct BenchReport {
     paced_interval_us: u64,
     rows: Vec<ReaderRow>,
     writer: WriterRow,
+    update_ack: UpdateAckRow,
     recovery: RecoveryRow,
 }
 
@@ -115,6 +136,17 @@ struct FleetOutcome {
     snapshots_observed: u64,
     snapshots_verified: u64,
     violations: u64,
+    /// Merged per-request latency sample of the whole fleet, sorted, in ns.
+    latencies_ns: Vec<u64>,
+}
+
+/// `q`-th percentile of an ascending-sorted latency sample, in microseconds.
+fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
+    if sorted_nanos.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted_nanos.len() as f64 - 1.0) * q).round() as usize;
+    sorted_nanos[rank.min(sorted_nanos.len() - 1)] as f64 / 1e3
 }
 
 fn main() {
@@ -232,12 +264,20 @@ fn main() {
             } else {
                 0.0
             };
+            let (p50, p99, p999) = (
+                percentile_us(&outcome.latencies_ns, 0.50),
+                percentile_us(&outcome.latencies_ns, 0.99),
+                percentile_us(&outcome.latencies_ns, 0.999),
+            );
             eprintln!(
-                "== {mode} x{count}: {} reads in {:.2}s ({:.0}/s, {:.2}x vs 1) | {} snapshots, {} verified, {} violations ==",
+                "== {mode} x{count}: {} reads in {:.2}s ({:.0}/s, {:.2}x vs 1) | p50={:.1}us p99={:.1}us p999={:.1}us | {} snapshots, {} verified, {} violations ==",
                 outcome.total_reads,
                 mode_window.as_secs_f64(),
                 reads_per_s,
                 scaling,
+                p50,
+                p99,
+                p999,
                 outcome.snapshots_observed,
                 outcome.snapshots_verified,
                 outcome.violations
@@ -256,6 +296,9 @@ fn main() {
                 total_reads: outcome.total_reads,
                 reads_per_s,
                 scaling_vs_1: scaling,
+                read_p50_us: p50,
+                read_p99_us: p99,
+                read_p999_us: p999,
                 snapshots_observed: outcome.snapshots_observed,
                 snapshots_verified: outcome.snapshots_verified,
                 violations: outcome.violations,
@@ -317,6 +360,17 @@ fn main() {
         );
     }
 
+    // --- update-ack latency cell --------------------------------------------
+    let update_ack = run_update_ack_cell(smoke);
+    eprintln!(
+        "== update-ack: {} batches of {}: p50={:.1}us p99={:.1}us p999={:.1}us ==",
+        update_ack.batches,
+        update_ack.batch_size,
+        update_ack.ack_p50_us,
+        update_ack.ack_p99_us,
+        update_ack.ack_p999_us
+    );
+
     // --- durability / recovery cell -----------------------------------------
     let recovery = run_recovery_cell(smoke);
     eprintln!(
@@ -344,6 +398,7 @@ fn main() {
         paced_interval_us: PACED_INTERVAL.as_micros() as u64,
         rows,
         writer: writer_row,
+        update_ack,
         recovery,
     };
     // lint: allow(no-raw-fs) -- bench report output, not durable state
@@ -376,6 +431,65 @@ fn canonical(snap: &AssignmentSnapshot) -> Vec<(usize, u64, u64)> {
     }
     out.sort_unstable();
     out
+}
+
+/// The update-ack cell: a dedicated (non-durable) shard measures the full
+/// producer-visible write ack — batch submit + `flush`, i.e. wait until the
+/// batch is applied, re-stabilized and published — one batch at a time.
+fn run_update_ack_cell(smoke: bool) -> UpdateAckRow {
+    let num_batches: usize = if smoke { 80 } else { 240 };
+    let functions = pref_datagen::uniform_weight_functions(NUM_FUNCTIONS, DIMS, SEED ^ 0xa0);
+    let objects = ObjectDistribution::Independent.generate(NUM_OBJECTS, DIMS, SEED ^ 0xae11);
+    let problem = Problem::from_parts(functions, objects).expect("generated workload is valid");
+    let live_objects: Vec<RecordId> = problem.objects().iter().map(|o| o.id).collect();
+    let live_functions: Vec<u64> = problem.functions().iter().map(|f| f.id.0 as u64).collect();
+    let stream: Vec<UpdateOp> = update_stream(
+        &UpdateStreamConfig {
+            num_events: num_batches * WRITER_BATCH,
+            dims: DIMS,
+            distribution: ObjectDistribution::Independent,
+            insert_fraction: 0.5,
+            object_fraction: 0.85,
+            min_objects: NUM_OBJECTS / 2,
+            min_functions: NUM_FUNCTIONS / 2,
+            max_capacity: 2,
+            seed: SEED ^ 0xacc,
+        },
+        &live_objects,
+        &live_functions,
+    )
+    .iter()
+    .map(UpdateOp::from_event)
+    .collect();
+
+    let service = ShardedService::start(
+        vec![problem],
+        &ServiceConfig {
+            queue_capacity: 512,
+            max_batch: 32,
+            engine: EngineOptions::default(),
+            durability: None,
+        },
+    )
+    .expect("ack-cell service starts");
+    let mut nanos: Vec<u64> = Vec::with_capacity(num_batches);
+    for batch in stream.chunks(WRITER_BATCH) {
+        let started = Instant::now();
+        service
+            .submit_batch(0, batch.to_vec())
+            .expect("ack-cell submit");
+        service.flush().expect("ack-cell flush");
+        nanos.push(started.elapsed().as_nanos() as u64);
+    }
+    service.shutdown().expect("ack-cell shutdown");
+    nanos.sort_unstable();
+    UpdateAckRow {
+        batches: num_batches as u64,
+        batch_size: WRITER_BATCH,
+        ack_p50_us: percentile_us(&nanos, 0.50),
+        ack_p99_us: percentile_us(&nanos, 0.99),
+        ack_p999_us: percentile_us(&nanos, 0.999),
+    }
 }
 
 /// The durability cell: run a durable shard under churn, shut it down
@@ -479,12 +593,15 @@ fn run_fleet(
                     let mut last_version = 0u64;
                     let mut my_reads = 0u64;
                     let mut my_verified = 0u64;
+                    let mut my_latencies: Vec<u64> = Vec::new();
                     let mut next = Instant::now();
                     let mut probe = r as u64; // deterministic per-reader walk
                                               // ordering: pure stop signal; counters are synchronized
                                               // by the joins at the end of the fleet run
                     while !stop.load(Ordering::Relaxed) {
+                        let request_started = Instant::now();
                         let snapshot = reader.snapshot(0).expect("shard 0 exists");
+                        let pin_elapsed = request_started.elapsed();
                         let version = snapshot.version();
                         if version < last_version {
                             violations.fetch_add(1, Ordering::Relaxed); // ordering: statistics tally
@@ -503,6 +620,10 @@ fn run_fleet(
                         }
                         // the read itself: one function-side and one
                         // object-side point lookup on the pinned snapshot
+                        // (timed as pin + lookups; the sampled quadratic
+                        // re-verification above is bench instrumentation,
+                        // not request work, and stays out of the sample)
+                        let lookup_started = Instant::now();
                         let functions = snapshot.functions();
                         if !functions.is_empty() {
                             let f = functions[(probe % functions.len() as u64) as usize].id;
@@ -524,6 +645,8 @@ fn run_fleet(
                         }
                         probe = probe.wrapping_add(0x9e37_79b9);
                         my_reads += 1;
+                        my_latencies
+                            .push((pin_elapsed + lookup_started.elapsed()).as_nanos() as u64);
                         if paced {
                             next += PACED_INTERVAL;
                             let now = Instant::now();
@@ -537,6 +660,7 @@ fn run_fleet(
                     }
                     reads.fetch_add(my_reads, Ordering::Relaxed); // ordering: statistics tally
                     verified.fetch_add(my_verified, Ordering::Relaxed); // ordering: statistics tally
+                    my_latencies
                 })
                 .expect("spawn reader")
         })
@@ -544,13 +668,16 @@ fn run_fleet(
     std::thread::sleep(window);
     // ordering: pure stop signal, synchronized by the joins below
     stop.store(true, Ordering::Relaxed);
+    let mut latencies_ns: Vec<u64> = Vec::new();
     for handle in handles {
-        handle.join().expect("reader joins");
+        latencies_ns.extend(handle.join().expect("reader joins"));
     }
+    latencies_ns.sort_unstable();
     FleetOutcome {
         total_reads: reads.load(Ordering::Relaxed), // ordering: tally read after join
         snapshots_observed: observed.load(Ordering::Relaxed), // ordering: tally read after join
         snapshots_verified: verified.load(Ordering::Relaxed), // ordering: tally read after join
         violations: violations.load(Ordering::Relaxed), // ordering: tally read after join
+        latencies_ns,
     }
 }

@@ -8,6 +8,18 @@
 //! (wall time, loops, searches, object + auxiliary I/O, peak memory) that
 //! seeds the repo's perf trajectory.
 //!
+//! Two further cell families track the columnar/parallel scoring layer:
+//!
+//! * **kernel cells** — the scalar-vs-columnar scoring microbench of
+//!   `pref_bench::kernel_perf`, one cell per dimensionality; gated on
+//!   bit-identity, zero steady-state allocation, and a ≥ 2× single-thread
+//!   speedup of the columnar path (geometric mean over the sweep);
+//! * **parallel cells** — the full SB solve at 1/2/4/8 worker threads on the
+//!   largest anti-correlated workload; gated on canonical identity at every
+//!   thread count, and on a ≥ 3× speedup at 8 threads *only when the machine
+//!   actually has ≥ 8 hardware threads* (the report records
+//!   `hardware_threads` so the collapse is auditable).
+//!
 //! Usage: `solver_bench [--smoke] [--out <path>] [--repeats <n>]`
 //!
 //! The process exits non-zero if any solver's canonical matching diverges
@@ -17,6 +29,7 @@
 #![forbid(unsafe_code)]
 
 use pref_assign::{oracle, sb, AssignmentResult, Problem, SbOptions};
+use pref_bench::kernel_perf::{run_kernel_cells, KernelCell};
 use pref_bench::sb_hash_baseline;
 use pref_datagen::ObjectDistribution;
 use pref_rtree::RTree;
@@ -49,13 +62,34 @@ struct BenchRow {
     matches_oracle: bool,
 }
 
+/// One multi-threaded batch-solve measurement.
+#[derive(Debug, Clone, Serialize)]
+struct ParallelRow {
+    workload: String,
+    num_functions: usize,
+    num_objects: usize,
+    threads: usize,
+    /// Best-of-`repeats` wall time, in seconds.
+    wall_s: f64,
+    /// `wall_s(threads=1) / wall_s` — parallel efficiency of the
+    /// reciprocal-pair scoring phase.
+    speedup_vs_1: f64,
+    /// Canonical matching equals the single-threaded one byte for byte.
+    canonical_identical: bool,
+}
+
 #[derive(Debug, Clone, Serialize)]
 struct BenchReport {
     bench: String,
     scale: String,
     repeats: usize,
     created_unix_s: u64,
+    /// Hardware threads of the bench machine; the 8-thread speedup gate only
+    /// arms when this is ≥ 8.
+    hardware_threads: usize,
     rows: Vec<BenchRow>,
+    kernel: Vec<KernelCell>,
+    parallel: Vec<ParallelRow>,
 }
 
 const DIMS: usize = 3;
@@ -185,6 +219,98 @@ fn main() {
         }
     }
 
+    let hardware_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // --- kernel cells: scalar vs. columnar scoring throughput ---------------
+    let (kf, kn) = if smoke { (32, 4_096) } else { (64, 16_384) };
+    let kernel = run_kernel_cells(kf, kn, repeats, SEED);
+    for cell in &kernel {
+        eprintln!(
+            "== kernel D={:<2}: scalar {:>7.1} Melem/s | columnar {:>7.1} Melem/s | x{:.2} ==",
+            cell.dims, cell.scalar_melems_per_s, cell.kernel_melems_per_s, cell.speedup
+        );
+        if !cell.bit_identical || !cell.zero_alloc {
+            diverged = true;
+            eprintln!(
+                "!! kernel D={}: bit_identical={} zero_alloc={}",
+                cell.dims, cell.bit_identical, cell.zero_alloc
+            );
+        }
+    }
+    let geomean = (kernel.iter().map(|c| c.speedup.ln()).sum::<f64>() / kernel.len() as f64).exp();
+    if geomean < 2.0 {
+        diverged = true;
+        eprintln!("!! columnar kernels only reached x{geomean:.2} over scalar (need >= x2.0)");
+    }
+
+    // --- parallel cells: SB at 1/2/4/8 worker threads -----------------------
+    let &(pf, po) = scales.last().expect("at least one scale");
+    let parallel_cell = Cell {
+        distribution: ObjectDistribution::AntiCorrelated,
+        num_functions: pf,
+        num_objects: po,
+    };
+    let problem = build_problem(&parallel_cell);
+    let mut parallel: Vec<ParallelRow> = Vec::new();
+    let mut base_wall = f64::INFINITY;
+    let mut base_canonical = None;
+    for threads in [1usize, 2, 4, 8] {
+        let options = SbOptions {
+            threads: Some(threads),
+            ..SbOptions::default()
+        };
+        let mut best_wall = f64::INFINITY;
+        let mut last: Option<AssignmentResult> = None;
+        for _ in 0..repeats {
+            let mut tree = problem.build_tree(None, 0.02);
+            let started = Instant::now();
+            let result = sb(&problem, &mut tree, &options);
+            best_wall = best_wall.min(started.elapsed().as_secs_f64());
+            last = Some(result);
+        }
+        let canonical = last.expect("repeats >= 1").assignment.canonical();
+        if threads == 1 {
+            base_wall = best_wall;
+            base_canonical = Some(canonical.clone());
+        }
+        let canonical_identical = base_canonical.as_ref() == Some(&canonical);
+        if !canonical_identical {
+            diverged = true;
+            eprintln!("!! parallel SB at {threads} threads changed the matching");
+        }
+        let speedup = base_wall / best_wall;
+        eprintln!(
+            "== parallel SB anti-correlated |F|={pf} |O|={po} threads={threads}: wall={best_wall:.4}s (x{speedup:.2} vs 1) identical={canonical_identical} ==",
+        );
+        parallel.push(ParallelRow {
+            workload: parallel_cell.distribution.label().to_string(),
+            num_functions: pf,
+            num_objects: po,
+            threads,
+            wall_s: best_wall,
+            speedup_vs_1: speedup,
+            canonical_identical,
+        });
+    }
+    // the scaling gate only means something when the hardware can scale
+    if hardware_threads >= 8 {
+        let speedup_8 = parallel
+            .iter()
+            .find(|r| r.threads == 8)
+            .map(|r| r.speedup_vs_1)
+            .unwrap_or(0.0);
+        if speedup_8 < 3.0 {
+            diverged = true;
+            eprintln!(
+                "!! parallel SB reached only x{speedup_8:.2} at 8 threads on a {hardware_threads}-thread machine (need >= x3.0)"
+            );
+        }
+    } else {
+        eprintln!("== parallel speedup gate skipped: {hardware_threads} hardware thread(s) < 8 ==");
+    }
+
     let report = BenchReport {
         bench: "solver".to_string(),
         scale: if smoke { "smoke" } else { "default" }.to_string(),
@@ -193,7 +319,10 @@ fn main() {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_secs())
             .unwrap_or(0),
+        hardware_threads,
         rows,
+        kernel,
+        parallel,
     };
     // lint: allow(no-raw-fs) -- bench report output, not durable state
     let file = std::fs::File::create(&out).expect("create bench output file");
@@ -202,7 +331,7 @@ fn main() {
     eprintln!("wrote {}", out.display());
 
     if diverged {
-        eprintln!("FAILED: at least one solver diverged from the oracle");
+        eprintln!("FAILED: oracle divergence or kernel/parallel gate violation (see log above)");
         std::process::exit(1);
     }
 }

@@ -1,0 +1,167 @@
+//! Scalar-vs-columnar scoring microbench, shared by the `kernel_bench`
+//! binary (the CI smoke gate) and the kernel cells of `solver_bench`.
+//!
+//! Each cell scores the same `|F| × n` workload twice:
+//!
+//! * **scalar** — the pre-kernel AoS path: one [`ScoreTable::score`] call per
+//!   `(function, point)` pair, each chasing a boxed per-point coordinate
+//!   slice;
+//! * **kernel** — the columnar path: one [`ScoreTable::score_block`] call per
+//!   function over a [`SoaBlock`] of contiguous `f64` lanes.
+//!
+//! Besides throughput, every cell re-checks the two contracts the kernels
+//! ship with: the block scores must equal the scalar scores **bit for bit**
+//! (the determinism contract of `pref_geom::kernel`), and the steady-state
+//! scoring loop must not allocate — verified without an instrumented global
+//! allocator (the workspace forbids `unsafe`) by pinning the scratch
+//! buffer's pointer/capacity and the block lanes' pointers across the whole
+//! timed run: any reallocation would move at least one of them.
+
+use pref_datagen::ObjectDistribution;
+use pref_geom::{Point, ScoreTable, SoaBlock};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One scalar-vs-kernel measurement cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct KernelCell {
+    /// Dimensionality of the scored points (1..=8 hit the specialized
+    /// kernels; larger hits the generic chunked fallback).
+    pub dims: usize,
+    /// Weight rows scored.
+    pub num_functions: usize,
+    /// Points per block.
+    pub num_points: usize,
+    /// Scalar AoS path, millions of scored elements per second (best of
+    /// repeats).
+    pub scalar_melems_per_s: f64,
+    /// Columnar block-kernel path, millions of scored elements per second
+    /// (best of repeats).
+    pub kernel_melems_per_s: f64,
+    /// `kernel_melems_per_s / scalar_melems_per_s`.
+    pub speedup: f64,
+    /// Every block score equalled the scalar score bit for bit.
+    pub bit_identical: bool,
+    /// Scratch pointer/capacity and lane pointers never moved across the
+    /// timed run — the steady-state loop allocated nothing.
+    pub zero_alloc: bool,
+}
+
+/// The dimensionalities a full sweep measures: every specialized kernel
+/// (1..=8) plus one generic-fallback cell.
+pub const KERNEL_DIMS: [usize; 9] = [1, 2, 3, 4, 5, 6, 7, 8, 12];
+
+/// Runs one scalar-vs-kernel cell. Deterministic for a given `seed`; wall
+/// times are best-of-`repeats`.
+pub fn run_kernel_cell(
+    dims: usize,
+    num_functions: usize,
+    num_points: usize,
+    repeats: usize,
+    seed: u64,
+) -> KernelCell {
+    let functions = pref_datagen::uniform_weight_functions(num_functions, dims, seed);
+    let table = ScoreTable::from_functions(&functions);
+    let points: Vec<Point> = ObjectDistribution::Independent
+        .generate(num_points, dims, seed ^ 0x0bad)
+        .into_iter()
+        .map(|(_, p)| p)
+        .collect();
+
+    let mut block = SoaBlock::new();
+    for p in &points {
+        block.push_point(p);
+    }
+    let mut scalar_out = vec![0.0f64; num_points];
+    let mut kernel_out: Vec<f64> = Vec::new();
+
+    // warm-up sizes the scratch; from here on the loop must not allocate
+    table.score_block(0, &block, &mut kernel_out);
+    let scratch_ptr = kernel_out.as_ptr();
+    let scratch_cap = kernel_out.capacity();
+    let lane_ptrs: Vec<*const f64> = (0..block.dims()).map(|d| block.lane(d).as_ptr()).collect();
+
+    // bit-identity: every (function, point) score, both paths
+    let mut bit_identical = true;
+    for fi in 0..table.len() {
+        table.score_block(fi, &block, &mut kernel_out);
+        for (i, p) in points.iter().enumerate() {
+            if kernel_out[i].to_bits() != table.score(fi, p).to_bits() {
+                bit_identical = false;
+            }
+        }
+    }
+
+    let mut scalar_best = f64::INFINITY;
+    let mut kernel_best = f64::INFINITY;
+    for _ in 0..repeats.max(1) {
+        let started = Instant::now();
+        for fi in 0..table.len() {
+            for (i, p) in points.iter().enumerate() {
+                scalar_out[i] = table.score(fi, p);
+            }
+            black_box(scalar_out.as_slice());
+        }
+        scalar_best = scalar_best.min(started.elapsed().as_secs_f64());
+
+        let started = Instant::now();
+        for fi in 0..table.len() {
+            table.score_block(fi, &block, &mut kernel_out);
+            black_box(kernel_out.as_slice());
+        }
+        kernel_best = kernel_best.min(started.elapsed().as_secs_f64());
+
+        // steady-state refill keeps lane capacity too
+        block.clear();
+        for p in &points {
+            block.push_point(p);
+        }
+    }
+
+    let zero_alloc = kernel_out.as_ptr() == scratch_ptr
+        && kernel_out.capacity() == scratch_cap
+        && (0..block.dims()).all(|d| block.lane(d).as_ptr() == lane_ptrs[d]);
+
+    let elems = (table.len() * num_points) as f64;
+    let scalar_melems_per_s = elems / scalar_best / 1e6;
+    let kernel_melems_per_s = elems / kernel_best / 1e6;
+    KernelCell {
+        dims,
+        num_functions,
+        num_points,
+        scalar_melems_per_s,
+        kernel_melems_per_s,
+        speedup: kernel_melems_per_s / scalar_melems_per_s,
+        bit_identical,
+        zero_alloc,
+    }
+}
+
+/// Runs the full dimensionality sweep ([`KERNEL_DIMS`]).
+pub fn run_kernel_cells(
+    num_functions: usize,
+    num_points: usize,
+    repeats: usize,
+    seed: u64,
+) -> Vec<KernelCell> {
+    KERNEL_DIMS
+        .iter()
+        .map(|&dims| run_kernel_cell(dims, num_functions, num_points, repeats, seed))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_bit_identical_and_allocation_free() {
+        for dims in [1usize, 3, 8, 12] {
+            let cell = run_kernel_cell(dims, 8, 96, 1, 7);
+            assert!(cell.bit_identical, "dims {dims}");
+            assert!(cell.zero_alloc, "dims {dims}");
+            assert!(cell.kernel_melems_per_s > 0.0 && cell.scalar_melems_per_s > 0.0);
+        }
+    }
+}

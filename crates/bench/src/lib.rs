@@ -18,12 +18,15 @@
 //!   `solver_bench` binary can measure what the dense-ID rewrite bought
 //!   (results land in `BENCH_solver.json`, the repo's perf trajectory).
 //!
-//! Beyond the paper's figures, two standing harness binaries gate the repo:
-//! `solver_bench` (every solver vs. the exact oracle across workload shapes)
-//! and `engine_bench` (the long-lived assignment engine's incremental repair
-//! vs. a full SB recompute per update, written to `BENCH_engine.json`). Both
-//! exit non-zero on divergence; the `all_figures` sweep accepts `--jobs N` to
-//! fan the figure experiments out over worker threads.
+//! Beyond the paper's figures, standing harness binaries gate the repo:
+//! `solver_bench` (every solver vs. the exact oracle across workload shapes,
+//! plus the columnar-kernel and parallel-solve cells), `engine_bench` (the
+//! long-lived assignment engine's incremental repair vs. a full SB recompute
+//! per update, written to `BENCH_engine.json`) and `kernel_bench` (the
+//! scalar-vs-columnar scoring microbench in [`kernel_perf`], gating the
+//! kernels' speedup, bit-identity and zero-allocation contracts). All exit
+//! non-zero on divergence; the `all_figures` sweep accepts `--jobs N` to fan
+//! the figure experiments out over worker threads.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -35,6 +38,7 @@ mod runner;
 
 pub mod baseline;
 pub mod experiments;
+pub mod kernel_perf;
 
 pub use algorithms::AlgorithmKind;
 pub use baseline::sb_hash_baseline;

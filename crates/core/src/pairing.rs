@@ -5,12 +5,81 @@
 //! best skyline object, keep the reciprocal pairs (Property 2), fall back to
 //! the single best `(function, its best object)` entry when exact score ties
 //! make the argmax choices cyclic, and emit the pairs in descending score
-//! order. The two solvers differ only in how a function scores a point, so
-//! that is passed in as a closure. Keeping one implementation here is what
-//! guarantees the two solvers cannot drift apart on tie-breaking.
+//! order. The two solvers differ only in which coefficient rows a function
+//! scores with, so that is passed in as a [`ScoreTable`]. Keeping one
+//! implementation here is what guarantees the two solvers cannot drift apart
+//! on tie-breaking.
+//!
+//! # Columnar scoring and parallelism
+//!
+//! The per-function argmax is the solvers' scoring hot spot: every candidate
+//! function scores every skyline object, `|candidates| × |skyline|` dot
+//! products per loop. The step therefore
+//!
+//! 1. mirrors the loop's skyline working set into a reusable [`SoaBlock`]
+//!    (dimension-major lanes) and batch-scores each candidate row with the
+//!    [`pref_geom::kernel`] lane kernels, and
+//! 2. optionally partitions the candidate set across a
+//!    [`WorkStealingPool`] — each function's argmax is independent, so the
+//!    split is embarrassingly parallel.
+//!
+//! **Determinism contract.** The kernels are bit-identical to the scalar
+//! scoring path, and the argmax comparator (`s > bs || (s == bs && oi <
+//! best_oi)`) is a strict total order on `(score, dense index)` — its result
+//! does not depend on scan order. Partition results are merged back into
+//! `function_best` slots keyed by function index, so the pairs that leave
+//! this function are byte-identical at any thread count, pool or no pool.
 
-use pref_geom::Point;
+use pref_geom::{Point, ScoreTable, SoaBlock};
 use pref_rtree::RecordId;
+use pref_sync::WorkStealingPool;
+use std::sync::Arc;
+
+/// Candidate-partition work (candidate count × skyline size) below which the
+/// pool is not worth waking: one loop of dot products at this size costs less
+/// than the batch handshake.
+const PARALLEL_WORK_FLOOR: usize = 4096;
+
+/// Reusable scratch for the pairing step, owned by the solver scaffold.
+///
+/// The block and dense-index mirror live behind `Arc` so the parallel path
+/// can hand clones to pool workers without copying the lanes; by the time a
+/// batch returns every worker clone is dropped, so the next loop's
+/// [`Arc::make_mut`] reuses the allocation in place instead of cloning.
+pub(crate) struct PairScratch {
+    /// Columnar mirror of the loop's skyline points, in `sky_views` order.
+    block: Arc<SoaBlock>,
+    /// Dense object index of each block row (`sky_views[j].0`).
+    ois: Arc<Vec<usize>>,
+    /// Score lane for the serial path.
+    scores: Vec<f64>,
+}
+
+impl PairScratch {
+    pub(crate) fn new() -> Self {
+        Self {
+            block: Arc::new(SoaBlock::new()),
+            ois: Arc::new(Vec::new()),
+            scores: Vec::new(),
+        }
+    }
+}
+
+/// Best `(dense object index, score)` of one score lane: highest score, exact
+/// ties to the lowest dense index — a scan-order-independent argmax.
+fn lane_argmax(ois: &[usize], scores: &[f64]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    for (&oi, &s) in ois.iter().zip(scores) {
+        let better = match best {
+            None => true,
+            Some((best_oi, bs)) => s > bs || (s == bs && oi < best_oi),
+        };
+        if better {
+            best = Some((oi, s));
+        }
+    }
+    best
+}
 
 /// Computes the loop's stable pairs `(function, dense object index, score)`.
 ///
@@ -20,38 +89,86 @@ use pref_rtree::RecordId;
 ///   loop where the stamp matches,
 /// * `function_best` — scratch slab, overwritten here,
 /// * `candidate_functions` — the functions named by some `object_best` entry;
-///   sorted in place so every scan below is deterministic.
+///   sorted in place so every scan below is deterministic,
+/// * `table` — the solver's scoring rows (effective coefficients),
+/// * `pool` — optional worker pool; used only when the loop's scoring work
+///   clears [`PARALLEL_WORK_FLOOR`],
+/// * `scratch` — reusable columnar scratch (see [`PairScratch`]).
 ///
 /// Exact score ties break to the lowest *dense* object index (functions
 /// picking objects) and the lowest function index (the fallback entry and the
 /// output order) — the same order in which [`crate::oracle::oracle`] consumes
 /// its sorted score list, so tied instances reproduce the oracle's canonical
 /// matching even when record ids are not in table order.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn reciprocal_pairs(
     stamp: u64,
     sky_views: &[(usize, RecordId, &Point)],
     object_best: &[(u64, usize, f64)],
     function_best: &mut [(u64, usize, f64)],
     candidate_functions: &mut [usize],
-    score: impl Fn(usize, &Point) -> f64,
+    table: &ScoreTable,
+    pool: Option<&WorkStealingPool>,
+    scratch: &mut PairScratch,
 ) -> Vec<(usize, usize, f64)> {
-    // --- best skyline object for every candidate function -------------------
     candidate_functions.sort_unstable();
-    for &fi in candidate_functions.iter() {
-        let mut best: Option<(usize, f64)> = None;
-        for &(oi, _, point) in sky_views {
-            let s = score(fi, point);
-            let better = match best {
-                None => true,
-                // exact score ties break to the lowest dense object index
-                Some((best_oi, bs)) => s > bs || (s == bs && oi < best_oi),
-            };
-            if better {
-                best = Some((oi, s));
+
+    // --- columnar mirror of the loop's working set ---------------------------
+    let block = Arc::make_mut(&mut scratch.block);
+    block.clear();
+    let ois = Arc::make_mut(&mut scratch.ois);
+    ois.clear();
+    for &(oi, _, point) in sky_views {
+        block.push_point(point);
+        ois.push(oi);
+    }
+
+    // --- best skyline object for every candidate function -------------------
+    let parallel = pool.filter(|p| {
+        p.threads() > 1
+            && candidate_functions.len() > 1
+            && candidate_functions.len() * sky_views.len() >= PARALLEL_WORK_FLOOR
+    });
+    match parallel {
+        Some(pool) => {
+            // Contiguous candidate ranges, one per worker; each job computes
+            // its functions' argmaxes independently and the merge writes
+            // per-function slots, so the outcome is identical to the serial
+            // scan no matter which worker ran what when.
+            let span = candidate_functions.len().div_ceil(pool.threads());
+            let jobs: Vec<_> = candidate_functions
+                .chunks(span)
+                .map(|chunk| {
+                    let cands: Vec<usize> = chunk.to_vec();
+                    let block = Arc::clone(&scratch.block);
+                    let ois = Arc::clone(&scratch.ois);
+                    let table = table.clone();
+                    move || {
+                        let mut scores: Vec<f64> = Vec::new();
+                        let mut out: Vec<(usize, usize, f64)> = Vec::with_capacity(cands.len());
+                        for &fi in &cands {
+                            table.score_block(fi, &block, &mut scores);
+                            if let Some((oi, s)) = lane_argmax(&ois, &scores) {
+                                out.push((fi, oi, s));
+                            }
+                        }
+                        out
+                    }
+                })
+                .collect();
+            for part in pool.run(jobs) {
+                for (fi, oi, s) in part {
+                    function_best[fi] = (stamp, oi, s);
+                }
             }
         }
-        if let Some((oi, s)) = best {
-            function_best[fi] = (stamp, oi, s);
+        None => {
+            for &fi in candidate_functions.iter() {
+                table.score_block(fi, &scratch.block, &mut scratch.scores);
+                if let Some((oi, s)) = lane_argmax(&scratch.ois, &scratch.scores) {
+                    function_best[fi] = (stamp, oi, s);
+                }
+            }
         }
     }
 

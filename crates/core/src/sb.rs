@@ -62,6 +62,11 @@ pub struct SbOptions {
     /// Whether to report every reciprocal pair found in a loop (Section 5.3)
     /// or only the single best pair.
     pub multiple_pairs_per_loop: bool,
+    /// Worker threads for the reciprocal-pair scoring phase. `None` resolves
+    /// via [`pref_sync::resolve_threads`] (the `PREF_THREADS` environment
+    /// variable, then available parallelism; always 1 in model-capable
+    /// builds). The matching is canonical-identical at any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for SbOptions {
@@ -73,6 +78,7 @@ impl Default for SbOptions {
                 omega_fraction: 0.025,
             },
             multiple_pairs_per_loop: true,
+            threads: None,
         }
     }
 }
@@ -85,6 +91,7 @@ impl SbOptions {
             maintenance: MaintenanceStrategy::UpdateSkyline,
             best_pair: BestPairStrategy::FreshTa,
             multiple_pairs_per_loop: false,
+            threads: None,
         }
     }
 
@@ -94,6 +101,7 @@ impl SbOptions {
             maintenance: MaintenanceStrategy::DeltaSky,
             best_pair: BestPairStrategy::FreshTa,
             multiple_pairs_per_loop: false,
+            threads: None,
         }
     }
 
@@ -103,6 +111,7 @@ impl SbOptions {
             maintenance: MaintenanceStrategy::UpdateSkyline,
             best_pair: BestPairStrategy::TwoSkylines,
             multiple_pairs_per_loop: true,
+            threads: None,
         }
     }
 }
@@ -128,6 +137,12 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         .map(|f| f.function.clone())
         .collect();
     let mut lists = FunctionLists::new(&functions);
+    // Columnar scoring rows for the pairing phase (clone-cheap Arc view) and
+    // the optional worker pool; `resolve_threads` pins model-capable builds
+    // to 1 so solver-internal threads never leak into model scenarios.
+    let score_table = lists.score_table();
+    let threads = pref_sync::resolve_threads(options.threads);
+    let pool = (threads > 1).then(|| pref_sync::WorkStealingPool::with_threads(threads));
     let omega = match options.best_pair {
         BestPairStrategy::ResumableTa { omega_fraction } => {
             ((omega_fraction * problem.num_functions() as f64).ceil() as usize).max(1)
@@ -228,8 +243,7 @@ pub fn sb(problem: &Problem, tree: &mut RTree, options: &SbOptions) -> Assignmen
         }
 
         // --- reciprocal pairs (shared with sb_alt, see `pairing`) -----------
-        let mut pairs =
-            state.reciprocal_pairs(stamp, &sky_views, |fi, point| lists.score(fi, point));
+        let mut pairs = state.reciprocal_pairs(stamp, &sky_views, &score_table, pool.as_ref());
         if pairs.is_empty() {
             break;
         }
@@ -331,7 +345,7 @@ mod tests {
             SbOptions {
                 maintenance: MaintenanceStrategy::UpdateSkyline,
                 best_pair: BestPairStrategy::ExhaustiveScan,
-                multiple_pairs_per_loop: true,
+                ..SbOptions::default()
             },
         ]
     }
@@ -485,6 +499,31 @@ mod tests {
         );
         assert_eq!(multi.assignment.canonical(), single.assignment.canonical());
         assert!(multi.metrics.loops <= single.metrics.loops);
+    }
+
+    #[test]
+    fn parallel_solve_is_canonical_identical_at_any_thread_count() {
+        // Anti-correlated data keeps the skyline large, so the pairing phase
+        // clears the parallel work floor and the pool path actually runs.
+        let functions = uniform_weight_functions(200, 3, 301);
+        let objects = anti_correlated_objects(800, 3, 302);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut tree = p.build_tree(Some(16), 0.02);
+            let opts = SbOptions {
+                threads: Some(threads),
+                ..SbOptions::default()
+            };
+            let result = sb(&p, &mut tree, &opts);
+            verify_stable(&p, &result.assignment).unwrap();
+            let canon = result.assignment.canonical();
+            match &baseline {
+                None => baseline = Some(canon),
+                Some(want) => assert_eq!(&canon, want, "threads={threads}"),
+            }
+        }
+        assert_eq!(baseline.unwrap(), oracle(&p).canonical());
     }
 
     #[test]

@@ -17,8 +17,22 @@ use std::time::Instant;
 
 /// Runs the SB-alt assignment algorithm. `list_buffer_frames` is the size (in
 /// 4 KiB blocks) of the LRU buffer in front of the on-disk coefficient lists;
-/// the paper uses 2% of `|F|`.
+/// the paper uses 2% of `|F|`. Scoring threads resolve from the environment
+/// (see [`sb_alt_with_threads`]).
 pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) -> AssignmentResult {
+    sb_alt_with_threads(problem, tree, list_buffer_frames, None)
+}
+
+/// [`sb_alt`] with an explicit worker-thread count for the reciprocal-pair
+/// scoring phase. `None` resolves via [`pref_sync::resolve_threads`]
+/// (`PREF_THREADS`, then available parallelism; always 1 in model-capable
+/// builds). The matching is canonical-identical at any thread count.
+pub fn sb_alt_with_threads(
+    problem: &Problem,
+    tree: &mut RTree,
+    list_buffer_frames: usize,
+    threads: Option<usize>,
+) -> AssignmentResult {
     let start = Instant::now();
     let stats_before = tree.stats();
 
@@ -28,6 +42,9 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
         .map(|f| f.function.clone())
         .collect();
     let mut disk = DiskFunctionLists::new(&functions, list_buffer_frames);
+    let score_table = disk.inner().score_table();
+    let threads = pref_sync::resolve_threads(threads);
+    let pool = (threads > 1).then(|| pref_sync::WorkStealingPool::with_threads(threads));
 
     let mut skyline: Skyline = compute_skyline_bbs(tree);
 
@@ -59,8 +76,7 @@ pub fn sb_alt(problem: &Problem, tree: &mut RTree, list_buffer_frames: usize) ->
         }
 
         // --- reciprocal pairs (shared with sb, see `pairing`) ---------------
-        let pairs =
-            state.reciprocal_pairs(stamp, &sky_views, |fi, point| disk.inner().score(fi, point));
+        let pairs = state.reciprocal_pairs(stamp, &sky_views, &score_table, pool.as_ref());
         if pairs.is_empty() {
             break;
         }
@@ -138,6 +154,24 @@ mod tests {
         assert!(result.metrics.aux_io.logical_reads > 0);
         assert!(result.metrics.total_io() >= result.metrics.aux_io.io_accesses());
         verify_stable(&p, &result.assignment).unwrap();
+    }
+
+    #[test]
+    fn threaded_scoring_is_canonical_identical() {
+        let functions = uniform_weight_functions(250, 3, 241);
+        let objects = anti_correlated_objects(120, 3, 242);
+        let p = Problem::from_parts(functions, objects).unwrap();
+        let mut baseline = None;
+        for threads in [1usize, 2, 4, 8] {
+            let mut tree = p.build_tree(Some(8), 0.0);
+            let result = sb_alt_with_threads(&p, &mut tree, 8, Some(threads));
+            verify_stable(&p, &result.assignment).unwrap();
+            let canon = result.assignment.canonical();
+            match &baseline {
+                None => baseline = Some(canon),
+                Some(want) => assert_eq!(&canon, want, "threads={threads}"),
+            }
+        }
     }
 
     #[test]

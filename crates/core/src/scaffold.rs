@@ -10,10 +10,12 @@
 //! on capacity bookkeeping or tie handling.
 
 use crate::matching::Assignment;
+use crate::pairing::PairScratch;
 use crate::problem::Problem;
-use pref_geom::Point;
+use pref_geom::{Point, ScoreTable};
 use pref_rtree::RecordId;
 use pref_skyline::{Skyline, SkylineObject};
+use pref_sync::WorkStealingPool;
 
 /// Dense per-run state of the skyline-based stable loop.
 ///
@@ -37,6 +39,9 @@ pub(crate) struct StableLoop {
     candidate_stamp: Vec<u64>,
     /// Functions named by some `object_best` entry this loop.
     candidate_functions: Vec<usize>,
+    /// Columnar scratch reused by every pairing step (see
+    /// [`crate::pairing::PairScratch`]).
+    pair_scratch: PairScratch,
     /// Pairs established so far.
     pub assignment: Assignment,
     /// Outer loops executed.
@@ -60,6 +65,7 @@ impl StableLoop {
             function_best: vec![(0, 0, 0.0); n_fun],
             candidate_stamp: vec![0; n_fun],
             candidate_functions: Vec::new(),
+            pair_scratch: PairScratch::new(),
             assignment: Assignment::new(),
             loops: 0,
         }
@@ -107,12 +113,13 @@ impl StableLoop {
     /// Completes the loop's argmax exchange: finds every candidate function's
     /// best skyline object and returns the reciprocal (stable) pairs in
     /// descending score order (see [`crate::pairing::reciprocal_pairs`] for
-    /// the tie rules).
+    /// the tie rules and the columnar/parallel scoring contract).
     pub(crate) fn reciprocal_pairs(
         &mut self,
         stamp: u64,
         sky_views: &[(usize, RecordId, &Point)],
-        score: impl Fn(usize, &Point) -> f64,
+        table: &ScoreTable,
+        pool: Option<&WorkStealingPool>,
     ) -> Vec<(usize, usize, f64)> {
         crate::pairing::reciprocal_pairs(
             stamp,
@@ -120,7 +127,9 @@ impl StableLoop {
             &self.object_best,
             &mut self.function_best,
             &mut self.candidate_functions,
-            score,
+            table,
+            pool,
+            &mut self.pair_scratch,
         )
     }
 

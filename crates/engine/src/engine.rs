@@ -4,11 +4,13 @@ use pref_assign::{
     Assignment, AssignmentView, FunctionId, ObjectRecord, PreferenceFunction, Problem,
 };
 use pref_datagen::UpdateEvent;
-use pref_geom::Point;
+use pref_geom::{Point, ScoreTable, SoaBlock};
 use pref_rtree::{DataEntry, NodeEntry, RTree, RecordId};
 use pref_skyline::{compute_skyline_bbs, insert_skyline, update_skyline_filtered, Skyline};
 use pref_storage::IoStats;
+use pref_sync::WorkStealingPool;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Configuration of an [`AssignmentEngine`].
 #[derive(Debug, Clone)]
@@ -29,6 +31,18 @@ pub struct EngineOptions {
     /// Maximum number of tombstoned records physically deleted per
     /// compaction batch (bounds the work of a single batch; must be ≥ 1).
     pub compaction_batch: usize,
+    /// Worker threads for the repair loop's candidate scan. `None` resolves
+    /// via [`pref_sync::resolve_threads`] (`PREF_THREADS`, then available
+    /// parallelism; always 1 in model-capable builds); `Some(n)` pins `n`
+    /// (must be ≥ 1). The matching is canonical-identical at any thread
+    /// count — see [`AssignmentEngine::best_candidate`]'s merge contract.
+    pub threads: Option<usize>,
+    /// When `true`, departures never run compaction inline: the writer's
+    /// update path only tombstones, and a caller-driven helper (the serving
+    /// tier's background compactor) drains the debt through
+    /// [`AssignmentEngine::run_compaction_batch`]. The compaction work and
+    /// its outcome are identical — only *who pays* for it changes.
+    pub deferred_compaction: bool,
 }
 
 impl Default for EngineOptions {
@@ -38,6 +52,8 @@ impl Default for EngineOptions {
             buffer_fraction: 0.02,
             compaction_threshold: Some(0.25),
             compaction_batch: 64,
+            threads: None,
+            deferred_compaction: false,
         }
     }
 }
@@ -61,6 +77,11 @@ impl EngineOptions {
         if self.compaction_batch == 0 {
             return Err(EngineError::InvalidOptions(
                 "compaction_batch must be at least 1".into(),
+            ));
+        }
+        if self.threads == Some(0) {
+            return Err(EngineError::InvalidOptions(
+                "threads must be at least 1 when set".into(),
             ));
         }
         Ok(())
@@ -302,7 +323,9 @@ struct Candidate {
 impl Candidate {
     /// Deterministic preference: higher score, then filling a free slot over
     /// displacing a pair, then lowest function / object index — mirroring the
-    /// oracle's greedy consumption order.
+    /// oracle's greedy consumption order. Two distinct candidates never tie
+    /// (their `(fi, oi, kind)` differ), so this is a strict total order and
+    /// the overall best does not depend on scan (or thread partition) order.
     fn beats(&self, other: &Candidate) -> bool {
         if self.score != other.score {
             return self.score > other.score;
@@ -311,6 +334,102 @@ impl Candidate {
             return self.kind == SlotKind::Free;
         }
         (self.fi, self.oi) < (other.fi, other.oi)
+    }
+}
+
+/// Reusable buffers of the repair loop's candidate scan, rebuilt every round
+/// (thresholds and the free pool change with each established pair) without
+/// reallocating. The columnar mirrors and the scan lists live behind `Arc`s
+/// so the parallel path can hand clones to pool workers without copying; by
+/// the time a batch returns every worker clone is dropped, so the next
+/// round's [`Arc::make_mut`] reuses the allocations in place.
+#[derive(Debug)]
+struct RepairScratch {
+    /// Per-function admission threshold (see `best_candidate`).
+    f_threshold: Vec<f64>,
+    /// Worst pair score per assigned object (displacement targets).
+    o_worst: HashMap<usize, f64>,
+    /// `(dense function index, threshold)` of the functions worth scanning.
+    active: Vec<(usize, f64)>,
+    /// Columnar mirror of the free-pool skyline points.
+    sky_block: Arc<SoaBlock>,
+    /// Dense object index of each `sky_block` row.
+    sky_ois: Arc<Vec<usize>>,
+    /// Columnar mirror of the saturated displacement targets' points.
+    steal_block: Arc<SoaBlock>,
+    /// `(dense object index, worst pair score)` of each `steal_block` row.
+    steal: Arc<Vec<(usize, f64)>>,
+    /// Score lane for the serial path.
+    scores: Vec<f64>,
+}
+
+impl RepairScratch {
+    fn new() -> Self {
+        Self {
+            f_threshold: Vec::new(),
+            o_worst: HashMap::new(),
+            active: Vec::new(),
+            sky_block: Arc::new(SoaBlock::new()),
+            sky_ois: Arc::new(Vec::new()),
+            steal_block: Arc::new(SoaBlock::new()),
+            steal: Arc::new(Vec::new()),
+            scores: Vec::new(),
+        }
+    }
+}
+
+/// Candidate-scan work (active functions × scan rows) below which the pool
+/// is not worth waking: a round of dot products at this size costs less than
+/// the batch handshake.
+const PARALLEL_WORK_FLOOR: usize = 4096;
+
+/// Scans one function's admissible candidates — free skyline slots, then
+/// saturated displacement targets — folding the best into `best` under
+/// [`Candidate::beats`]. Shared verbatim by the serial and parallel paths of
+/// `best_candidate`, so they cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn scan_function(
+    fi: usize,
+    threshold: f64,
+    table: &ScoreTable,
+    sky_block: &SoaBlock,
+    sky_ois: &[usize],
+    steal_block: &SoaBlock,
+    steal: &[(usize, f64)],
+    scores: &mut Vec<f64>,
+    best: &mut Option<Candidate>,
+) {
+    // free slots: the free pool's maxima are on the skyline
+    table.score_block(fi, sky_block, scores);
+    for (&oi, &score) in sky_ois.iter().zip(scores.iter()) {
+        if score <= threshold {
+            continue;
+        }
+        let cand = Candidate {
+            fi,
+            oi,
+            score,
+            kind: SlotKind::Free,
+        };
+        if best.as_ref().is_none_or(|b| cand.beats(b)) {
+            *best = Some(cand);
+        }
+    }
+    // saturated slots: displace an object's worst pair
+    table.score_block(fi, steal_block, scores);
+    for (&(oi, worst), &score) in steal.iter().zip(scores.iter()) {
+        if score <= threshold || score <= worst {
+            continue;
+        }
+        let cand = Candidate {
+            fi,
+            oi,
+            score,
+            kind: SlotKind::Steal,
+        };
+        if best.as_ref().is_none_or(|b| cand.beats(b)) {
+            *best = Some(cand);
+        }
     }
 }
 
@@ -370,6 +489,16 @@ pub struct AssignmentEngine {
     free_obj_slots: Vec<usize>,
     /// Dense function slots of departed functions, reused by arrivals.
     free_fun_slots: Vec<usize>,
+    /// When `true`, departures only tombstone; compaction is caller-driven
+    /// (see [`AssignmentEngine::run_compaction_batch`]).
+    deferred_compaction: bool,
+    /// Batch-scoring rows aligned with the dense function slab; rebuilt when
+    /// the function set changes (rows of dead slots are never scanned).
+    table: ScoreTable,
+    /// Worker pool for the repair scan (`None` = serial).
+    pool: Option<WorkStealingPool>,
+    /// Reusable per-round scan buffers.
+    repair: RepairScratch,
 }
 
 impl AssignmentEngine {
@@ -426,7 +555,15 @@ impl AssignmentEngine {
             tombstones: VecDeque::new(),
             free_obj_slots: Vec::new(),
             free_fun_slots: Vec::new(),
+            deferred_compaction: options.deferred_compaction,
+            table: ScoreTable::from_functions(&[]),
+            pool: {
+                let threads = pref_sync::resolve_threads(options.threads);
+                (threads > 1).then(|| WorkStealingPool::with_threads(threads))
+            },
+            repair: RepairScratch::new(),
         };
+        engine.rebuild_score_table();
         engine.skyline = compute_skyline_bbs(&mut engine.tree);
         engine.restabilize();
         engine.initial_io = engine.tree.stats();
@@ -682,7 +819,9 @@ impl AssignmentEngine {
         self.stats.updates += 1;
         self.stats.object_removes += 1;
         self.restabilize();
-        self.maybe_compact();
+        if !self.deferred_compaction {
+            self.maybe_compact();
+        }
         Ok(())
     }
 
@@ -715,10 +854,24 @@ impl AssignmentEngine {
             }
         };
         self.fun_index.insert(self.functions[fi].pref.id, fi);
+        self.rebuild_score_table();
         self.stats.updates += 1;
         self.stats.function_inserts += 1;
         self.restabilize();
         Ok(())
+    }
+
+    /// Re-derives the batch-scoring table from the dense function slab. Only
+    /// needed when a slot's weights change (construction and function
+    /// arrivals, including slot reuse): departures leave their row in place,
+    /// and dead rows are filtered out of every scan.
+    fn rebuild_score_table(&mut self) {
+        let rows: Vec<pref_geom::LinearFunction> = self
+            .functions
+            .iter()
+            .map(|f| f.pref.function.clone())
+            .collect();
+        self.table = ScoreTable::from_functions(&rows);
     }
 
     /// A function departs: its pairs are retracted and the freed objects
@@ -774,6 +927,44 @@ impl AssignmentEngine {
             None => true,
         };
         update_skyline_filtered(&mut self.tree, &mut self.skyline, removed, &drop);
+    }
+
+    /// `true` when the engine was configured with
+    /// [`EngineOptions::deferred_compaction`]: its update path never
+    /// compacts, and the owner is expected to drain the debt through
+    /// [`AssignmentEngine::run_compaction_batch`].
+    pub fn compaction_deferred(&self) -> bool {
+        self.deferred_compaction
+    }
+
+    /// `true` when the tombstone ratio exceeds the configured threshold —
+    /// the trigger condition of [`AssignmentEngine::run_compaction_batch`].
+    /// Always `false` when compaction is disabled.
+    pub fn compaction_due(&self) -> bool {
+        match self.compaction_threshold {
+            Some(threshold) => {
+                !self.tombstones.is_empty()
+                    && self.tombstones.len() as f64 > threshold * self.tree.len() as f64
+            }
+            None => false,
+        }
+    }
+
+    /// Runs **one** bounded compaction batch if compaction is due, re-sizing
+    /// the LRU buffer to the shrunken tree, and returns whether more debt
+    /// remains. This is the caller-driven half of
+    /// [`EngineOptions::deferred_compaction`]: a background helper calls it
+    /// repeatedly between writer batches, holding the engine for only one
+    /// batch's worth of work at a time, until it returns `false`. The
+    /// physical deletions, pruned-list patches and slot reclamation are the
+    /// same code the inline path runs — only the trigger site differs.
+    pub fn run_compaction_batch(&mut self) -> bool {
+        if !self.compaction_due() {
+            return false;
+        }
+        self.compact_batch();
+        self.tree.set_buffer_fraction(self.buffer_fraction);
+        self.compaction_due()
     }
 
     /// Runs incremental compaction while the tombstone ratio exceeds the
@@ -850,22 +1041,32 @@ impl AssignmentEngine {
 
     /// Finds the highest-scoring admissible candidate, or `None` when the
     /// matching is stable.
-    fn best_candidate(&self) -> Option<Candidate> {
+    ///
+    /// The scan is columnar: the free-pool skyline and the saturated
+    /// displacement targets are mirrored into [`SoaBlock`]s once per round
+    /// (reusable buffers, no per-round allocation in steady state) and every
+    /// active function batch-scores them through the [`pref_geom::kernel`]
+    /// lane kernels — bit-identical to the scalar
+    /// `f.pref.function.score(point)` path. When a pool is configured and
+    /// the round's work clears [`PARALLEL_WORK_FLOOR`], the active functions
+    /// are partitioned across the workers; [`Candidate::beats`] is a strict
+    /// total order, so the per-partition maxima merge to the same unique
+    /// overall best the serial scan finds, at any thread count.
+    fn best_candidate(&mut self) -> Option<Candidate> {
         // per-function admission threshold: -inf with spare capacity,
         // otherwise the function's worst pair score
-        let mut f_threshold: Vec<f64> = self
-            .functions
-            .iter()
-            .map(|f| {
-                if f.alive && f.remaining > 0 {
-                    f64::NEG_INFINITY
-                } else {
-                    f64::INFINITY
-                }
-            })
-            .collect();
+        let f_threshold = &mut self.repair.f_threshold;
+        f_threshold.clear();
+        f_threshold.extend(self.functions.iter().map(|f| {
+            if f.alive && f.remaining > 0 {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            }
+        }));
         // per-object worst pair score (saturated slot displacement targets)
-        let mut o_worst: HashMap<usize, f64> = HashMap::new();
+        let o_worst = &mut self.repair.o_worst;
+        o_worst.clear();
         for &(fi, oi, score) in &self.pairs {
             if f_threshold[fi] > score {
                 f_threshold[fi] = score;
@@ -875,23 +1076,37 @@ impl AssignmentEngine {
                 *w = score;
             }
         }
-        let sky: Vec<(usize, &Point)> = self
-            .skyline
-            .entry_views()
-            .map(|(record, point)| {
-                (
-                    *self
-                        .obj_index
-                        .get(&record)
-                        // lint: allow(no-unwrap) -- internal invariant: the skyline only yields registered records
-                        .expect("skyline records are registered"),
-                    point,
-                )
-            })
-            .collect();
-        let steal_targets: Vec<(usize, f64)> = o_worst.into_iter().collect();
-
-        let mut best: Option<Candidate> = None;
+        let sky_block = Arc::make_mut(&mut self.repair.sky_block);
+        sky_block.clear();
+        let sky_ois = Arc::make_mut(&mut self.repair.sky_ois);
+        sky_ois.clear();
+        for (record, point) in self.skyline.entry_views() {
+            sky_block.push_point(point);
+            sky_ois.push(
+                *self
+                    .obj_index
+                    .get(&record)
+                    // lint: allow(no-unwrap) -- internal invariant: the skyline only yields registered records
+                    .expect("skyline records are registered"),
+            );
+        }
+        // Saturated targets only: an object with free capacity is covered by
+        // the skyline path without displacing anyone. (HashMap order varies
+        // run to run, but `beats` makes the scan order immaterial.)
+        let steal_block = Arc::make_mut(&mut self.repair.steal_block);
+        steal_block.clear();
+        let steal = Arc::make_mut(&mut self.repair.steal);
+        steal.clear();
+        for (&oi, &worst) in o_worst.iter() {
+            if self.objects[oi].remaining > 0 {
+                continue;
+            }
+            steal_block.push_point(&self.objects[oi].record.point);
+            steal.push((oi, worst));
+        }
+        // functions worth scanning this round
+        let active = &mut self.repair.active;
+        active.clear();
         for (fi, f) in self.functions.iter().enumerate() {
             if !f.alive {
                 continue;
@@ -902,45 +1117,75 @@ impl AssignmentEngine {
                 // function with capacity 0 pairs and no remaining is inert
                 continue;
             }
-            // free slots: the free pool's maxima are on the skyline
-            for &(oi, point) in &sky {
-                let score = f.pref.function.score(point);
-                if score <= threshold {
-                    continue;
+            active.push((fi, threshold));
+        }
+
+        let rows = self.repair.sky_ois.len() + self.repair.steal.len();
+        let parallel = self.pool.as_ref().filter(|p| {
+            p.threads() > 1
+                && self.repair.active.len() > 1
+                && self.repair.active.len() * rows >= PARALLEL_WORK_FLOOR
+        });
+        match parallel {
+            Some(pool) => {
+                let span = self.repair.active.len().div_ceil(pool.threads());
+                let jobs: Vec<_> = self
+                    .repair
+                    .active
+                    .chunks(span)
+                    .map(|chunk| {
+                        let chunk = chunk.to_vec();
+                        let sky_block = Arc::clone(&self.repair.sky_block);
+                        let sky_ois = Arc::clone(&self.repair.sky_ois);
+                        let steal_block = Arc::clone(&self.repair.steal_block);
+                        let steal = Arc::clone(&self.repair.steal);
+                        let table = self.table.clone();
+                        move || {
+                            let mut scores: Vec<f64> = Vec::new();
+                            let mut best: Option<Candidate> = None;
+                            for &(fi, threshold) in &chunk {
+                                scan_function(
+                                    fi,
+                                    threshold,
+                                    &table,
+                                    &sky_block,
+                                    &sky_ois,
+                                    &steal_block,
+                                    &steal,
+                                    &mut scores,
+                                    &mut best,
+                                );
+                            }
+                            best
+                        }
+                    })
+                    .collect();
+                let mut best: Option<Candidate> = None;
+                for cand in pool.run(jobs).into_iter().flatten() {
+                    if best.as_ref().is_none_or(|b| cand.beats(b)) {
+                        best = Some(cand);
+                    }
                 }
-                let cand = Candidate {
-                    fi,
-                    oi,
-                    score,
-                    kind: SlotKind::Free,
-                };
-                if best.as_ref().is_none_or(|b| cand.beats(b)) {
-                    best = Some(cand);
-                }
+                best
             }
-            // saturated slots: displace an object's worst pair
-            for &(oi, worst) in &steal_targets {
-                if self.objects[oi].remaining > 0 {
-                    // the object still has free capacity; the skyline path
-                    // covers it without displacing anyone
-                    continue;
+            None => {
+                let mut best: Option<Candidate> = None;
+                for &(fi, threshold) in self.repair.active.iter() {
+                    scan_function(
+                        fi,
+                        threshold,
+                        &self.table,
+                        &self.repair.sky_block,
+                        &self.repair.sky_ois,
+                        &self.repair.steal_block,
+                        &self.repair.steal,
+                        &mut self.repair.scores,
+                        &mut best,
+                    );
                 }
-                let score = f.pref.function.score(&self.objects[oi].record.point);
-                if score <= threshold || score <= worst {
-                    continue;
-                }
-                let cand = Candidate {
-                    fi,
-                    oi,
-                    score,
-                    kind: SlotKind::Steal,
-                };
-                if best.as_ref().is_none_or(|b| cand.beats(b)) {
-                    best = Some(cand);
-                }
+                best
             }
         }
-        best
     }
 
     /// Establishes a candidate pair, displacing the necessary worst pairs.

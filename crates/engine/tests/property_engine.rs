@@ -505,3 +505,96 @@ fn engine_rejects_invalid_updates() {
     let snapshot = engine.snapshot_problem().unwrap();
     verify_stable(&snapshot, &engine.assignment()).unwrap();
 }
+
+#[test]
+fn threaded_repair_is_canonical_identical_at_any_thread_count() {
+    // Large enough that the repair scan clears the parallel work floor
+    // (active functions × scan rows ≥ 4096), so the pool path actually runs
+    // at thread counts > 1.
+    let problem = build_problem(120, 200, 3, 71);
+    let events = stream_for(
+        &problem,
+        UpdateStreamConfig {
+            num_events: 25,
+            dims: 3,
+            seed: 72,
+            ..UpdateStreamConfig::default()
+        },
+    );
+    let mut baseline: Option<Vec<String>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let options = EngineOptions {
+            threads: Some(threads),
+            ..EngineOptions::default()
+        };
+        let mut engine = AssignmentEngine::new(&problem, &options).unwrap();
+        let mut trace = vec![format!("{:?}", engine.assignment().canonical())];
+        for event in &events {
+            engine.apply(event).unwrap();
+            trace.push(format!("{:?}", engine.assignment().canonical()));
+        }
+        let snapshot = engine.snapshot_problem().unwrap();
+        verify_stable(&snapshot, &engine.assignment()).unwrap();
+        match &baseline {
+            None => baseline = Some(trace),
+            Some(want) => assert_eq!(&trace, want, "threads={threads}"),
+        }
+    }
+}
+
+#[test]
+fn deferred_compaction_drains_to_the_inline_result() {
+    let problem = build_problem(10, 60, 2, 81);
+    let inline_opts = EngineOptions {
+        compaction_threshold: Some(0.2),
+        compaction_batch: 8,
+        ..EngineOptions::default()
+    };
+    let deferred_opts = EngineOptions {
+        deferred_compaction: true,
+        ..inline_opts.clone()
+    };
+    let mut inline = AssignmentEngine::new(&problem, &inline_opts).unwrap();
+    let mut deferred = AssignmentEngine::new(&problem, &deferred_opts).unwrap();
+    for id in [
+        2u64, 5, 11, 17, 23, 29, 31, 37, 41, 43, 47, 53, 3, 7, 13, 19,
+    ] {
+        inline.remove_object(RecordId(id)).unwrap();
+        deferred.remove_object(RecordId(id)).unwrap();
+    }
+    // the deferred engine's update path never compacted...
+    assert_eq!(deferred.stats().compaction_batches, 0);
+    assert_eq!(deferred.stats().physical_deletes, 0);
+    assert!(deferred.compaction_due());
+    // ...while the inline engine kept the ratio bounded throughout
+    assert!(inline.stats().physical_deletes > 0);
+    assert!(!inline.compaction_due());
+    // draining the debt batch-by-batch reaches the inline engine's state
+    let mut batches = 0;
+    while deferred.run_compaction_batch() {
+        batches += 1;
+        assert!(batches < 1000, "compaction failed to converge");
+    }
+    assert!(!deferred.compaction_due());
+    assert!(deferred.stats().tombstone_ratio() <= 0.2);
+    // the matching was never touched by compaction on either side
+    assert_eq!(
+        deferred.assignment().canonical(),
+        inline.assignment().canonical()
+    );
+    let snapshot = deferred.snapshot_problem().unwrap();
+    verify_stable(&snapshot, &deferred.assignment()).unwrap();
+    // both engines keep absorbing updates after the drain
+    for engine in [&mut inline, &mut deferred] {
+        engine
+            .insert_object(ObjectRecord::new(
+                900,
+                pref_geom::Point::from_slice(&[0.9, 0.9]),
+            ))
+            .unwrap();
+    }
+    assert_eq!(
+        deferred.assignment().canonical(),
+        inline.assignment().canonical()
+    );
+}

@@ -9,6 +9,18 @@ use serde::{Deserialize, Serialize};
 /// to favor any user" (Section 3). Returns an error for empty vectors,
 /// non-finite or negative weights, and all-zero vectors.
 pub fn normalize_weights(weights: &[f64]) -> GeomResult<Vec<f64>> {
+    let mut out = weights.to_vec();
+    normalize_weights_in_place(&mut out)?;
+    Ok(out)
+}
+
+/// Normalizes a weight vector in place so the weights sum to one.
+///
+/// The allocation-free variant of [`normalize_weights`] for hot loops
+/// (workload generators, reverse-search query construction): the caller's
+/// buffer is validated and rescaled without any intermediate vector. On error
+/// the buffer is left untouched.
+pub fn normalize_weights_in_place(weights: &mut [f64]) -> GeomResult<()> {
     if weights.is_empty() {
         return Err(GeomError::EmptyDimensions);
     }
@@ -27,7 +39,10 @@ pub fn normalize_weights(weights: &[f64]) -> GeomResult<Vec<f64>> {
     if sum <= 0.0 {
         return Err(GeomError::InvalidWeights("weights sum to zero".into()));
     }
-    Ok(weights.iter().map(|w| w / sum).collect())
+    for w in weights.iter_mut() {
+        *w /= sum;
+    }
+    Ok(())
 }
 
 /// A monotone linear preference function `f(o) = γ · Σ αᵢ·oᵢ`.
@@ -47,10 +62,12 @@ pub struct LinearFunction {
 
 impl LinearFunction {
     /// Creates a function from raw weights, normalizing them to sum to one.
-    pub fn new(weights: Vec<f64>) -> GeomResult<Self> {
-        let normalized = normalize_weights(&weights)?;
+    /// The caller's vector is normalized in place and reused — no extra
+    /// allocation beyond the buffer the caller already built.
+    pub fn new(mut weights: Vec<f64>) -> GeomResult<Self> {
+        normalize_weights_in_place(&mut weights)?;
         Ok(Self {
-            weights: normalized.into_boxed_slice(),
+            weights: weights.into_boxed_slice(),
             priority: 1.0,
         })
     }
@@ -134,15 +151,14 @@ impl LinearFunction {
         self.score_coords(o.coords())
     }
 
-    /// Scores a raw coordinate slice.
+    /// Scores a raw coordinate slice. Routed through the canonical
+    /// [`crate::kernel::dot`] kernel so scalar and batch scoring share one
+    /// floating-point summation order (see the kernel module's determinism
+    /// contract).
     #[inline]
     pub fn score_coords(&self, coords: &[f64]) -> f64 {
         debug_assert_eq!(coords.len(), self.weights.len(), "dimension mismatch");
-        let mut acc = 0.0;
-        for (w, c) in self.weights.iter().zip(coords.iter()) {
-            acc += w * c;
-        }
-        acc * self.priority
+        crate::kernel::dot(&self.weights, coords) * self.priority
     }
 
     /// Upper bound of the score over an MBR (score of its best corner).
@@ -195,6 +211,20 @@ mod tests {
         assert!(normalize_weights(&[f64::NAN, 0.5]).is_err());
         let w = normalize_weights(&[2.0, 2.0, 4.0]).unwrap();
         assert_eq!(w, vec![0.25, 0.25, 0.5]);
+    }
+
+    #[test]
+    fn normalize_in_place_matches_allocating_variant() {
+        let raw = [2.0, 2.0, 4.0];
+        let mut buf = raw.to_vec();
+        normalize_weights_in_place(&mut buf).unwrap();
+        assert_eq!(buf, normalize_weights(&raw).unwrap());
+        // errors leave the buffer untouched
+        let mut bad = vec![-1.0, 2.0];
+        assert!(normalize_weights_in_place(&mut bad).is_err());
+        assert_eq!(bad, vec![-1.0, 2.0]);
+        let mut empty: Vec<f64> = vec![];
+        assert!(normalize_weights_in_place(&mut empty).is_err());
     }
 
     #[test]

@@ -1,0 +1,569 @@
+//! Columnar (SoA) scoring kernels.
+//!
+//! Preference functions are linear, so scoring a page of objects is a dense
+//! dot-product batch — a memory-bound kernel. This module lays points out in
+//! **structure-of-arrays** form ([`SoaBlock`]: one contiguous `f64` lane per
+//! dimension) and scores whole blocks with fixed-width-chunked kernels that
+//! LLVM autovectorizes on stable Rust (no `unsafe`, no nightly `std::simd`):
+//! vectorization runs across the *point* axis, so each point's score is still
+//! accumulated dimension-by-dimension in the exact order of the scalar path.
+//!
+//! # Determinism contract
+//!
+//! Every kernel reproduces the scalar summation order bit-for-bit:
+//!
+//! * [`dot`] computes `acc = 0.0; acc += w[d]·c[d]` for `d = 0, 1, …` — the
+//!   same floating-point sequence as [`crate::LinearFunction::score_coords`]
+//!   and the sorted-list scorers built on effective weights.
+//! * [`score_block`] computes the identical per-point sequence for every lane
+//!   row, then multiplies by the priority (`x * 1.0 == x` exactly, so folding
+//!   an absent priority is also bit-neutral).
+//!
+//! Because scores are bit-identical, every downstream tie-break (lowest
+//! function index, lowest dense object index) resolves exactly as the scalar
+//! path would — batch scoring can never move a tie.
+//!
+//! Kernels are hot-loop code: they must not allocate per call (the repo's
+//! `kernel-no-alloc` lint enforces the `Vec::new`/`to_vec`/`collect`
+//! denylist on this module). Output buffers are caller-owned scratch that
+//! amortizes to zero allocations.
+
+use crate::{LinearFunction, Point};
+use std::sync::Arc;
+
+/// Fixed chunk width of the block kernels. Eight `f64`s span a full AVX-512
+/// register, two AVX2 registers, or four SSE2 registers — wide enough for the
+/// autovectorizer on any x86-64/AArch64 baseline, small enough that the
+/// scalar remainder loop stays negligible.
+pub const LANE_CHUNK: usize = 8;
+
+/// A columnar block of points: dimension-major `f64` lanes.
+///
+/// `lane(d)[i]` is coordinate `d` of point `i`. The block is a reusable
+/// scratch structure: [`SoaBlock::clear`] keeps lane capacity so steady-state
+/// refills allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct SoaBlock {
+    dims: usize,
+    len: usize,
+    lanes: Vec<Vec<f64>>,
+}
+
+impl SoaBlock {
+    /// Creates an empty block; the dimensionality is fixed by the first push.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of points in the block.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the block holds no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Dimensionality of the stored points (0 while empty and never pushed).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The contiguous lane of dimension `d`.
+    ///
+    /// # Panics
+    /// Panics if `d >= self.dims()`.
+    #[inline]
+    pub fn lane(&self, d: usize) -> &[f64] {
+        &self.lanes[d]
+    }
+
+    /// Drops every point but keeps the lanes' capacity for reuse.
+    pub fn clear(&mut self) {
+        self.len = 0;
+        for lane in &mut self.lanes {
+            lane.clear();
+        }
+    }
+
+    /// Appends one point given as a raw coordinate slice.
+    ///
+    /// # Panics
+    /// Panics on a dimensionality mismatch with the points already stored.
+    pub fn push_coords(&mut self, coords: &[f64]) {
+        if self.lanes.len() != coords.len() {
+            assert!(
+                self.lanes.iter().all(Vec::is_empty),
+                "SoaBlock dimensionality changed mid-fill: {} vs {}",
+                self.lanes.len(),
+                coords.len()
+            );
+            // lint: allow(kernel-no-alloc) -- one-time lane growth on first fill
+            self.lanes.resize_with(coords.len(), Vec::new);
+        }
+        self.dims = coords.len();
+        for (lane, &c) in self.lanes.iter_mut().zip(coords.iter()) {
+            lane.push(c);
+        }
+        self.len += 1;
+    }
+
+    /// Appends one [`Point`].
+    #[inline]
+    pub fn push_point(&mut self, point: &Point) {
+        self.push_coords(point.coords());
+    }
+
+    /// Removes point `i` by swapping the last point into its slot — the same
+    /// order change as `Vec::swap_remove`, so a block can mirror a vector of
+    /// owners exactly.
+    ///
+    /// # Panics
+    /// Panics if `i >= self.len()`.
+    pub fn swap_remove(&mut self, i: usize) {
+        assert!(i < self.len, "swap_remove index {i} out of bounds");
+        for lane in &mut self.lanes {
+            lane.swap_remove(i);
+        }
+        self.len -= 1;
+    }
+}
+
+/// Scalar dot product in the canonical summation order: `acc = 0.0` then
+/// `acc += w[d]·c[d]` for ascending `d`. Every scoring path in the workspace
+/// routes through this kernel (directly or via [`score_block`]), which is
+/// what keeps batch and scalar scores bit-identical.
+///
+/// # Panics
+/// Debug-asserts equal lengths; out-of-range dimensions panic via indexing.
+#[inline]
+pub fn dot(weights: &[f64], coords: &[f64]) -> f64 {
+    debug_assert_eq!(weights.len(), coords.len(), "dimension mismatch");
+    // Specialized fixed-trip-count bodies for the common dimensionalities let
+    // LLVM fully unroll; the accumulation order is identical in every arm.
+    match weights.len() {
+        1 => dot_const::<1>(weights, coords),
+        2 => dot_const::<2>(weights, coords),
+        3 => dot_const::<3>(weights, coords),
+        4 => dot_const::<4>(weights, coords),
+        5 => dot_const::<5>(weights, coords),
+        6 => dot_const::<6>(weights, coords),
+        7 => dot_const::<7>(weights, coords),
+        8 => dot_const::<8>(weights, coords),
+        _ => {
+            let mut acc = 0.0;
+            for (w, c) in weights.iter().zip(coords.iter()) {
+                acc += w * c;
+            }
+            acc
+        }
+    }
+}
+
+#[inline]
+fn dot_const<const D: usize>(weights: &[f64], coords: &[f64]) -> f64 {
+    let w = &weights[..D];
+    let c = &coords[..D];
+    let mut acc = 0.0;
+    for d in 0..D {
+        acc += w[d] * c[d];
+    }
+    acc
+}
+
+/// Scores every point of `block` with one weight vector: `out[i] = priority ·
+/// Σ_d weights[d]·lane(d)[i]`, accumulated per point in ascending-dimension
+/// order (bit-identical to [`dot`] followed by the priority multiply).
+///
+/// `out` is caller-owned scratch; it is cleared and resized to `block.len()`.
+///
+/// # Panics
+/// Panics if `weights.len() != block.dims()` (unless the block is empty).
+pub fn score_block(weights: &[f64], priority: f64, block: &SoaBlock, out: &mut Vec<f64>) {
+    out.clear();
+    if block.is_empty() {
+        return;
+    }
+    assert_eq!(weights.len(), block.dims(), "dimension mismatch");
+    out.resize(block.len(), 0.0);
+    match weights.len() {
+        1 => score_lanes_const::<1>(weights, priority, block, out),
+        2 => score_lanes_const::<2>(weights, priority, block, out),
+        3 => score_lanes_const::<3>(weights, priority, block, out),
+        4 => score_lanes_const::<4>(weights, priority, block, out),
+        5 => score_lanes_const::<5>(weights, priority, block, out),
+        6 => score_lanes_const::<6>(weights, priority, block, out),
+        7 => score_lanes_const::<7>(weights, priority, block, out),
+        8 => score_lanes_const::<8>(weights, priority, block, out),
+        _ => score_lanes_generic(weights, priority, block, out),
+    }
+}
+
+/// Fixed-dimensionality block kernel: the dimension loop has a compile-time
+/// trip count, the point loop runs in [`LANE_CHUNK`]-wide chunks over slices
+/// pre-cut to a common length, so the autovectorizer sees a branch-free
+/// multiply-add ladder across the point axis.
+#[inline]
+fn score_lanes_const<const D: usize>(
+    weights: &[f64],
+    priority: f64,
+    block: &SoaBlock,
+    out: &mut [f64],
+) {
+    let n = out.len();
+    let mut w = [0.0f64; D];
+    let mut cols: [&[f64]; D] = [&[]; D];
+    for d in 0..D {
+        w[d] = weights[d];
+        cols[d] = &block.lane(d)[..n];
+    }
+    let mut base = 0;
+    while base + LANE_CHUNK <= n {
+        for j in 0..LANE_CHUNK {
+            let i = base + j;
+            let mut acc = 0.0;
+            for d in 0..D {
+                acc += w[d] * cols[d][i];
+            }
+            out[i] = acc * priority;
+        }
+        base += LANE_CHUNK;
+    }
+    for i in base..n {
+        let mut acc = 0.0;
+        for d in 0..D {
+            acc += w[d] * cols[d][i];
+        }
+        out[i] = acc * priority;
+    }
+}
+
+/// Runtime-dimensionality fallback (D > 8), dimension-major: one clean
+/// slice-to-slice multiply-add pass per dimension into the accumulator
+/// buffer, then one priority pass. Per point the accumulator still starts at
+/// `0.0` and adds `w[d]·c[d]` in ascending-`d` order — the canonical [`dot`]
+/// sequence — so the pass order is a pure layout change, not a reassociation.
+fn score_lanes_generic(weights: &[f64], priority: f64, block: &SoaBlock, out: &mut [f64]) {
+    let n = out.len();
+    out.fill(0.0);
+    for (d, &w) in weights.iter().enumerate() {
+        let lane = &block.lane(d)[..n];
+        for (acc, &c) in out.iter_mut().zip(lane) {
+            *acc += w * c;
+        }
+    }
+    for acc in out.iter_mut() {
+        *acc *= priority;
+    }
+}
+
+/// Returns the index of the first point in `block` that *dominates* `coords`
+/// (component-wise `>=` everywhere, `>` somewhere — the paper's Section 2.2
+/// definition, larger-is-better), or `None`. This is the columnar form of the
+/// skyline pruning scan: the lanes are contiguous, so the scan streams cache
+/// lines instead of chasing per-point heap boxes.
+pub fn first_dominator(block: &SoaBlock, coords: &[f64]) -> Option<usize> {
+    if block.is_empty() {
+        return None;
+    }
+    debug_assert_eq!(block.dims(), coords.len(), "dimension mismatch");
+    let dims = block.dims();
+    'points: for i in 0..block.len() {
+        let mut strict = false;
+        for (d, &c) in coords.iter().enumerate().take(dims) {
+            let v = block.lane(d)[i];
+            if v < c {
+                continue 'points;
+            }
+            strict |= v > c;
+        }
+        if strict {
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// A shared, immutable table of scoring weight vectors — the batch-scoring
+/// face of a function set.
+///
+/// The rows live behind [`Arc`]s, so a table clone is two pointer bumps: the
+/// parallel solver hands clones to pool workers without copying any weights.
+/// Row `fi` scores a point as `priority[fi] · Σ_d weights[fi][d]·c[d]`, in
+/// the canonical [`dot`] order. Sources that fold the priority into the
+/// weights (effective coefficients) use a priority of `1.0`, which is exact.
+#[derive(Debug, Clone)]
+pub struct ScoreTable {
+    weights: Arc<Vec<Box<[f64]>>>,
+    priorities: Arc<Vec<f64>>,
+    dims: usize,
+}
+
+impl ScoreTable {
+    /// Builds a table from full functions: plain weights plus the priority
+    /// multiplier, matching [`LinearFunction::score`] bit-for-bit.
+    pub fn from_functions(functions: &[LinearFunction]) -> Self {
+        let dims = functions.first().map_or(0, LinearFunction::dims);
+        let weights: Vec<Box<[f64]>> = functions
+            .iter()
+            // lint: allow(kernel-no-alloc) -- table construction is setup, not a scan
+            .map(|f| f.weights().to_vec().into_boxed_slice())
+            // lint: allow(kernel-no-alloc) -- table construction is setup, not a scan
+            .collect();
+        // lint: allow(kernel-no-alloc) -- table construction is setup, not a scan
+        let priorities: Vec<f64> = functions.iter().map(LinearFunction::priority).collect();
+        Self {
+            weights: Arc::new(weights),
+            priorities: Arc::new(priorities),
+            dims,
+        }
+    }
+
+    /// Builds a table from pre-folded effective coefficient rows (priority
+    /// already multiplied in); rows score with a neutral priority of `1.0`.
+    pub fn from_effective_rows(rows: &[Vec<f64>]) -> Self {
+        let dims = rows.first().map_or(0, Vec::len);
+        let weights: Vec<Box<[f64]>> = rows
+            .iter()
+            .map(|r| r.clone().into_boxed_slice())
+            // lint: allow(kernel-no-alloc) -- table construction is setup, not a scan
+            .collect();
+        // lint: allow(kernel-no-alloc) -- table construction is setup, not a scan
+        let priorities = vec![1.0; rows.len()];
+        Self {
+            weights: Arc::new(weights),
+            priorities: Arc::new(priorities),
+            dims,
+        }
+    }
+
+    /// Number of rows (functions).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// `true` when the table has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+
+    /// Dimensionality of the rows.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The raw weight row of function `fi`.
+    #[inline]
+    pub fn row(&self, fi: usize) -> &[f64] {
+        &self.weights[fi]
+    }
+
+    /// The priority multiplier of function `fi`.
+    #[inline]
+    pub fn priority(&self, fi: usize) -> f64 {
+        self.priorities[fi]
+    }
+
+    /// Scores one coordinate slice with row `fi` (canonical scalar order).
+    #[inline]
+    pub fn score_coords(&self, fi: usize, coords: &[f64]) -> f64 {
+        dot(&self.weights[fi], coords) * self.priorities[fi]
+    }
+
+    /// Scores one point with row `fi`.
+    #[inline]
+    pub fn score(&self, fi: usize, point: &Point) -> f64 {
+        self.score_coords(fi, point.coords())
+    }
+
+    /// Batch-scores a whole block with row `fi` into caller scratch.
+    #[inline]
+    pub fn score_block(&self, fi: usize, block: &SoaBlock, out: &mut Vec<f64>) {
+        score_block(&self.weights[fi], self.priorities[fi], block, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn scalar_score(weights: &[f64], priority: f64, coords: &[f64]) -> f64 {
+        let mut acc = 0.0;
+        for (w, c) in weights.iter().zip(coords.iter()) {
+            acc += w * c;
+        }
+        acc * priority
+    }
+
+    #[test]
+    fn block_roundtrip_and_swap_remove() {
+        let mut b = SoaBlock::new();
+        assert!(b.is_empty());
+        b.push_coords(&[0.1, 0.2]);
+        b.push_coords(&[0.3, 0.4]);
+        b.push_coords(&[0.5, 0.6]);
+        assert_eq!((b.len(), b.dims()), (3, 2));
+        assert_eq!(b.lane(0), &[0.1, 0.3, 0.5]);
+        assert_eq!(b.lane(1), &[0.2, 0.4, 0.6]);
+        b.swap_remove(0);
+        assert_eq!(b.lane(0), &[0.5, 0.3]);
+        assert_eq!(b.lane(1), &[0.6, 0.4]);
+        b.clear();
+        assert!(b.is_empty());
+        // refilling after clear may change dimensionality
+        b.push_coords(&[1.0, 2.0, 3.0]);
+        assert_eq!(b.dims(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensionality changed")]
+    fn mixed_dims_rejected() {
+        let mut b = SoaBlock::new();
+        b.push_coords(&[0.1, 0.2]);
+        b.push_coords(&[0.1, 0.2, 0.3]);
+    }
+
+    #[test]
+    fn dot_matches_scalar_for_every_dimensionality() {
+        for dims in 1..=12 {
+            let w: Vec<f64> = (0..dims).map(|d| 0.1 + d as f64 * 0.07).collect();
+            let c: Vec<f64> = (0..dims).map(|d| 0.9 - d as f64 * 0.05).collect();
+            assert_eq!(
+                dot(&w, &c).to_bits(),
+                scalar_score(&w, 1.0, &c).to_bits(),
+                "dims {dims}"
+            );
+        }
+    }
+
+    #[test]
+    fn score_block_matches_scalar_bitwise_across_remainders() {
+        // every chunk-remainder length around the chunk width
+        for n in 0..(3 * LANE_CHUNK + 1) {
+            for dims in 1..=10 {
+                let w: Vec<f64> = (0..dims).map(|d| (d as f64 + 1.0) * 0.123).collect();
+                let mut block = SoaBlock::new();
+                let mut points = Vec::new();
+                for i in 0..n {
+                    let p: Vec<f64> = (0..dims)
+                        .map(|d| ((i * dims + d) as f64).sin().abs())
+                        .collect();
+                    block.push_coords(&p);
+                    points.push(p);
+                }
+                let mut out = Vec::new();
+                score_block(&w, 2.5, &block, &mut out);
+                assert_eq!(out.len(), n);
+                for (i, p) in points.iter().enumerate() {
+                    assert_eq!(
+                        out[i].to_bits(),
+                        scalar_score(&w, 2.5, p).to_bits(),
+                        "n={n} dims={dims} i={i}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn score_block_handles_denormals_bitwise() {
+        let tiny = f64::MIN_POSITIVE / 8.0; // a subnormal
+        let w = vec![tiny, 1.0, tiny];
+        let mut block = SoaBlock::new();
+        block.push_coords(&[tiny, tiny, 1.0]);
+        block.push_coords(&[1.0, tiny, tiny]);
+        let mut out = Vec::new();
+        score_block(&w, 1.0, &block, &mut out);
+        for (i, p) in [[tiny, tiny, 1.0], [1.0, tiny, tiny]].iter().enumerate() {
+            assert_eq!(out[i].to_bits(), scalar_score(&w, 1.0, p).to_bits());
+        }
+    }
+
+    #[test]
+    fn first_dominator_matches_pointwise_dominance() {
+        let pts = [[0.2, 0.9], [0.5, 0.5], [0.9, 0.2]];
+        let mut block = SoaBlock::new();
+        for p in &pts {
+            block.push_coords(p);
+        }
+        // dominated by the second point only
+        assert_eq!(first_dominator(&block, &[0.4, 0.4]), Some(1));
+        // dominated by nothing
+        assert_eq!(first_dominator(&block, &[0.95, 0.95]), None);
+        // equal to a block point: equality does not dominate
+        assert_eq!(first_dominator(&block, &[0.5, 0.5]), None);
+        // dominated by the first point
+        assert_eq!(first_dominator(&block, &[0.1, 0.8]), Some(0));
+        assert_eq!(first_dominator(&SoaBlock::new(), &[0.1]), None);
+    }
+
+    #[test]
+    fn score_table_from_functions_matches_linear_function_bitwise() {
+        let fns = vec![
+            LinearFunction::with_priority(vec![0.8, 0.2], 3.0).unwrap(),
+            LinearFunction::new(vec![0.3, 0.7]).unwrap(),
+        ];
+        let table = ScoreTable::from_functions(&fns);
+        assert_eq!((table.len(), table.dims()), (2, 2));
+        let p = Point::from_slice(&[0.41, 0.73]);
+        for (fi, f) in fns.iter().enumerate() {
+            assert_eq!(table.score(fi, &p).to_bits(), f.score(&p).to_bits());
+        }
+        let mut block = SoaBlock::new();
+        block.push_point(&p);
+        let mut out = Vec::new();
+        table.score_block(0, &block, &mut out);
+        assert_eq!(out[0].to_bits(), fns[0].score(&p).to_bits());
+    }
+
+    #[test]
+    fn score_table_effective_rows_are_priority_neutral() {
+        let rows = vec![vec![0.5, 1.5], vec![0.25, 0.75]];
+        let table = ScoreTable::from_effective_rows(&rows);
+        let c = [0.33, 0.66];
+        for (fi, row) in rows.iter().enumerate() {
+            // Σ w·c with no trailing multiply, bit-for-bit (x·1.0 == x)
+            let want: f64 = scalar_score(row, 1.0, &c);
+            assert_eq!(table.score_coords(fi, &c).to_bits(), want.to_bits());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_block_scores_bit_identical_to_scalar(
+            dims in 1usize..=9,
+            n in 0usize..40,
+            seed in 0u64..1000,
+            priority in prop_oneof![Just(1.0f64), 0.5f64..4.0],
+        ) {
+            // duplicated points included on purpose: i % 7 collides
+            let coord = |i: usize, d: usize| {
+                let x = (seed as f64 + (i % 7) as f64 * 1.37 + d as f64 * 0.61).sin();
+                x.abs()
+            };
+            let w: Vec<f64> = (0..dims).map(|d| coord(97, d) + 1e-3).collect();
+            let mut block = SoaBlock::new();
+            let mut pts = Vec::new();
+            for i in 0..n {
+                let p: Vec<f64> = (0..dims).map(|d| coord(i, d)).collect();
+                block.push_coords(&p);
+                pts.push(p);
+            }
+            let mut out = Vec::new();
+            score_block(&w, priority, &block, &mut out);
+            prop_assert_eq!(out.len(), n);
+            for (i, p) in pts.iter().enumerate() {
+                prop_assert_eq!(out[i].to_bits(), scalar_score(&w, priority, p).to_bits());
+                prop_assert_eq!(dot(&w, p).to_bits(), scalar_score(&w, 1.0, p).to_bits());
+            }
+        }
+    }
+}

@@ -14,7 +14,9 @@
 //!   branch-and-bound skyline (BBS) and ranked search (BRS),
 //! * [`LinearFunction`] — normalized (optionally prioritized) linear
 //!   preference functions with `score` / `maxscore`,
-//! * [`edr`] — exclusive dominance region helpers used by skyline maintenance.
+//! * [`edr`] — exclusive dominance region helpers used by skyline maintenance,
+//! * [`kernel`] — columnar (SoA) batch-scoring kernels with a bit-identical
+//!   determinism contract ([`SoaBlock`], [`ScoreTable`]).
 //!
 //! All coordinates are assumed to lie in `[0, 1]`; the sky point is the
 //! all-ones vector. Nothing enforces this range (real datasets are normalized
@@ -25,10 +27,12 @@
 
 pub mod edr;
 mod function;
+pub mod kernel;
 mod mbr;
 mod point;
 
-pub use function::{normalize_weights, LinearFunction};
+pub use function::{normalize_weights, normalize_weights_in_place, LinearFunction};
+pub use kernel::{ScoreTable, SoaBlock};
 pub use mbr::Mbr;
 pub use point::{Dominance, Point};
 

@@ -1,7 +1,7 @@
 //! The R-tree structure, configuration, low-level node access and validation.
 
 use crate::entry::{DataEntry, Node, NodeEntry, RecordId};
-use pref_geom::{Mbr, Point};
+use pref_geom::{Mbr, Point, SoaBlock};
 use pref_storage::{entries_per_page, IoStats, PageId, PagedStore};
 
 /// Configuration of an [`RTree`].
@@ -257,6 +257,34 @@ impl RTree {
     /// Reads the root node's entries (charging I/O); `None` for an empty tree.
     pub fn root_entries(&mut self) -> Option<(u32, Vec<NodeEntry>)> {
         self.root.map(|r| self.node_entries(r))
+    }
+
+    /// Columnar variant of [`RTree::node_entries`]: in addition to the entry
+    /// copies, fills `block` (cleared first) with one point per entry in entry
+    /// order — the data point for data entries, the MBR's best corner for
+    /// child entries — so a caller can batch-score the whole page with the
+    /// [`pref_geom::kernel`] lanes. Charges exactly the same single logical
+    /// access as `node_entries`; the columnar view is a free by-product of the
+    /// page read, not an extra I/O.
+    pub fn node_entries_columnar(
+        &mut self,
+        page: PageId,
+        block: &mut SoaBlock,
+    ) -> (u32, Vec<NodeEntry>) {
+        let node = self.store.read(page);
+        block.clear();
+        for entry in &node.entries {
+            match entry {
+                NodeEntry::Data(d) => block.push_coords(d.point.coords()),
+                NodeEntry::Child { mbr, .. } => block.push_coords(mbr.upper()),
+            }
+        }
+        (node.level, node.entries.clone())
+    }
+
+    /// Columnar variant of [`RTree::root_entries`]; `None` for an empty tree.
+    pub fn root_entries_columnar(&mut self, block: &mut SoaBlock) -> Option<(u32, Vec<NodeEntry>)> {
+        self.root.map(|r| self.node_entries_columnar(r, block))
     }
 
     /// The MBR of the whole tree (no I/O charged; for diagnostics).

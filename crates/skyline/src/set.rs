@@ -1,6 +1,6 @@
 //! The maintained skyline set and its bookkeeping.
 
-use pref_geom::Mbr;
+use pref_geom::{kernel, Mbr, SoaBlock};
 use pref_rtree::{DataEntry, DeleteOutcome, NodeEntry, RecordId};
 use pref_storage::{PageId, PeakTracker};
 
@@ -38,9 +38,17 @@ impl SkylineObject {
 }
 
 /// The current skyline of the remaining objects, with per-object pruned lists.
+///
+/// Alongside the object vector the skyline maintains a columnar
+/// [`SoaBlock`] mirror of the object points (kept index-aligned through
+/// every insert and swap-removal), so the dominance pruning scans —
+/// [`Skyline::dominates_point`] and [`Skyline::attach_to_dominator`] — run
+/// as contiguous-lane kernel scans instead of chasing per-point heap boxes.
 #[derive(Debug, Clone, Default)]
 pub struct Skyline {
     objects: Vec<SkylineObject>,
+    /// Dimension-major mirror of `objects[i].data.point`, same order.
+    soa: SoaBlock,
 }
 
 impl Skyline {
@@ -104,6 +112,7 @@ impl Skyline {
             "duplicate skyline insertion for {}",
             object.data.record
         );
+        self.soa.push_point(&object.data.point);
         self.objects.push(object);
     }
 
@@ -111,30 +120,30 @@ impl Skyline {
     /// or `None` if the record is not on the skyline.
     pub fn remove(&mut self, record: RecordId) -> Option<SkylineObject> {
         let pos = self.objects.iter().position(|o| o.data.record == record)?;
+        self.soa.swap_remove(pos);
         Some(self.objects.swap_remove(pos))
     }
 
     /// Attaches a pruned entry to the *first* skyline object that dominates
     /// its best corner, if any; returns `true` on success. The paper keeps
-    /// each pruned entry in exactly one pruned list to bound memory.
+    /// each pruned entry in exactly one pruned list to bound memory. The
+    /// dominator lookup is a columnar kernel scan over the point mirror; the
+    /// first-match semantics (index order) are those of the scalar scan.
     pub fn attach_to_dominator(&mut self, entry: NodeEntry) -> Result<(), NodeEntry> {
         let top = entry.mbr().top_corner();
-        match self
-            .objects
-            .iter_mut()
-            .find(|o| o.data.point.dominates(&top))
-        {
-            Some(owner) => {
-                owner.plist.push(entry);
+        match kernel::first_dominator(&self.soa, top.coords()) {
+            Some(pos) => {
+                self.objects[pos].plist.push(entry);
                 Ok(())
             }
             None => Err(entry),
         }
     }
 
-    /// `true` iff some skyline object dominates the given point.
+    /// `true` iff some skyline object dominates the given point (a columnar
+    /// kernel scan — the skyline pruning hot path).
     pub fn dominates_point(&self, point: &pref_geom::Point) -> bool {
-        self.objects.iter().any(|o| o.data.point.dominates(point))
+        kernel::first_dominator(&self.soa, point.coords()).is_some()
     }
 
     /// Repairs the pruned lists after an R-tree node split: if `old_page` is
@@ -481,6 +490,28 @@ mod tests {
         );
         assert_eq!(dropped, 0);
         assert!(s.is_empty());
+    }
+
+    #[test]
+    fn columnar_mirror_stays_aligned_through_swap_removals() {
+        // `remove` swap-removes from the middle; the SoA mirror must follow
+        // the exact same permutation or dominance answers drift.
+        let mut s = Skyline::new();
+        s.insert(SkylineObject::new(data(1, &[0.9, 0.1])));
+        s.insert(SkylineObject::new(data(2, &[0.5, 0.5])));
+        s.insert(SkylineObject::new(data(3, &[0.1, 0.9])));
+        assert!(s.dominates_point(&Point::from_slice(&[0.4, 0.4])));
+        s.remove(RecordId(2)).unwrap(); // swap-removes: 3 moves to index 1
+        assert!(!s.dominates_point(&Point::from_slice(&[0.4, 0.4])));
+        assert!(s.dominates_point(&Point::from_slice(&[0.8, 0.05])));
+        assert!(s.dominates_point(&Point::from_slice(&[0.05, 0.8])));
+        // attach lands on the relocated object (index order = scalar scan)
+        s.attach_to_dominator(NodeEntry::Data(data(9, &[0.05, 0.8])))
+            .unwrap();
+        assert_eq!(s.get(RecordId(3)).unwrap().plist.len(), 1);
+        s.remove(RecordId(1)).unwrap();
+        s.remove(RecordId(3)).unwrap();
+        assert!(!s.dominates_point(&Point::from_slice(&[0.0, 0.0])));
     }
 
     #[test]

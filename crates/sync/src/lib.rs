@@ -79,6 +79,9 @@ pub use shim::{thread, AtomicU64, Condvar, Mutex, MutexGuard, RaceCell};
 #[cfg(feature = "model")]
 pub mod model;
 
+pub mod pool;
+pub use pool::{resolve_threads, WorkStealingPool};
+
 /// True when this build carries the model-checking scheduler (the `model`
 /// feature). Lets tests assert which flavor they exercise.
 pub const MODEL_CAPABLE: bool = cfg!(feature = "model");

@@ -6,7 +6,7 @@
 //! heap it is guaranteed to be the next best object, so the search can be
 //! paused and resumed at will (the "resuming search" feature of Section 4.1).
 
-use pref_geom::LinearFunction;
+use pref_geom::{kernel, LinearFunction, SoaBlock};
 use pref_rtree::{DataEntry, NodeEntry, RTree, RecordId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -37,6 +37,13 @@ impl Ord for ScoredEntry {
 }
 
 /// An incremental ranked search over an R-tree for one preference function.
+///
+/// Node pages are scored *columnarly*: each page expansion pulls the page's
+/// score-relevant corners (data points / child MBR best corners) into a
+/// reusable [`SoaBlock`] and batch-scores them with the lane kernels, which is
+/// bit-identical to scoring each entry with [`LinearFunction::score`] /
+/// [`LinearFunction::maxscore`] one at a time (both reduce to the same
+/// sequential dot product over the same corner).
 #[derive(Debug)]
 pub struct RankedSearch {
     function: LinearFunction,
@@ -44,6 +51,11 @@ pub struct RankedSearch {
     initialized: bool,
     /// Number of data entries already reported.
     reported: usize,
+    /// Reusable columnar page view (scratch; no per-expansion allocation
+    /// once warm).
+    block: SoaBlock,
+    /// Reusable score lane matching `block` (scratch).
+    scores: Vec<f64>,
 }
 
 impl std::fmt::Debug for ScoredEntry {
@@ -60,6 +72,8 @@ impl RankedSearch {
             heap: BinaryHeap::new(),
             initialized: false,
             reported: 0,
+            block: SoaBlock::new(),
+            scores: Vec::new(),
         }
     }
 
@@ -91,10 +105,8 @@ impl RankedSearch {
     {
         if !self.initialized {
             self.initialized = true;
-            if let Some((_, entries)) = tree.root_entries() {
-                for entry in entries {
-                    self.push(entry);
-                }
+            if let Some((_, entries)) = tree.root_entries_columnar(&mut self.block) {
+                self.push_page(entries);
             }
         }
         while let Some(ScoredEntry { score, entry }) = self.heap.pop() {
@@ -106,10 +118,8 @@ impl RankedSearch {
                     }
                 }
                 NodeEntry::Child { page, .. } => {
-                    let (_, children) = tree.node_entries(page);
-                    for child in children {
-                        self.push(child);
-                    }
+                    let (_, children) = tree.node_entries_columnar(page, &mut self.block);
+                    self.push_page(children);
                 }
             }
         }
@@ -121,12 +131,19 @@ impl RankedSearch {
         self.next_accepted(tree, |_| true)
     }
 
-    fn push(&mut self, entry: NodeEntry) {
-        let score = match &entry {
-            NodeEntry::Data(d) => self.function.score(&d.point),
-            NodeEntry::Child { mbr, .. } => self.function.maxscore(mbr),
-        };
-        self.heap.push(ScoredEntry { score, entry });
+    /// Batch-scores the page mirrored in `self.block` and pushes every entry
+    /// with its precomputed score.
+    fn push_page(&mut self, entries: Vec<NodeEntry>) {
+        debug_assert_eq!(self.block.len(), entries.len());
+        kernel::score_block(
+            self.function.weights(),
+            self.function.priority(),
+            &self.block,
+            &mut self.scores,
+        );
+        for (entry, &score) in entries.into_iter().zip(self.scores.iter()) {
+            self.heap.push(ScoredEntry { score, entry });
+        }
     }
 }
 

@@ -1,6 +1,6 @@
 //! Sorted coefficient lists over the set of preference functions.
 
-use pref_geom::{LinearFunction, Point};
+use pref_geom::{kernel, LinearFunction, Point, ScoreTable};
 
 /// The paper's in-memory index over the preference functions `F`: one list per
 /// dimension, holding `(coefficient, function)` pairs sorted by coefficient in
@@ -23,6 +23,8 @@ pub struct FunctionLists {
     /// Which functions are still unassigned.
     alive: Vec<bool>,
     alive_count: usize,
+    /// Shared batch-scoring view over `effective` (clone-cheap: `Arc` rows).
+    table: ScoreTable,
     /// Maximum priority over all functions (the knapsack budget).
     max_priority: f64,
     dims: usize,
@@ -58,11 +60,13 @@ impl FunctionLists {
             .iter()
             .map(LinearFunction::priority)
             .fold(0.0f64, f64::max);
+        let table = ScoreTable::from_effective_rows(&effective);
         Self {
             lists,
             effective,
             alive: vec![true; functions.len()],
             alive_count: functions.len(),
+            table,
             max_priority,
             dims,
         }
@@ -105,14 +109,20 @@ impl FunctionLists {
     }
 
     /// The function's effective score on an object (a "random access" in TA
-    /// terms).
+    /// terms). Routed through the canonical [`kernel::dot`] kernel — the same
+    /// summation order the previous iterator fold used, so scores are
+    /// bit-identical to the scalar path.
     pub fn score(&self, function: usize, object: &Point) -> f64 {
         debug_assert_eq!(object.dims(), self.dims);
-        self.effective[function]
-            .iter()
-            .zip(object.coords())
-            .map(|(w, c)| w * c)
-            .sum()
+        kernel::dot(&self.effective[function], object.coords())
+    }
+
+    /// A clone-cheap batch-scoring view over the effective coefficients
+    /// (priorities already folded in). Removal state is *not* part of the
+    /// table — callers filter by [`FunctionLists::is_alive`] or pass only
+    /// alive candidates, exactly as the scalar scans do.
+    pub fn score_table(&self) -> ScoreTable {
+        self.table.clone()
     }
 
     /// The effective coefficient vector of a function.

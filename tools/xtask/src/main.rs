@@ -33,6 +33,14 @@
 //!   reports — carries an explicit
 //!   `// lint: allow(no-raw-fs) -- <reason>` so durability-relevant writes
 //!   cannot slip in unreviewed next to the WAL discipline.
+//! * **kernel-no-alloc** — scoring-kernel modules (files named `kernel.rs` /
+//!   `kernels.rs` / `*_kernel.rs`) are hot-loop code whose steady state must
+//!   not allocate: no `Vec::new` / `vec!` / `Box::new` / `.to_vec()` /
+//!   `.collect()` / `.to_owned()` in their non-test code. Setup-path
+//!   allocations (table construction, one-time lane growth) carry
+//!   `// lint: allow(kernel-no-alloc) -- <reason>`; the `kernel_bench`
+//!   harness additionally pins scratch pointers at runtime, so the lint and
+//!   the bench cover the contract from both ends.
 //!
 //! Suppress a finding where it is genuinely intended with an exception
 //! comment on the same line or the line above:
@@ -143,6 +151,7 @@ const RULE_ORDERING_COMMENT: &str = "ordering-comment";
 const RULE_NO_RAW_SYNC: &str = "no-raw-sync";
 const RULE_NO_UNWRAP: &str = "no-unwrap";
 const RULE_NO_RAW_FS: &str = "no-raw-fs";
+const RULE_KERNEL_NO_ALLOC: &str = "kernel-no-alloc";
 
 /// Files allowed to touch `std::fs` wholesale: the storage backends and the
 /// WAL are the durable layer, and the linter itself must read the tree.
@@ -163,6 +172,12 @@ const RAW_SYNC_TOKENS: [&str; 5] = [
     "std::sync::RwLock",
     "std::thread",
 ];
+
+/// Allocation constructors denied in kernel modules, matched as standalone
+/// path tokens (so `MyVec::new` does not trip the rule).
+const KERNEL_ALLOC_PATH_TOKENS: [&str; 3] = ["Vec::new", "vec!", "Box::new"];
+/// Allocating method calls denied in kernel modules, matched verbatim.
+const KERNEL_ALLOC_METHOD_TOKENS: [&str; 3] = [".to_vec()", ".collect()", ".to_owned()"];
 
 /// One linter finding, rendered `path:line: rule: message`.
 struct Diagnostic {
@@ -209,6 +224,7 @@ fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
     };
 
     let service_lib = path_in(path, "crates/service") && !is_test_file(path);
+    let kernel_scoped = is_kernel_file(path) && !is_test_file(path);
     let unwrap_scoped =
         (path_in(path, "crates/service") || path_in(path, "crates/engine")) && !is_test_file(path);
     let raw_fs_scoped =
@@ -272,6 +288,29 @@ fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
             });
         }
 
+        if kernel_scoped {
+            let path_hit = KERNEL_ALLOC_PATH_TOKENS
+                .iter()
+                .find(|t| contains_token(code, t));
+            let method_hit = KERNEL_ALLOC_METHOD_TOKENS
+                .iter()
+                .find(|t| code.contains(*t));
+            if let Some(token) = path_hit.or(method_hit) {
+                if !has_exception(&lines, idx, RULE_KERNEL_NO_ALLOC) {
+                    out.push(Diagnostic {
+                        path: path.to_string(),
+                        line: line_no,
+                        rule: RULE_KERNEL_NO_ALLOC,
+                        message: format!(
+                            "`{token}` in kernel hot-path code — reuse caller-owned scratch, or \
+                             annotate a setup-path allocation with \
+                             `// lint: allow(kernel-no-alloc) -- <reason>`"
+                        ),
+                    });
+                }
+            }
+        }
+
         if unwrap_scoped {
             for pattern in [".unwrap()", ".expect("] {
                 if code.contains(pattern) && !has_exception(&lines, idx, RULE_NO_UNWRAP) {
@@ -295,6 +334,18 @@ fn is_crate_root(path: &str) -> bool {
     path.ends_with("src/lib.rs")
         || path.ends_with("src/main.rs")
         || (path.contains("src/bin/") && path.ends_with(".rs"))
+}
+
+/// Scoring-kernel modules by workspace convention: `kernel.rs`,
+/// `kernels.rs`, or a `_kernel(s)` suffix. Deliberately narrower than
+/// "contains `kernel`" — harness files *about* kernels (`kernel_perf.rs`,
+/// `kernel_bench.rs`) are measurement code, not hot loops.
+fn is_kernel_file(path: &str) -> bool {
+    let stem = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or_default();
+    stem == "kernel" || stem == "kernels" || stem.ends_with("_kernel") || stem.ends_with("_kernels")
 }
 
 /// Whole-file test modules (declared `#[cfg(test)] mod x;` at the crate
@@ -510,6 +561,44 @@ mod tests {
         assert!(rules("crates/service/src/m.rs", test_src).is_empty());
         // comments and doc examples are not code
         assert!(rules("crates/service/src/m.rs", "//! touches `std::fs` never\n").is_empty());
+    }
+
+    #[test]
+    fn allocation_is_rejected_in_kernel_modules() {
+        let src = "fn f() { let v: Vec<f64> = Vec::new(); }\n";
+        let found = rules("crates/geom/src/kernel.rs", src);
+        assert_eq!(found.len(), 1);
+        assert!(
+            found[0].starts_with("crates/geom/src/kernel.rs:1: kernel-no-alloc:"),
+            "{}",
+            found[0]
+        );
+        // scoped by module name, not by crate — and harness files about
+        // kernels are measurement code, not hot loops
+        assert!(rules("crates/geom/src/util.rs", src).is_empty());
+        assert!(rules("crates/bench/src/kernel_perf.rs", src).is_empty());
+        let bin_src = format!("#![forbid(unsafe_code)]\n{src}");
+        assert!(rules("crates/bench/src/bin/kernel_bench.rs", &bin_src).is_empty());
+        // a `_kernel` suffix is in scope
+        assert_eq!(rules("crates/x/src/score_kernel.rs", src).len(), 1);
+        // method-call allocators are caught too
+        for bad in [
+            "fn f(w: &[f64]) { let _ = w.to_vec(); }\n",
+            "fn f() { let _: Vec<u32> = (0..4).collect(); }\n",
+            "fn f(s: &str) { let _ = s.to_owned(); }\n",
+            "fn f() { let _ = vec![0.0; 8]; }\n",
+        ] {
+            assert_eq!(rules("crates/geom/src/kernel.rs", bad).len(), 1, "{bad}");
+        }
+        // a longer path is not bisected into a false positive
+        assert!(rules("crates/geom/src/kernel.rs", "fn f() { MyVec::new(); }\n").is_empty());
+        // annotated setup-path allocations are accepted
+        let annotated = "// lint: allow(kernel-no-alloc) -- table construction, not a scan\n\
+                         let rows: Vec<f64> = it.collect();\n";
+        assert!(rules("crates/geom/src/kernel.rs", annotated).is_empty());
+        // test code allocates freely
+        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { let v = Vec::new(); }\n}\n";
+        assert!(rules("crates/geom/src/kernel.rs", test_src).is_empty());
     }
 
     #[test]
