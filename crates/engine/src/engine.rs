@@ -347,8 +347,11 @@ impl Candidate {
 struct RepairScratch {
     /// Per-function admission threshold (see `best_candidate`).
     f_threshold: Vec<f64>,
-    /// Worst pair score per assigned object (displacement targets).
-    o_worst: HashMap<usize, f64>,
+    /// Worst pair score per object, dense by object index
+    /// (`f64::INFINITY` = no pairs). Dense rather than hashed so the
+    /// displacement-target scan below iterates in deterministic ascending
+    /// object order.
+    o_worst: Vec<f64>,
     /// `(dense function index, threshold)` of the functions worth scanning.
     active: Vec<(usize, f64)>,
     /// Columnar mirror of the free-pool skyline points.
@@ -367,7 +370,7 @@ impl RepairScratch {
     fn new() -> Self {
         Self {
             f_threshold: Vec::new(),
-            o_worst: HashMap::new(),
+            o_worst: Vec::new(),
             active: Vec::new(),
             sky_block: Arc::new(SoaBlock::new()),
             sky_ois: Arc::new(Vec::new()),
@@ -1067,13 +1070,13 @@ impl AssignmentEngine {
         // per-object worst pair score (saturated slot displacement targets)
         let o_worst = &mut self.repair.o_worst;
         o_worst.clear();
+        o_worst.resize(self.objects.len(), f64::INFINITY);
         for &(fi, oi, score) in &self.pairs {
             if f_threshold[fi] > score {
                 f_threshold[fi] = score;
             }
-            let w = o_worst.entry(oi).or_insert(f64::INFINITY);
-            if score < *w {
-                *w = score;
+            if score < o_worst[oi] {
+                o_worst[oi] = score;
             }
         }
         let sky_block = Arc::make_mut(&mut self.repair.sky_block);
@@ -1091,14 +1094,16 @@ impl AssignmentEngine {
             );
         }
         // Saturated targets only: an object with free capacity is covered by
-        // the skyline path without displacing anyone. (HashMap order varies
-        // run to run, but `beats` makes the scan order immaterial.)
+        // the skyline path without displacing anyone. Dense ascending object
+        // order keeps the scan deterministic (`beats` already makes the
+        // outcome order-independent — this keeps the build order replayable
+        // too).
         let steal_block = Arc::make_mut(&mut self.repair.steal_block);
         steal_block.clear();
         let steal = Arc::make_mut(&mut self.repair.steal);
         steal.clear();
-        for (&oi, &worst) in o_worst.iter() {
-            if self.objects[oi].remaining > 0 {
+        for (oi, &worst) in o_worst.iter().enumerate() {
+            if worst == f64::INFINITY || self.objects[oi].remaining > 0 {
                 continue;
             }
             steal_block.push_point(&self.objects[oi].record.point);

@@ -1,83 +1,115 @@
 //! Workspace automation. Currently one subcommand:
 //!
 //! ```text
-//! cargo run -p xtask -- lint
+//! cargo run -p xtask -- lint [--json <path>]
 //! ```
 //!
-//! A source-level invariant linter for the concurrency rules this workspace
-//! commits to. It is a deliberate *token scanner* — line-by-line, no parser,
-//! no dependencies — which keeps it trivially auditable and fast, at the cost
-//! of heuristics documented on each rule:
+//! A source-level static-analysis pass for the concurrency and determinism
+//! rules this workspace commits to. Still zero-dependency, but no longer a
+//! line scanner: `lexer` produces a full trivia-preserving Rust token stream
+//! (strings, raw strings, char literals, nested block comments, lifetimes,
+//! doc comments — with byte spans), `model` recovers the item skeleton
+//! (structs and fields, fn items with parameter/return types, impl blocks,
+//! `#[cfg(test)]` regions), and the rules match token sequences instead of
+//! substrings — text inside string literals and comments can no longer trip
+//! them.
+//!
+//! Single-file rules (`rules`):
 //!
 //! * **forbid-unsafe** — every crate root (`src/lib.rs`, `src/main.rs`,
 //!   `src/bin/*.rs`) carries `#![forbid(unsafe_code)]`.
 //! * **ordering-comment** — every use of an atomic memory ordering
 //!   (`Ordering::Relaxed` / `Acquire` / `Release` / `AcqRel` / `SeqCst`)
-//!   carries an adjacent `// ordering:` comment justifying it: on the same
+//!   carries an adjacent `// ordering:` justification comment: on the same
 //!   line, or in the contiguous comment block directly above. The variant
-//!   names are disjoint from `cmp::Ordering`'s (`Less` / `Equal` /
-//!   `Greater`), so comparison code never trips this rule.
+//!   names are disjoint from `cmp::Ordering`'s, so comparison code never
+//!   trips this rule.
 //! * **no-raw-sync** — `crates/service` goes through the `pref_sync` shim:
 //!   no direct `std::sync::atomic` / `std::sync::Mutex` /
 //!   `std::sync::Condvar` / `std::sync::RwLock` / `std::thread` in its
-//!   non-test library code (`std::sync::Arc` is fine — the shim does not
-//!   wrap it, and it needs no wrapping: it has no blocking or ordering
-//!   behaviour of its own for the model scheduler to interpose on).
+//!   non-test library code (`std::sync::Arc` is fine — it has no blocking or
+//!   ordering behaviour for the model scheduler to interpose on).
 //! * **no-unwrap** — no `.unwrap()` / `.expect(` in non-test library code of
-//!   `crates/service` and `crates/engine`; service/engine code must surface
-//!   errors, not abort a writer thread.
+//!   `crates/service` and `crates/engine`.
 //! * **no-raw-fs** — durable I/O is the storage crate's job: no `std::fs` in
-//!   non-test library code outside `crates/storage/src/backend.rs` and
-//!   `crates/storage/src/wal.rs` (plus `tools/xtask`, which must read the
-//!   tree to lint it). Anything else going to disk — trace dumps, bench
-//!   reports — carries an explicit
-//!   `// lint: allow(no-raw-fs) -- <reason>` so durability-relevant writes
-//!   cannot slip in unreviewed next to the WAL discipline.
-//! * **kernel-no-alloc** — scoring-kernel modules (files named `kernel.rs` /
-//!   `kernels.rs` / `*_kernel.rs`) are hot-loop code whose steady state must
-//!   not allocate: no `Vec::new` / `vec!` / `Box::new` / `.to_vec()` /
-//!   `.collect()` / `.to_owned()` in their non-test code. Setup-path
-//!   allocations (table construction, one-time lane growth) carry
-//!   `// lint: allow(kernel-no-alloc) -- <reason>`; the `kernel_bench`
-//!   harness additionally pins scratch pointers at runtime, so the lint and
-//!   the bench cover the contract from both ends.
+//!   non-test library code outside the storage backend/WAL and this tool.
+//! * **kernel-no-alloc** — scoring-kernel modules are hot-loop code whose
+//!   steady state must not allocate.
+//! * **hash-iter** — no order-dependent iteration (`.iter()` / `.keys()` /
+//!   `.values()` / `for … in`) over `HashMap` / `HashSet` in solver, engine
+//!   and service library code: ROADMAP item 2 (deterministic log replay)
+//!   makes hash-order iteration on an output or replay path a replica
+//!   divergence. Keyed lookup stays allowed.
+//! * **durability-order** — in `crates/service/src/{shard,durability}.rs`,
+//!   any function that takes the shard durability handle and publishes a
+//!   snapshot must call `log_batch` and `sync_for_ack` before the publish:
+//!   WAL append + fsync dominate the visibility point.
 //!
-//! Suppress a finding where it is genuinely intended with an exception
-//! comment on the same line or the line above:
+//! Whole-program analysis (`lockorder`): every mutex acquisition site in
+//! `crates/service` + `crates/sync`, with held-lock sets propagated through
+//! the intra-workspace call graph. The resulting static lock-order graph is
+//! written to `target/lint/lock-order.dot` on every run and any cycle is a
+//! finding — a potential deadlock no bounded model-checking schedule needs
+//! to have hit.
+//!
+//! Suppress a single-file finding where it is genuinely intended with an
+//! exception comment on the same line or the line above:
 //!
 //! ```text
 //! // lint: allow(no-unwrap) -- internal invariant: ids are interned above
 //! ```
 //!
-//! Test code is exempt from `no-raw-sync`, `no-unwrap` and `no-raw-fs`
-//! (tests may panic, race real threads, and clean up scratch directories on
-//! purpose): everything after the first
-//! `#[cfg(test)]` in a file, and whole files named `tests.rs` / `*_tests.rs`.
-//! `forbid-unsafe` and `ordering-comment` apply everywhere.
+//! Test code is exempt from the scoped rules (`no-raw-sync`, `no-unwrap`,
+//! `no-raw-fs`, `kernel-no-alloc`, `hash-iter`): everything after the first
+//! `#[cfg(test)]` item in a file, and whole files named `tests.rs` /
+//! `*_tests.rs`. `forbid-unsafe` and `ordering-comment` apply everywhere.
 
 #![forbid(unsafe_code)]
 
-use std::fmt;
+mod lexer;
+mod lockorder;
+mod model;
+mod rules;
+
+#[cfg(test)]
+mod legacy_tests;
+
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("lint") => lint_workspace(),
+        Some("lint") => {
+            let json = match args.get(1).map(String::as_str) {
+                Some("--json") => match args.get(2) {
+                    Some(path) => Some(PathBuf::from(path)),
+                    None => {
+                        eprintln!("xtask: --json needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Some(other) => {
+                    eprintln!("xtask: unknown lint flag `{other}`");
+                    return ExitCode::FAILURE;
+                }
+                None => None,
+            };
+            lint_workspace(json.as_deref())
+        }
         Some(other) => {
             eprintln!("xtask: unknown subcommand `{other}`");
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint [--json <path>]");
             ExitCode::FAILURE
         }
         None => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- lint [--json <path>]");
             ExitCode::FAILURE
         }
     }
 }
 
-fn lint_workspace() -> ExitCode {
+fn lint_workspace(json: Option<&Path>) -> ExitCode {
     let root = workspace_root();
     let mut files = Vec::new();
     for member_dir in ["crates", "tools"] {
@@ -87,16 +119,70 @@ fn lint_workspace() -> ExitCode {
 
     let mut diagnostics = Vec::new();
     let mut checked = 0usize;
+    let mut lock_files = Vec::new();
     for path in &files {
         let Ok(source) = std::fs::read_to_string(path) else {
             eprintln!("xtask: cannot read {}", path.display());
             return ExitCode::FAILURE;
         };
-        let rel = path.strip_prefix(&root).unwrap_or(path);
-        diagnostics.extend(lint_file(&rel.display().to_string(), &source));
+        let rel = path
+            .strip_prefix(&root)
+            .unwrap_or(path)
+            .display()
+            .to_string();
+        let cx = model::FileCtx::new(&rel, &source);
+        diagnostics.extend(rules::lint_file_ctx(&cx));
         checked += 1;
+        if (rel.starts_with("crates/service/src") || rel.starts_with("crates/sync/src"))
+            && !rules::is_test_file(&rel)
+        {
+            lock_files.push(cx);
+        }
     }
 
+    let report = lockorder::analyze(&lock_files);
+    let dot_path = root.join("target").join("lint").join("lock-order.dot");
+    if let Some(parent) = dot_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    if let Err(e) = std::fs::write(&dot_path, lockorder::to_dot(&report)) {
+        eprintln!("xtask: cannot write {}: {e}", dot_path.display());
+        return ExitCode::FAILURE;
+    }
+    if report.acquire_sites == 0 {
+        // an empty graph means the resolver silently stopped seeing locks —
+        // fail loudly instead of reporting a vacuously acyclic workspace
+        diagnostics.push(rules::Diagnostic {
+            path: "crates/service/src".to_string(),
+            line: 0,
+            rule: rules::RULE_LOCK_ORDER,
+            message: "lock-order analysis found no acquisition sites — the resolver has gone \
+                      blind, not the workspace lock-free"
+                .to_string(),
+        });
+    }
+    diagnostics.extend(report.diagnostics);
+    diagnostics.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
+
+    if let Some(json_path) = json {
+        if let Some(parent) = json_path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(json_path, render_json(&diagnostics)) {
+            eprintln!("xtask: cannot write {}: {e}", json_path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "xtask lint: lock-order graph ({} edges, {} acquisition sites, {} cycles) -> {}",
+        report.edges.len(),
+        report.acquire_sites,
+        report.cycles.len(),
+        dot_path.display()
+    );
     if diagnostics.is_empty() {
         println!("xtask lint: {checked} files clean");
         ExitCode::SUCCESS
@@ -110,6 +196,41 @@ fn lint_workspace() -> ExitCode {
         );
         ExitCode::FAILURE
     }
+}
+
+/// Machine-readable diagnostics: a JSON array of
+/// `{"rule", "path", "line", "message"}` objects, hand-rendered (the
+/// zero-dependency constraint covers serialization too).
+fn render_json(diagnostics: &[rules::Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in diagnostics.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            json_escape(d.rule),
+            json_escape(&d.path),
+            d.line,
+            json_escape(&d.message),
+            if i + 1 < diagnostics.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// `tools/xtask` lives two levels below the workspace root.
@@ -144,481 +265,64 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-// ---- rules ---------------------------------------------------------------
-
-const RULE_FORBID_UNSAFE: &str = "forbid-unsafe";
-const RULE_ORDERING_COMMENT: &str = "ordering-comment";
-const RULE_NO_RAW_SYNC: &str = "no-raw-sync";
-const RULE_NO_UNWRAP: &str = "no-unwrap";
-const RULE_NO_RAW_FS: &str = "no-raw-fs";
-const RULE_KERNEL_NO_ALLOC: &str = "kernel-no-alloc";
-
-/// Files allowed to touch `std::fs` wholesale: the storage backends and the
-/// WAL are the durable layer, and the linter itself must read the tree.
-const RAW_FS_ALLOWED: [&str; 3] = [
-    "crates/storage/src/backend.rs",
-    "crates/storage/src/wal.rs",
-    "tools/xtask/src/main.rs",
-];
-
-const ATOMIC_ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
-
-/// Raw primitives `crates/service` must route through the shim.
-/// `std::sync::Arc` is deliberately absent (see the module docs).
-const RAW_SYNC_TOKENS: [&str; 5] = [
-    "std::sync::atomic",
-    "std::sync::Mutex",
-    "std::sync::Condvar",
-    "std::sync::RwLock",
-    "std::thread",
-];
-
-/// Allocation constructors denied in kernel modules, matched as standalone
-/// path tokens (so `MyVec::new` does not trip the rule).
-const KERNEL_ALLOC_PATH_TOKENS: [&str; 3] = ["Vec::new", "vec!", "Box::new"];
-/// Allocating method calls denied in kernel modules, matched verbatim.
-const KERNEL_ALLOC_METHOD_TOKENS: [&str; 3] = [".to_vec()", ".collect()", ".to_owned()"];
-
-/// One linter finding, rendered `path:line: rule: message`.
-struct Diagnostic {
-    path: String,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: {}: {}",
-            self.path, self.line, self.rule, self.message
-        )
-    }
-}
-
-/// Lints one file's source. `path` is used for rule scoping (which crate the
-/// file belongs to, whether it is a crate root) and diagnostics.
-fn lint_file(path: &str, source: &str) -> Vec<Diagnostic> {
-    let lines: Vec<&str> = source.lines().collect();
-    let mut out = Vec::new();
-
-    if is_crate_root(path) && !lines.iter().any(|l| l.trim() == "#![forbid(unsafe_code)]") {
-        out.push(Diagnostic {
-            path: path.to_string(),
-            line: 1,
-            rule: RULE_FORBID_UNSAFE,
-            message: "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
-        });
-    }
-
-    // the line index where test code starts, if any: library-code rules stop
-    // there (the token scan cannot see module boundaries, so the heuristic is
-    // "first `#[cfg(test)]` onwards" — in this workspace test modules are
-    // trailing, and a misplaced test module would re-expose library code to
-    // the stricter rules, never the reverse)
-    let test_start = if is_test_file(path) {
-        Some(0)
-    } else {
-        lines.iter().position(|l| l.contains("#[cfg(test)]"))
-    };
-
-    let service_lib = path_in(path, "crates/service") && !is_test_file(path);
-    let kernel_scoped = is_kernel_file(path) && !is_test_file(path);
-    let unwrap_scoped =
-        (path_in(path, "crates/service") || path_in(path, "crates/engine")) && !is_test_file(path);
-    let raw_fs_scoped =
-        !RAW_FS_ALLOWED.iter().any(|allowed| path.ends_with(allowed)) && !is_test_file(path);
-
-    for (idx, raw) in lines.iter().enumerate() {
-        let line_no = idx + 1;
-        let in_tests = test_start.is_some_and(|t| idx >= t);
-        let code = code_part(raw);
-
-        // ordering-comment applies everywhere, tests included: a memory
-        // ordering needs a justification no matter where it appears
-        for variant in ATOMIC_ORDERINGS {
-            let needle = format!("Ordering::{variant}");
-            if contains_token(code, &needle)
-                && !has_adjacent_ordering_comment(&lines, idx)
-                && !has_exception(&lines, idx, RULE_ORDERING_COMMENT)
-            {
-                out.push(Diagnostic {
-                    path: path.to_string(),
-                    line: line_no,
-                    rule: RULE_ORDERING_COMMENT,
-                    message: format!(
-                        "`{needle}` has no adjacent `// ordering:` justification comment"
-                    ),
-                });
-            }
-        }
-
-        if in_tests {
-            continue;
-        }
-
-        if service_lib {
-            for token in RAW_SYNC_TOKENS {
-                if code.contains(token) && !has_exception(&lines, idx, RULE_NO_RAW_SYNC) {
-                    out.push(Diagnostic {
-                        path: path.to_string(),
-                        line: line_no,
-                        rule: RULE_NO_RAW_SYNC,
-                        message: format!(
-                            "`{token}` in crates/service library code — use the `pref_sync` shim"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if raw_fs_scoped
-            && contains_token(code, "std::fs")
-            && !has_exception(&lines, idx, RULE_NO_RAW_FS)
-        {
-            out.push(Diagnostic {
-                path: path.to_string(),
-                line: line_no,
-                rule: RULE_NO_RAW_FS,
-                message: "`std::fs` outside the storage backend/WAL — go through \
-                          `pref_storage`, or annotate a deliberate non-durable write with \
-                          `// lint: allow(no-raw-fs) -- <reason>`"
-                    .to_string(),
-            });
-        }
-
-        if kernel_scoped {
-            let path_hit = KERNEL_ALLOC_PATH_TOKENS
-                .iter()
-                .find(|t| contains_token(code, t));
-            let method_hit = KERNEL_ALLOC_METHOD_TOKENS
-                .iter()
-                .find(|t| code.contains(*t));
-            if let Some(token) = path_hit.or(method_hit) {
-                if !has_exception(&lines, idx, RULE_KERNEL_NO_ALLOC) {
-                    out.push(Diagnostic {
-                        path: path.to_string(),
-                        line: line_no,
-                        rule: RULE_KERNEL_NO_ALLOC,
-                        message: format!(
-                            "`{token}` in kernel hot-path code — reuse caller-owned scratch, or \
-                             annotate a setup-path allocation with \
-                             `// lint: allow(kernel-no-alloc) -- <reason>`"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if unwrap_scoped {
-            for pattern in [".unwrap()", ".expect("] {
-                if code.contains(pattern) && !has_exception(&lines, idx, RULE_NO_UNWRAP) {
-                    out.push(Diagnostic {
-                        path: path.to_string(),
-                        line: line_no,
-                        rule: RULE_NO_UNWRAP,
-                        message: format!(
-                            "`{pattern}` in library code — propagate the error or annotate the \
-                             invariant with `// lint: allow(no-unwrap) -- <reason>`"
-                        ),
-                    });
-                }
-            }
-        }
-    }
-    out
-}
-
-fn is_crate_root(path: &str) -> bool {
-    path.ends_with("src/lib.rs")
-        || path.ends_with("src/main.rs")
-        || (path.contains("src/bin/") && path.ends_with(".rs"))
-}
-
-/// Scoring-kernel modules by workspace convention: `kernel.rs`,
-/// `kernels.rs`, or a `_kernel(s)` suffix. Deliberately narrower than
-/// "contains `kernel`" — harness files *about* kernels (`kernel_perf.rs`,
-/// `kernel_bench.rs`) are measurement code, not hot loops.
-fn is_kernel_file(path: &str) -> bool {
-    let stem = Path::new(path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or_default();
-    stem == "kernel" || stem == "kernels" || stem.ends_with("_kernel") || stem.ends_with("_kernels")
-}
-
-/// Whole-file test modules (declared `#[cfg(test)] mod x;` at the crate
-/// root) carry it in their name by workspace convention.
-fn is_test_file(path: &str) -> bool {
-    let stem = Path::new(path)
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or_default();
-    stem == "tests" || stem.ends_with("_tests")
-}
-
-fn path_in(path: &str, prefix: &str) -> bool {
-    path.starts_with(prefix) || path.contains(&format!("/{prefix}/"))
-}
-
-/// The code part of a line: everything before the first `//`. A heuristic —
-/// `//` inside a string literal is cut too — but none of the scanned tokens
-/// can be bisected by it into a false positive, only masked, and masking
-/// requires a literal `//` mid-expression.
-fn code_part(line: &str) -> &str {
-    match line.find("//") {
-        Some(pos) => &line[..pos],
-        None => line,
-    }
-}
-
-/// Lines that do not break a contiguous comment block above a flagged line:
-/// comments and attributes (an attribute may sit between the justification
-/// and the expression).
-fn is_comment_line(line: &str) -> bool {
-    let t = line.trim_start();
-    t.starts_with("//") || t.starts_with("#[")
-}
-
-/// `needle` occurs in `code` as a standalone path token (not as a suffix of
-/// a longer identifier, e.g. `MyOrdering::Relaxed`). A preceding `:` is a
-/// path separator — `atomic::Ordering::Relaxed` still matches.
-fn contains_token(code: &str, needle: &str) -> bool {
-    let mut start = 0;
-    while let Some(pos) = code[start..].find(needle) {
-        let at = start + pos;
-        let before = code[..at].chars().next_back();
-        if !before.is_some_and(|c| c.is_alphanumeric() || c == '_') {
-            return true;
-        }
-        start = at + needle.len();
-    }
-    false
-}
-
-/// True when line `idx` has a `// ordering:` comment on the same line or in
-/// the contiguous run of comment/attribute lines directly above it.
-fn has_adjacent_ordering_comment(lines: &[&str], idx: usize) -> bool {
-    if lines[idx].contains("// ordering:") {
-        return true;
-    }
-    let mut i = idx;
-    while i > 0 {
-        i -= 1;
-        if !is_comment_line(lines[i]) {
-            return false;
-        }
-        if lines[i].contains("// ordering:") {
-            return true;
-        }
-    }
-    false
-}
-
-/// True when line `idx` (or the line above) carries
-/// `// lint: allow(<rule>)`.
-fn has_exception(lines: &[&str], idx: usize, rule: &str) -> bool {
-    let marker = format!("// lint: allow({rule})");
-    lines[idx].contains(&marker) || (idx > 0 && lines[idx - 1].contains(&marker))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn rules(path: &str, source: &str) -> Vec<String> {
-        lint_file(path, source)
-            .into_iter()
-            .map(|d| d.to_string())
-            .collect()
-    }
-
     #[test]
-    fn crate_roots_must_forbid_unsafe() {
-        let found = rules("crates/x/src/lib.rs", "pub fn f() {}\n");
-        assert_eq!(found.len(), 1);
-        assert!(found[0].starts_with("crates/x/src/lib.rs:1: forbid-unsafe:"));
-        assert!(rules(
-            "crates/x/src/lib.rs",
-            "#![forbid(unsafe_code)]\npub fn f() {}\n"
-        )
-        .is_empty());
-        // non-root modules are not required to repeat the attribute
-        assert!(rules("crates/x/src/util.rs", "pub fn f() {}\n").is_empty());
-        // bin targets are crate roots too
-        assert_eq!(rules("crates/x/src/bin/tool.rs", "fn main() {}\n").len(), 1);
-    }
-
-    #[test]
-    fn bare_orderings_are_flagged_with_file_and_line() {
-        // lint: allow(ordering-comment) -- lint self-test fixture
-        let src = "fn f(a: &AtomicU64) -> u64 {\n    a.load(Ordering::Acquire)\n}\n";
-        let found = rules("crates/x/src/m.rs", src);
-        assert_eq!(found.len(), 1);
+    fn json_output_is_well_formed_and_escaped() {
+        let diags = vec![
+            rules::Diagnostic {
+                path: "crates/x/src/a.rs".to_string(),
+                line: 3,
+                rule: rules::RULE_NO_UNWRAP,
+                message: "uses `.unwrap()` with a \"quote\"".to_string(),
+            },
+            rules::Diagnostic {
+                path: "crates/x/src/b.rs".to_string(),
+                line: 9,
+                rule: rules::RULE_HASH_ITER,
+                message: "back\\slash".to_string(),
+            },
+        ];
+        let json = render_json(&diags);
+        assert!(json.starts_with("[\n"), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
         assert!(
-            found[0].starts_with("crates/x/src/m.rs:2: ordering-comment:"),
-            "{}",
-            found[0]
+            json.contains(r#""rule": "no-unwrap", "path": "crates/x/src/a.rs", "line": 3"#),
+            "{json}"
         );
+        assert!(json.contains(r#"a \"quote\""#), "{json}");
+        assert!(json.contains(r#"back\\slash"#), "{json}");
+        assert_eq!(render_json(&[]), "[\n]\n");
     }
 
     #[test]
-    fn ordering_comments_may_be_inline_or_in_the_block_above() {
-        let inline = "let v = a.load(Ordering::Relaxed); // ordering: tally only\n";
-        assert!(rules("crates/x/src/m.rs", inline).is_empty());
-        let above = "// ordering: Release pairs with the reader's Acquire;\n\
-                     // the slot write above must be visible first\n\
-                     a.store(1, Ordering::Release);\n"; // lint: allow(ordering-comment) -- fixture
-        assert!(rules("crates/x/src/m.rs", above).is_empty());
-        // a non-comment line breaks the contiguous block
-        // lint: allow(ordering-comment) -- lint self-test fixture
-        let detached =
-            "// ordering: stale justification\nlet x = 1;\na.store(x, Ordering::Release);\n";
-        assert_eq!(rules("crates/x/src/m.rs", detached).len(), 1);
-    }
-
-    #[test]
-    fn cmp_ordering_never_trips_the_atomic_rule() {
-        let src = "fn f(a: i32, b: i32) -> std::cmp::Ordering {\n\
-                       a.cmp(&b).then(std::cmp::Ordering::Less)\n}\n";
-        assert!(rules("crates/x/src/m.rs", src).is_empty());
-    }
-
-    #[test]
-    fn orderings_must_be_justified_even_in_test_modules() {
-        // lint: allow(ordering-comment) -- lint self-test fixture
-        let src = "#[cfg(test)]\nmod tests {\n    fn f(a: &A) { a.load(Ordering::SeqCst); }\n}\n";
-        assert_eq!(rules("crates/x/src/m.rs", src).len(), 1);
-    }
-
-    #[test]
-    fn raw_sync_is_rejected_in_service_library_code_only() {
-        let src = "use std::sync::Mutex;\n";
-        let found = rules("crates/service/src/m.rs", src);
-        assert_eq!(found.len(), 1);
-        assert!(
-            found[0].starts_with("crates/service/src/m.rs:1: no-raw-sync:"),
-            "{}",
-            found[0]
-        );
-        // other crates may use std::sync directly (the shim itself must)
-        assert!(rules("crates/sync/src/m.rs", src).is_empty());
-        // Arc is not a blocking/ordering primitive — allowed
-        assert!(rules("crates/service/src/m.rs", "use std::sync::Arc;\n").is_empty());
-        // test code drives real threads on purpose
-        let test_src = "#[cfg(test)]\nmod tests {\n    use std::thread;\n}\n";
-        assert!(rules("crates/service/src/m.rs", test_src).is_empty());
-        let named_test_file = "use std::thread;\n";
-        assert!(rules("crates/service/src/model_tests.rs", named_test_file).is_empty());
-    }
-
-    #[test]
-    fn unwrap_and_expect_are_rejected_in_service_and_engine() {
-        for path in ["crates/service/src/m.rs", "crates/engine/src/m.rs"] {
-            let found = rules(path, "fn f() { g().unwrap(); }\n");
-            assert_eq!(found.len(), 1, "{path}");
-            assert!(found[0].contains(": no-unwrap:"), "{}", found[0]);
-            assert_eq!(rules(path, "fn f() { g().expect(\"x\"); }\n").len(), 1);
+    fn the_real_workspace_lints_clean() {
+        // the end-to-end gate the CI job enforces, runnable locally: every
+        // rule, over every file, zero findings
+        let root = workspace_root();
+        let mut files = Vec::new();
+        for member_dir in ["crates", "tools"] {
+            collect_rs_files(&root.join(member_dir), &mut files);
         }
-        // out-of-scope crates may unwrap
-        assert!(rules("crates/geom/src/m.rs", "fn f() { g().unwrap(); }\n").is_empty());
-        // doc-comment examples are comments, not code
-        assert!(rules(
-            "crates/service/src/m.rs",
-            "/// let x = g().unwrap();\nfn f() {}\n"
-        )
-        .is_empty());
-    }
-
-    #[test]
-    fn raw_fs_is_confined_to_the_storage_backend_and_wal() {
-        let src = "use std::fs;\nfn f() { std::fs::remove_file(\"x\").ok(); }\n";
-        // the durable layer and the linter itself are allowed wholesale
-        assert!(rules("crates/storage/src/backend.rs", src).is_empty());
-        assert!(rules("crates/storage/src/wal.rs", src).is_empty());
-        // the linter itself is a crate root, so satisfy forbid-unsafe too
-        let root_src = format!("#![forbid(unsafe_code)]\n{src}");
-        assert!(rules("tools/xtask/src/main.rs", &root_src).is_empty());
-        // everything else is flagged, line by line
-        let found = rules("crates/service/src/m.rs", src);
-        assert_eq!(found.len(), 2);
-        assert!(
-            found[0].starts_with("crates/service/src/m.rs:1: no-raw-fs:"),
-            "{}",
-            found[0]
-        );
-        // the rest of the storage crate is NOT allow-listed: buffer-manager
-        // code must go through its own backend abstraction too
-        assert_eq!(rules("crates/storage/src/store.rs", src).len(), 2);
-        // an annotated deliberate use is accepted
-        let annotated = "// lint: allow(no-raw-fs) -- bench report, not durable state\n\
-             let file = std::fs::File::create(&out)?;\n";
-        assert!(rules("crates/bench/src/report.rs", annotated).is_empty());
-        // test code cleans up scratch dirs freely
-        let test_src =
-            "#[cfg(test)]\nmod tests {\n    fn f() { std::fs::remove_file(\"x\").ok(); }\n}\n";
-        assert!(rules("crates/service/src/m.rs", test_src).is_empty());
-        // comments and doc examples are not code
-        assert!(rules("crates/service/src/m.rs", "//! touches `std::fs` never\n").is_empty());
-    }
-
-    #[test]
-    fn allocation_is_rejected_in_kernel_modules() {
-        let src = "fn f() { let v: Vec<f64> = Vec::new(); }\n";
-        let found = rules("crates/geom/src/kernel.rs", src);
-        assert_eq!(found.len(), 1);
-        assert!(
-            found[0].starts_with("crates/geom/src/kernel.rs:1: kernel-no-alloc:"),
-            "{}",
-            found[0]
-        );
-        // scoped by module name, not by crate — and harness files about
-        // kernels are measurement code, not hot loops
-        assert!(rules("crates/geom/src/util.rs", src).is_empty());
-        assert!(rules("crates/bench/src/kernel_perf.rs", src).is_empty());
-        let bin_src = format!("#![forbid(unsafe_code)]\n{src}");
-        assert!(rules("crates/bench/src/bin/kernel_bench.rs", &bin_src).is_empty());
-        // a `_kernel` suffix is in scope
-        assert_eq!(rules("crates/x/src/score_kernel.rs", src).len(), 1);
-        // method-call allocators are caught too
-        for bad in [
-            "fn f(w: &[f64]) { let _ = w.to_vec(); }\n",
-            "fn f() { let _: Vec<u32> = (0..4).collect(); }\n",
-            "fn f(s: &str) { let _ = s.to_owned(); }\n",
-            "fn f() { let _ = vec![0.0; 8]; }\n",
-        ] {
-            assert_eq!(rules("crates/geom/src/kernel.rs", bad).len(), 1, "{bad}");
+        files.sort();
+        assert!(files.len() > 20, "workspace walk found {}", files.len());
+        let mut findings = Vec::new();
+        for path in &files {
+            let source = std::fs::read_to_string(path).unwrap();
+            let rel = path
+                .strip_prefix(&root)
+                .unwrap_or(path)
+                .display()
+                .to_string();
+            let cx = model::FileCtx::new(&rel, &source);
+            findings.extend(rules::lint_file_ctx(&cx).into_iter().map(|d| d.to_string()));
         }
-        // a longer path is not bisected into a false positive
-        assert!(rules("crates/geom/src/kernel.rs", "fn f() { MyVec::new(); }\n").is_empty());
-        // annotated setup-path allocations are accepted
-        let annotated = "// lint: allow(kernel-no-alloc) -- table construction, not a scan\n\
-                         let rows: Vec<f64> = it.collect();\n";
-        assert!(rules("crates/geom/src/kernel.rs", annotated).is_empty());
-        // test code allocates freely
-        let test_src = "#[cfg(test)]\nmod tests {\n    fn f() { let v = Vec::new(); }\n}\n";
-        assert!(rules("crates/geom/src/kernel.rs", test_src).is_empty());
-    }
-
-    #[test]
-    fn exception_comments_suppress_a_single_finding() {
-        let same_line = "fn f() { g().unwrap() } // lint: allow(no-unwrap) -- startup only\n";
-        assert!(rules("crates/service/src/m.rs", same_line).is_empty());
-        let line_above = "// lint: allow(no-unwrap) -- internal invariant: id interned above\n\
-                          fn f() { g().unwrap() }\n";
-        assert!(rules("crates/service/src/m.rs", line_above).is_empty());
-        // the exception names a rule; a different rule's marker does not leak
-        let wrong_rule = "// lint: allow(no-raw-sync) -- reason\nfn f() { g().unwrap() }\n";
-        assert_eq!(rules("crates/service/src/m.rs", wrong_rule).len(), 1);
-        // and it only reaches one line
-        let too_far = "// lint: allow(no-unwrap) -- reason\n\nfn f() { g().unwrap() }\n";
-        assert_eq!(rules("crates/service/src/m.rs", too_far).len(), 1);
-    }
-
-    #[test]
-    fn commented_out_code_is_not_linted() {
-        let src = "// let x = g().unwrap();\n//     a.load(Ordering::Acquire);\n";
-        assert!(rules("crates/service/src/m.rs", src).is_empty());
+        assert!(
+            findings.is_empty(),
+            "lint findings:\n{}",
+            findings.join("\n")
+        );
     }
 }
