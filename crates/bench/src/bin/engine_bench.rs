@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 use pref_assign::{oracle, verify_stable, Problem, SbSolver, Solver};
+use pref_bench::percentile_us;
 use pref_datagen::{update_stream, ObjectDistribution, UpdateStreamConfig};
 use pref_engine::{AssignmentEngine, EngineOptions};
 use pref_rtree::RecordId;
@@ -474,15 +475,6 @@ fn run_churn_soak(smoke: bool) -> (ChurnRow, bool) {
         row.compaction_batches
     );
     (row, failed)
-}
-
-/// `q`-th percentile of an ascending-sorted latency sample, in microseconds.
-fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
-    if sorted_nanos.is_empty() {
-        return 0.0;
-    }
-    let rank = ((sorted_nanos.len() as f64 - 1.0) * q).round() as usize;
-    sorted_nanos[rank.min(sorted_nanos.len() - 1)] as f64 / 1e3
 }
 
 /// Drives the ack-latency cell: a removal-heavy stream through an inline-

@@ -39,10 +39,12 @@ mod runner;
 pub mod baseline;
 pub mod experiments;
 pub mod kernel_perf;
+pub mod percentile;
 
 pub use algorithms::AlgorithmKind;
 pub use baseline::sb_hash_baseline;
 pub use params::{Params, Scale};
+pub use percentile::{percentile, percentile_us};
 pub use report::{Report, Row};
 pub use runner::{build_problem, run_cell};
 

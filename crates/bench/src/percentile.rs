@@ -1,0 +1,85 @@
+//! Nearest-rank percentiles, shared by every latency-reporting harness.
+//!
+//! One definition, used everywhere: the p-th percentile of a sorted sample
+//! is the smallest element such that at least `p · n` of the sample is ≤ it
+//! — index `max(1, ceil(p·n)) − 1`. Nearest-rank always answers an element
+//! *of the sample* (no interpolation, no invented values), is exact at the
+//! edges (`p = 1.0` is the maximum), and does not round a p999 down onto a
+//! p99 neighbour at small `n` the way round-to-nearest indexing does.
+//!
+//! The harness binaries previously carried two diverging private copies of
+//! a round-to-nearest variant, which over-reports low percentiles on small
+//! samples (the p50 of a 2-element sample was the *larger* element). This
+//! module is the single replacement.
+
+/// The `q`-quantile (`0.0 ≤ q ≤ 1.0`) of an ascending-sorted sample, by
+/// nearest rank. Returns 0 for an empty sample.
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len();
+    // ceil(q·n), clamped into [1, n], then to a 0-based index
+    let rank = (q * n as f64).ceil() as usize;
+    let rank = rank.clamp(1, n);
+    sorted[rank - 1]
+}
+
+/// [`percentile`] over nanosecond samples, reported in microseconds.
+pub fn percentile_us(sorted_nanos: &[u64], q: f64) -> f64 {
+    percentile(sorted_nanos, q) as f64 / 1_000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn an_empty_sample_answers_zero() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile_us(&[], 0.999), 0.0);
+    }
+
+    #[test]
+    fn n_equals_1_every_quantile_is_the_element() {
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(percentile(&[7], q), 7);
+        }
+    }
+
+    #[test]
+    fn n_equals_2_the_median_is_the_lower_element() {
+        // ceil(0.5 · 2) = 1 → index 0: at least half the sample is ≤ 10.
+        // (The old round-to-nearest copies answered 20 here.)
+        assert_eq!(percentile(&[10, 20], 0.5), 10);
+        assert_eq!(percentile(&[10, 20], 0.51), 20);
+        assert_eq!(percentile(&[10, 20], 1.0), 20);
+        assert_eq!(percentile(&[10, 20], 0.0), 10);
+    }
+
+    #[test]
+    fn n_equals_10_matches_the_nearest_rank_table() {
+        let sample: Vec<u64> = (1..=10).collect();
+        // ceil(q·10) ranks: p50 → 5th, p90 → 9th, p99/p999 → 10th
+        assert_eq!(percentile(&sample, 0.5), 5);
+        assert_eq!(percentile(&sample, 0.9), 9);
+        assert_eq!(percentile(&sample, 0.99), 10);
+        assert_eq!(percentile(&sample, 0.999), 10);
+        assert_eq!(percentile(&sample, 1.0), 10);
+    }
+
+    #[test]
+    fn n_equals_1000_distinguishes_p99_from_p999() {
+        let sample: Vec<u64> = (1..=1000).collect();
+        assert_eq!(percentile(&sample, 0.5), 500);
+        assert_eq!(percentile(&sample, 0.99), 990);
+        // the tail rank the old rounding collapsed: ceil(0.999·1000) = 999
+        assert_eq!(percentile(&sample, 0.999), 999);
+        assert_eq!(percentile(&sample, 1.0), 1000);
+    }
+
+    #[test]
+    fn microsecond_wrapper_scales_nanos() {
+        assert_eq!(percentile_us(&[1_500, 2_500], 1.0), 2.5);
+    }
+}

@@ -1,0 +1,110 @@
+//! Model-checked scenarios for the admission gate.
+//!
+//! The token bucket's clock is an *argument* ([`AdmissionGate::admit`]
+//! takes `now_nanos`), so every refill schedule — including stalled and
+//! out-of-order clock readings handed in by racing connection handlers —
+//! is an input the deterministic scheduler can explore, not a wall-clock
+//! flake. These tests pin the gate's two concurrency invariants: budgets
+//! are conserved under contention, and a clock race can only make the gate
+//! stricter, never mint tokens.
+
+use crate::admission::{AdmissionGate, AdmitDecision, TokenBucketConfig};
+use pref_sync::model::{self, ModelConfig};
+use pref_sync::{thread, AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn coverage_floor(cfg: &ModelConfig) -> usize {
+    if cfg.iterations >= 1_200 {
+        1_000
+    } else {
+        cfg.iterations / 2
+    }
+}
+
+fn gate(rate: u64, burst: u64) -> Arc<AdmissionGate> {
+    Arc::new(AdmissionGate::new(&TokenBucketConfig {
+        rate_per_sec: rate,
+        burst,
+        slots: 4,
+    }))
+}
+
+#[test]
+fn model_concurrent_admits_conserve_the_budget() {
+    let cfg = ModelConfig::new("admission-budget-conservation");
+    let report = model::explore(&cfg, || {
+        // burst 2, zero refill, three racing spenders of cost 1: exactly
+        // two admits in EVERY interleaving — a double-spend (3 admits)
+        // or a lost token (1 admit) are both violations
+        let gate = gate(0, 2);
+        let admitted = Arc::new(AtomicU64::new(0));
+        let spenders: Vec<_> = (0..3u64)
+            .map(|tenant_bit| {
+                let gate = Arc::clone(&gate);
+                let admitted = Arc::clone(&admitted);
+                thread::spawn(move || {
+                    // all tenants collide into one slot (slots=4 but the
+                    // same tenant id), sharing one budget on purpose
+                    let _ = tenant_bit;
+                    if gate.admit(7, 1, 0) == AdmitDecision::Admit {
+                        // ordering: relaxed — joined below before the read
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for spender in spenders {
+            let _ = spender.join();
+        }
+        // ordering: relaxed — all spenders joined above
+        let total = admitted.load(Ordering::Relaxed);
+        model::check(
+            total == 2,
+            "burst of 2 admits exactly 2 of 3 racing spenders",
+        );
+    });
+    assert!(report.clean(), "violation: {:?}", report.violation);
+    assert!(
+        report.distinct_interleavings >= coverage_floor(&cfg),
+        "only {} distinct interleavings",
+        report.distinct_interleavings
+    );
+}
+
+#[test]
+fn model_clock_races_never_mint_tokens() {
+    let cfg = ModelConfig::new("admission-clock-race");
+    let report = model::explore(&cfg, || {
+        // burst 1, rate 1 token/s; one spender reads a late clock (t=1s),
+        // the other an early one (t=0) — handlers really do interleave
+        // between reading the clock and taking the gate's lock. If the
+        // late spender wins the lock, the early one's elapsed time
+        // saturates to zero and it is limited (1 admit total). In the
+        // other order both admit (the late spender earns the refill).
+        // Either way the budget stays within [1, 2] — a clock race can
+        // starve a spender, never double-spend.
+        let gate = gate(1, 1);
+        let admitted = Arc::new(AtomicU64::new(0));
+        let spenders: Vec<_> = [1_000_000_000u64, 0u64]
+            .into_iter()
+            .map(|now| {
+                let gate = Arc::clone(&gate);
+                let admitted = Arc::clone(&admitted);
+                thread::spawn(move || {
+                    if gate.admit(3, 1, now) == AdmitDecision::Admit {
+                        // ordering: relaxed — joined below before the read
+                        admitted.fetch_add(1, Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        for spender in spenders {
+            let _ = spender.join();
+        }
+        // ordering: relaxed — all spenders joined above
+        let total = admitted.load(Ordering::Relaxed);
+        model::check(total >= 1, "someone always gets the initial burst");
+        model::check(total <= 2, "a clock race cannot mint more than the refill");
+    });
+    assert!(report.clean(), "violation: {:?}", report.violation);
+}

@@ -202,8 +202,10 @@ fn decode_function(r: &mut Cursor<'_>) -> Result<PreferenceFunction, StorageErro
     })
 }
 
-/// Encodes one update batch as a WAL record payload.
-pub(crate) fn encode_batch(batch: &[UpdateOp]) -> Vec<u8> {
+/// Encodes one update batch as a checksummed binary payload — the layout
+/// shared by WAL records and the wire protocol's `Update` frames (tagged
+/// little-endian ops, bit-exact f64 round-trips).
+pub fn encode_batch(batch: &[UpdateOp]) -> Vec<u8> {
     let mut buf = Vec::with_capacity(8 + batch.len() * 16);
     buf.extend_from_slice(&(batch.len() as u32).to_le_bytes());
     for op in batch {
@@ -229,11 +231,17 @@ pub(crate) fn encode_batch(batch: &[UpdateOp]) -> Vec<u8> {
     buf
 }
 
-/// Decodes a WAL record payload back into an update batch.
-pub(crate) fn decode_batch(bytes: &[u8]) -> Result<Vec<UpdateOp>, StorageError> {
+/// Decodes an [`encode_batch`] payload back into an update batch. Strict:
+/// truncation, unknown op tags and trailing bytes are all errors.
+pub fn decode_batch(bytes: &[u8]) -> Result<Vec<UpdateOp>, StorageError> {
     let mut r = Cursor::new(bytes);
     let count = r.u32()? as usize;
-    let mut out = Vec::with_capacity(count);
+    // the count is untrusted input (WAL corruption, hostile wire frames):
+    // cap the preallocation by what the bytes could possibly hold (the
+    // smallest op is a 9-byte remove) and let the strict reads below
+    // surface the truncation as an error instead of an allocation
+    let smallest_op = 9;
+    let mut out = Vec::with_capacity(count.min(bytes.len() / smallest_op + 1));
     for _ in 0..count {
         let op = match r.u8()? {
             TAG_INSERT_OBJECT => UpdateOp::InsertObject(decode_object(&mut r)?),

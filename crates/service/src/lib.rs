@@ -92,7 +92,7 @@ mod shard;
 mod snapshot;
 
 pub use cell::{SnapshotCell, SnapshotReader};
-pub use durability::{DurabilityConfig, FsyncPolicy, ShardDurability};
+pub use durability::{decode_batch, encode_batch, DurabilityConfig, FsyncPolicy, ShardDurability};
 pub use queue::UpdateQueue;
 pub use service::{ServiceConfig, ServiceReader, ServiceStats, ShardedService};
 pub use shard::{FaultEvent, ShardHandle, ShardStats, WriterFault};
@@ -108,9 +108,20 @@ pub use pref_engine::UpdateOp;
 pub enum ServiceError {
     /// The shard index is out of range.
     UnknownShard(usize),
-    /// The service (or the addressed shard's writer) has stopped: the queue
-    /// is closed, or the writer thread exited.
+    /// The service (or the addressed shard's writer) has stopped cleanly:
+    /// the queue was closed by shutdown and the writer drained and exited.
     Stopped,
+    /// The addressed shard's writer thread panicked. Unlike [`Stopped`],
+    /// nothing submitted after the crash will ever be applied — producers
+    /// blocked on a full queue are woken with this error instead of hanging
+    /// on a drain that can no longer happen.
+    ///
+    /// [`Stopped`]: ServiceError::Stopped
+    WriterCrashed,
+    /// A non-blocking submission was refused because the shard's queue is at
+    /// capacity. The admission-control path returns this instead of parking
+    /// the caller in the queue's backpressure wait.
+    Overloaded,
     /// The configuration is invalid (message describes the problem).
     InvalidConfig(String),
     /// Building a shard's engine failed.
@@ -125,6 +136,8 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::UnknownShard(shard) => write!(f, "unknown shard {shard}"),
             ServiceError::Stopped => write!(f, "the service has stopped"),
+            ServiceError::WriterCrashed => write!(f, "the shard's writer thread crashed"),
+            ServiceError::Overloaded => write!(f, "the shard's update queue is at capacity"),
             ServiceError::InvalidConfig(msg) => write!(f, "invalid service config: {msg}"),
             ServiceError::Engine(e) => write!(f, "engine error: {e}"),
             ServiceError::Durability(msg) => write!(f, "durability error: {msg}"),

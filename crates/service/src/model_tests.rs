@@ -377,18 +377,76 @@ fn model_flush_fails_not_hangs_when_the_writer_panics() {
         match submitted {
             Ok(()) => {
                 // the writer dies before publishing this batch: flush must
-                // fail fast (a hang here would surface as a deadlock
-                // violation with the full trace)
+                // fail fast with the typed crash error (a hang here would
+                // surface as a deadlock violation with the full trace)
                 model::check(
-                    shard.flush() == Err(ServiceError::Stopped),
-                    "flush fails (not hangs) after a writer crash",
+                    shard.flush() == Err(ServiceError::WriterCrashed),
+                    "flush fails typed (not hangs) after a writer crash",
                 );
             }
-            Err(e) => model::check(e == ServiceError::Stopped, "only Stopped is legal"),
+            Err(e) => model::check(
+                e == ServiceError::WriterCrashed,
+                "only WriterCrashed is legal",
+            ),
         }
         drop(shard);
     });
     assert!(report.clean(), "violation: {:?}", report.violation);
+}
+
+#[test]
+fn model_parked_producer_fails_not_hangs_when_the_writer_crashes_on_a_full_queue() {
+    let mut cfg = ModelConfig::new("full-queue-vs-writer-crash");
+    // the injected writer crash is the scenario, not a finding
+    cfg.allow_panic_from = vec!["writer".to_string()];
+    let report = model::explore(&cfg, || {
+        // capacity 1: the producer's second submission parks in the
+        // backpressure wait unless the writer drained first. The writer
+        // crashes at its first publication, i.e. possibly *while* a producer
+        // is parked — before the fix, close() was never called on a panic
+        // and the parked producer waited on not_full forever (the scheduler
+        // reports exactly that as a whole-system deadlock with the trace).
+        let fault: crate::shard::WriterFault = Box::new(|event| {
+            // any writer publication (the caller publishes version 1)
+            if matches!(event, crate::shard::FaultEvent::PrePublish { .. }) {
+                std::panic::resume_unwind(Box::new("injected writer fault".to_string()));
+            }
+        });
+        let shard = ShardHandle::start_with_fault(
+            &problem(),
+            &EngineOptions::default(),
+            1,
+            8,
+            0,
+            Some(fault),
+        )
+        .unwrap();
+        let mut outcomes = Vec::new();
+        for id in 0..2u64 {
+            outcomes.push(shard.submit(UpdateOp::RemoveObject(RecordId(id))));
+        }
+        // every submission either made it into the queue before the crash
+        // or failed with the typed crash error — never hung, never Stopped
+        // (nothing closed this queue cleanly)
+        for outcome in outcomes {
+            model::check(
+                matches!(outcome, Ok(()) | Err(ServiceError::WriterCrashed)),
+                "a producer racing a writer crash sees Ok or WriterCrashed",
+            );
+        }
+        // flush after the crash surfaces the typed error as well
+        model::check(
+            shard.flush() == Err(ServiceError::WriterCrashed),
+            "flush after the crash is the typed error",
+        );
+        drop(shard);
+    });
+    assert!(report.clean(), "violation: {:?}", report.violation);
+    assert!(
+        report.distinct_interleavings >= coverage_floor(&cfg),
+        "only {} distinct interleavings",
+        report.distinct_interleavings
+    );
 }
 
 // ---- scenario: background compactor vs writer publications ---------------

@@ -33,6 +33,11 @@ struct QueueState {
     /// Sum of the queued batch lengths.
     queued_updates: usize,
     closed: bool,
+    /// Closed because the writer died (panic), not by shutdown: producers —
+    /// including ones already parked in [`UpdateQueue::push`]'s backpressure
+    /// wait — get [`ServiceError::WriterCrashed`] instead of blocking on a
+    /// drain that can no longer happen.
+    crashed: bool,
 }
 
 impl UpdateQueue {
@@ -44,6 +49,7 @@ impl UpdateQueue {
                 batches: VecDeque::new(),
                 queued_updates: 0,
                 closed: false,
+                crashed: false,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -54,10 +60,15 @@ impl UpdateQueue {
     /// Enqueues one batch, blocking while the queue is at capacity. Empty
     /// batches are accepted and act as pure publication triggers (the writer
     /// applies nothing and publishes a snapshot). Fails with
-    /// [`ServiceError::Stopped`] once the queue is closed.
+    /// [`ServiceError::Stopped`] once the queue is closed by shutdown, and
+    /// with [`ServiceError::WriterCrashed`] — including from the middle of
+    /// the backpressure wait — once the writer has died.
     pub fn push(&self, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
         let mut state = self.state.lock();
         loop {
+            if state.crashed {
+                return Err(ServiceError::WriterCrashed);
+            }
             if state.closed {
                 return Err(ServiceError::Stopped);
             }
@@ -72,6 +83,30 @@ impl UpdateQueue {
             }
             state = self.not_full.wait(state);
         }
+    }
+
+    /// Non-blocking [`UpdateQueue::push`] for the admission-control path:
+    /// where `push` would park in the backpressure wait, this returns
+    /// [`ServiceError::Overloaded`] immediately — the caller turns it into a
+    /// typed reject instead of a stalled connection handler.
+    pub fn try_push(&self, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
+        let mut state = self.state.lock();
+        if state.crashed {
+            return Err(ServiceError::WriterCrashed);
+        }
+        if state.closed {
+            return Err(ServiceError::Stopped);
+        }
+        let fits = state.queued_updates + batch.len() <= self.capacity
+            // oversized batches are accepted into an empty queue
+            || state.queued_updates == 0;
+        if !fits {
+            return Err(ServiceError::Overloaded);
+        }
+        state.queued_updates += batch.len();
+        state.batches.push_back(batch);
+        self.not_empty.notify_one();
+        Ok(())
     }
 
     /// Dequeues whole batches totalling at most `max_updates` (but always at
@@ -118,6 +153,19 @@ impl UpdateQueue {
     pub fn close(&self) {
         let mut state = self.state.lock();
         state.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Closes the queue because the writer died: every producer — parked in
+    /// the backpressure wait or arriving later — fails with
+    /// [`ServiceError::WriterCrashed`]. Called from the writer's exit guard
+    /// on unwind only; a clean writer exit leaves the plain `closed` /
+    /// `Stopped` semantics untouched.
+    pub(crate) fn close_crashed(&self) {
+        let mut state = self.state.lock();
+        state.closed = true;
+        state.crashed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
@@ -196,5 +244,46 @@ mod tests {
         let queue = UpdateQueue::new(2);
         queue.push(Vec::new()).unwrap();
         assert_eq!(queue.pop(4), Some(vec![Vec::new()]));
+    }
+
+    #[test]
+    fn try_push_rejects_at_capacity_instead_of_blocking() {
+        let queue = UpdateQueue::new(2);
+        queue.try_push(vec![op(0), op(1)]).unwrap();
+        assert_eq!(queue.try_push(vec![op(2)]), Err(ServiceError::Overloaded));
+        // nothing was partially enqueued by the reject
+        assert_eq!(queue.queued_updates(), 2);
+        // draining reopens admission
+        queue.pop(8).unwrap();
+        queue.try_push(vec![op(2)]).unwrap();
+        // oversized batches still enter an empty queue on the try path
+        queue.pop(8).unwrap();
+        queue.try_push(vec![op(3), op(4), op(5)]).unwrap();
+        assert_eq!(queue.queued_updates(), 3);
+    }
+
+    #[test]
+    fn crash_close_fails_parked_and_future_producers_with_writer_crashed() {
+        let queue = Arc::new(UpdateQueue::new(1));
+        queue.push(vec![op(0)]).unwrap();
+        let parked = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(vec![op(1)]))
+        };
+        // the producer is (about to be) parked in the backpressure wait; a
+        // writer crash must wake it with the typed error, not leave it
+        // hanging on a drain that will never come
+        queue.close_crashed();
+        assert_eq!(parked.join().unwrap(), Err(ServiceError::WriterCrashed));
+        assert_eq!(
+            queue.push(vec![op(2)]),
+            Err(ServiceError::WriterCrashed),
+            "future producers see the crash too"
+        );
+        assert_eq!(
+            queue.try_push(vec![op(2)]),
+            Err(ServiceError::WriterCrashed),
+            "the non-blocking path reports the crash, not Overloaded"
+        );
     }
 }

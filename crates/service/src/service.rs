@@ -198,7 +198,13 @@ impl ShardedService {
         let mut x = key.wrapping_add(0x9e37_79b9_7f4a_7c15);
         x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-        ((x ^ (x >> 31)) % self.shards.len() as u64) as usize
+        x ^= x >> 31;
+        // widening-multiply range reduction (Lemire): maps the full 64-bit
+        // hash onto [0, n) using the *high* bits. The previous `x % n`
+        // reduction used only the low bits' residue and carries the classic
+        // modulo bias for non-power-of-two shard counts; the multiply is
+        // also division-free on the routing hot path.
+        ((x as u128 * self.shards.len() as u128) >> 64) as usize
     }
 
     /// The shard handle at `shard` (e.g. for per-shard readers or stats).
@@ -217,6 +223,13 @@ impl ShardedService {
     /// one published snapshot.
     pub fn submit_batch(&self, shard: usize, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
         self.shard(shard)?.submit_batch(batch)
+    }
+
+    /// Non-blocking [`ShardedService::submit_batch`]: fails with
+    /// [`ServiceError::Overloaded`] instead of parking the caller when the
+    /// shard's queue is at capacity (the admission-control entry point).
+    pub fn try_submit_batch(&self, shard: usize, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
+        self.shard(shard)?.try_submit_batch(batch)
     }
 
     /// Blocks until every update submitted (to any shard) before the call
@@ -249,7 +262,7 @@ impl ShardedService {
 
     /// Stops the service: closes every queue, lets the writers drain and
     /// publish their in-flight batches, and joins them. Propagates a writer
-    /// panic as [`ServiceError::Stopped`].
+    /// panic as [`ServiceError::WriterCrashed`].
     pub fn shutdown(mut self) -> Result<(), ServiceError> {
         for shard in &self.shards {
             shard.close();
@@ -359,6 +372,72 @@ mod tests {
             hit[shard] = true;
         }
         assert!(hit.iter().all(|&h| h), "64 keys should cover 3 shards");
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shard_routing_is_uniform_for_non_power_of_two_shard_counts() {
+        // pins the widening-multiply range reduction: for shards ∈ {3, 5, 7}
+        // (all non-powers-of-two, where a naive modulo reduction is biased),
+        // sequential AND strided tenant keys must land within a tight band
+        // around the uniform per-shard share
+        for num_shards in [3usize, 5, 7] {
+            let problems: Vec<Problem> = (0..num_shards).map(problem).collect();
+            let service = ShardedService::start(problems, &ServiceConfig::default()).unwrap();
+            for (label, stride) in [("sequential", 1u64), ("strided", 0x9e37_79b9)] {
+                const KEYS: u64 = 30_000;
+                let mut counts = vec![0u64; num_shards];
+                for i in 0..KEYS {
+                    counts[service.shard_of_key(i.wrapping_mul(stride))] += 1;
+                }
+                let expect = KEYS as f64 / num_shards as f64;
+                for (shard, &count) in counts.iter().enumerate() {
+                    let spread = (count as f64 - expect).abs() / expect;
+                    assert!(
+                        spread < 0.05,
+                        "{label} keys over {num_shards} shards: shard {shard} got {count} \
+                         of {KEYS} ({:.1}% off the uniform share)",
+                        spread * 100.0
+                    );
+                }
+            }
+            service.shutdown().unwrap();
+        }
+    }
+
+    #[test]
+    fn try_submit_rejects_with_overloaded_when_the_queue_is_full() {
+        let service = ShardedService::start(
+            vec![problem(1)],
+            &ServiceConfig {
+                queue_capacity: 2,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        // wedge the writer behind a storm of batches until a try_submit
+        // bounces; the blocking path would park here, the try path must not
+        let mut saw_overloaded = false;
+        for _ in 0..10_000 {
+            match service.try_submit_batch(0, vec![UpdateOp::RemoveObject(RecordId(999))]) {
+                Ok(()) => {}
+                Err(ServiceError::Overloaded) => {
+                    saw_overloaded = true;
+                    break;
+                }
+                Err(e) => panic!("only Overloaded is a legal try_submit rejection, got {e}"),
+            }
+        }
+        assert!(
+            saw_overloaded,
+            "10k instant submissions against a capacity-2 queue never bounced"
+        );
+        // the reject is non-destructive: the shard keeps serving
+        service.flush().unwrap();
+        service
+            .submit(0, UpdateOp::RemoveFunction(FunctionId(0)))
+            .unwrap();
+        service.flush().unwrap();
         service.shutdown().unwrap();
     }
 

@@ -30,6 +30,10 @@ struct ProgressState {
     last_rejection: Option<String>,
     /// Set when the writer thread exits (clean shutdown or panic).
     writer_exited: bool,
+    /// Set when the writer thread exited by *panic*: flush waiters get the
+    /// typed [`ServiceError::WriterCrashed`] instead of the clean-shutdown
+    /// `Stopped`.
+    writer_crashed: bool,
 }
 
 #[derive(Debug, Default)]
@@ -39,18 +43,30 @@ struct Progress {
 }
 
 /// Notifies flush waiters that the writer exited, even on unwind: a panicking
-/// writer must fail flushes, not hang them. Also stops the shard's background
+/// writer must fail flushes, not hang them. On unwind it also poisons the
+/// update queue — a producer parked in the queue's backpressure wait is
+/// woken with [`ServiceError::WriterCrashed`] instead of blocking forever on
+/// a drain that can no longer happen. Also stops the shard's background
 /// compactor (when one runs): with the writer gone no new debt arrives, and a
 /// compactor parked on its condvar would otherwise hang the shard's join.
 struct ExitNotice {
     progress: Arc<Progress>,
+    queue: Arc<UpdateQueue>,
     compactor: Option<Arc<CompactSignal>>,
 }
 
 impl Drop for ExitNotice {
     fn drop(&mut self) {
+        let crashed = pref_sync::thread::panicking();
+        if crashed {
+            // poison BEFORE taking the progress lock: a parked producer
+            // holds no lock, and waking it first narrows the window where a
+            // flush error races a still-parked submit
+            self.queue.close_crashed();
+        }
         let mut state = self.progress.state.lock();
         state.writer_exited = true;
+        state.writer_crashed = crashed;
         self.progress.advanced.notify_all();
         drop(state);
         if let Some(signal) = &self.compactor {
@@ -396,6 +412,7 @@ impl ShardHandle {
                 .spawn(move || {
                     let _notice = ExitNotice {
                         progress: Arc::clone(&progress),
+                        queue: Arc::clone(&queue),
                         compactor: compact_signal.clone(),
                     };
                     writer_loop(
@@ -470,9 +487,37 @@ impl ShardHandle {
         self.submit_batch(vec![op])
     }
 
+    /// Non-blocking [`ShardHandle::submit_batch`]: where the blocking path
+    /// would park in the queue's backpressure wait, this fails immediately
+    /// with [`ServiceError::Overloaded`] — the admission-control entry point
+    /// for callers (the network front door) that must never stall a
+    /// connection handler on a full shard.
+    pub fn try_submit_batch(&self, batch: Vec<UpdateOp>) -> Result<(), ServiceError> {
+        // same counting protocol as submit_batch: count first, roll back on
+        // any rejection, so `processed <= submitted` holds at every instant
+        let len = batch.len() as u64;
+        // ordering: Relaxed — see submit_batch: consumers of this counter
+        // are ordered by program order or by the queue/progress mutexes
+        self.submitted.fetch_add(len, Ordering::Relaxed);
+        if let Err(e) = self.queue.try_push(batch) {
+            // ordering: Relaxed — same-thread rollback of the count above
+            self.submitted.fetch_sub(len, Ordering::Relaxed);
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Updates currently queued (the admission-control gauge: the front
+    /// door refuses new updates once this crosses its high-water mark,
+    /// before they would park in the backpressure wait).
+    pub fn queue_depth(&self) -> usize {
+        self.queue.queued_updates()
+    }
+
     /// Blocks until every update submitted to this shard before the call has
     /// been processed and published — the read-your-writes barrier. Fails
-    /// with [`ServiceError::Stopped`] if the writer exited first.
+    /// with [`ServiceError::Stopped`] if the writer exited cleanly first,
+    /// and with [`ServiceError::WriterCrashed`] if it panicked.
     pub fn flush(&self) -> Result<(), ServiceError> {
         // ordering: Relaxed — the caller's own submissions are ordered by
         // program order; concurrent submitters' in-flight updates are not
@@ -483,6 +528,9 @@ impl ShardHandle {
         loop {
             if state.processed >= target {
                 return Ok(());
+            }
+            if state.writer_crashed {
+                return Err(ServiceError::WriterCrashed);
             }
             if state.writer_exited {
                 return Err(ServiceError::Stopped);
@@ -527,12 +575,12 @@ impl ShardHandle {
     }
 
     /// Joins the writer and compactor threads (after [`ShardHandle::close`]);
-    /// propagates a writer panic as [`ServiceError::Stopped`]. The writer's
-    /// exit (via `ExitNotice`, even on panic) stops the compactor, so the
-    /// second join cannot hang.
+    /// propagates a writer panic as [`ServiceError::WriterCrashed`]. The
+    /// writer's exit (via `ExitNotice`, even on panic) stops the compactor,
+    /// so the second join cannot hang.
     pub(crate) fn join(&mut self) -> Result<(), ServiceError> {
         let result = match self.writer.take() {
-            Some(writer) => writer.join().map_err(|_| ServiceError::Stopped),
+            Some(writer) => writer.join().map_err(|_| ServiceError::WriterCrashed),
             None => Ok(()),
         };
         if let Some(signal) = &self.compact_signal {

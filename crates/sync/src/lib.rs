@@ -82,6 +82,8 @@ pub mod model;
 pub mod pool;
 pub use pool::{resolve_threads, WorkStealingPool};
 
+pub mod time;
+
 /// True when this build carries the model-checking scheduler (the `model`
 /// feature). Lets tests assert which flavor they exercise.
 pub const MODEL_CAPABLE: bool = cfg!(feature = "model");

@@ -251,4 +251,13 @@ pub mod thread {
     pub fn yield_now() {
         std::thread::yield_now();
     }
+
+    /// Shim over [`std::thread::panicking`]: true while the current thread
+    /// is unwinding. Drop guards use it to tell a crash exit from a clean
+    /// one (model threads run on real OS threads, so the std answer is
+    /// accurate in both modes).
+    #[inline]
+    pub fn panicking() -> bool {
+        std::thread::panicking()
+    }
 }

@@ -461,4 +461,13 @@ pub mod thread {
             None => std::thread::yield_now(),
         }
     }
+
+    /// Shim over [`std::thread::panicking`]: true while the current thread
+    /// is unwinding. Model threads run on real OS threads (the scheduler
+    /// only gates *when* they run), so the std answer is accurate inside a
+    /// model run too — an injected writer crash unwinds the OS thread that
+    /// hosts the model thread.
+    pub fn panicking() -> bool {
+        std::thread::panicking()
+    }
 }

@@ -1,0 +1,46 @@
+//! A monotonic nanosecond clock for rate-limiting state machines.
+//!
+//! The admission-control layer (token buckets in `pref_net`) needs a
+//! monotonic "now" to refill budgets against. It deliberately does **not**
+//! read the clock inside its state machine: every transition takes an
+//! explicit `now_nanos` argument, so model tests can drive logical time
+//! through arbitrary interleavings deterministically. This module is the one
+//! place real callers get that argument from.
+//!
+//! The epoch is the first call in the process (lazily pinned), so values are
+//! small, strictly meaningless across processes, and safe to subtract.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the first call to this function in this process.
+/// Monotonic (never decreases) and overflow-free for ~584 years of uptime.
+pub fn monotonic_nanos() -> u64 {
+    let epoch = *EPOCH.get_or_init(Instant::now);
+    Instant::now().duration_since(epoch).as_nanos() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_nanos_never_decreases() {
+        let mut last = monotonic_nanos();
+        for _ in 0..1_000 {
+            let now = monotonic_nanos();
+            assert!(now >= last, "clock went backwards: {now} < {last}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn monotonic_nanos_advances_across_a_sleep() {
+        let before = monotonic_nanos();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let after = monotonic_nanos();
+        assert!(after > before, "2ms sleep must advance the clock");
+    }
+}

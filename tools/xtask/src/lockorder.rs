@@ -1,5 +1,5 @@
 //! Whole-program static lock-order analysis over `crates/service` +
-//! `crates/sync`.
+//! `crates/sync` + `crates/net`.
 //!
 //! The model checker proves the shard protocols deadlock-free per scenario;
 //! this pass complements it with *whole-program* coverage: every
@@ -1152,7 +1152,7 @@ mod tests {
     fn real_workspace_graph_is_nonempty_acyclic_and_pins_the_shard_protocol() {
         let root = crate::workspace_root();
         let mut files = Vec::new();
-        for dir in ["crates/service/src", "crates/sync/src"] {
+        for dir in ["crates/service/src", "crates/sync/src", "crates/net/src"] {
             let mut paths = Vec::new();
             collect(&root.join(dir), &mut paths);
             paths.sort();

@@ -44,9 +44,16 @@
 //!   any function that takes the shard durability handle and publishes a
 //!   snapshot must call `log_batch` and `sync_for_ack` before the publish:
 //!   WAL append + fsync dominate the visibility point.
+//! * **no-raw-net** — sockets are `crates/net`'s job: no `std::net` in
+//!   non-test library code outside the front door, so every wire byte goes
+//!   through the one framed, checksummed, admission-controlled path. Plain
+//!   address types (`std::net::SocketAddr` & co.) are allowed anywhere.
+//!   `crates/net` itself is held to the `no-raw-sync` / `no-unwrap`
+//!   discipline of `crates/service` (as a separate pass, so the legacy
+//!   equivalence oracle for the six classic rules stays intact).
 //!
 //! Whole-program analysis (`lockorder`): every mutex acquisition site in
-//! `crates/service` + `crates/sync`, with held-lock sets propagated through
+//! `crates/service` + `crates/sync` + `crates/net`, with held-lock sets propagated through
 //! the intra-workspace call graph. The resulting static lock-order graph is
 //! written to `target/lint/lock-order.dot` on every run and any cycle is a
 //! finding — a potential deadlock no bounded model-checking schedule needs
@@ -133,7 +140,9 @@ fn lint_workspace(json: Option<&Path>) -> ExitCode {
         let cx = model::FileCtx::new(&rel, &source);
         diagnostics.extend(rules::lint_file_ctx(&cx));
         checked += 1;
-        if (rel.starts_with("crates/service/src") || rel.starts_with("crates/sync/src"))
+        if (rel.starts_with("crates/service/src")
+            || rel.starts_with("crates/sync/src")
+            || rel.starts_with("crates/net/src"))
             && !rules::is_test_file(&rel)
         {
             lock_files.push(cx);

@@ -7,7 +7,7 @@
 //! — but now match *significant tokens*, so occurrences inside string
 //! literals and (nested) block comments can no longer produce findings.
 //!
-//! Two new token-level rules ride on the same engine:
+//! New token-level rules ride on the same engine:
 //!
 //! * **hash-iter** — no iteration over `HashMap`/`HashSet` contents in
 //!   library code of the crates that feed canonical output or replay
@@ -22,6 +22,16 @@
 //!   fsync (`sync_for_ack`) call sites precede the first `publish` call:
 //!   acknowledged-but-unlogged state must be unrepresentable in the source,
 //!   not just unobserved by the fault-injection battery.
+//! * **no-raw-net** — sockets are `crates/net`'s job: no `std::net` outside
+//!   it, so every byte that crosses a process boundary goes through the one
+//!   length-prefixed, checksummed framing layer (and its admission control).
+//!   Plain address *types* (`SocketAddr` & co.) are fine anywhere — they are
+//!   how callers name a `pref_net` endpoint. Escape hatch:
+//!   `// lint: allow(no-raw-net) -- <reason>`.
+//! * `crates/net` itself is held to the `no-raw-sync` and `no-unwrap`
+//!   discipline of `crates/service`, as a separate pass (`net_discipline`)
+//!   so `classic` stays byte-equivalent to the pre-`crates/net` line
+//!   scanner the equivalence sweep pins.
 //!
 //! The exception/justification comment grammar stays line-oriented on
 //! purpose (comments are trivia in the token stream): an annotation applies
@@ -41,6 +51,7 @@ pub const RULE_KERNEL_NO_ALLOC: &str = "kernel-no-alloc";
 pub const RULE_HASH_ITER: &str = "hash-iter";
 pub const RULE_DURABILITY_ORDER: &str = "durability-order";
 pub const RULE_LOCK_ORDER: &str = "lock-order";
+pub const RULE_NO_RAW_NET: &str = "no-raw-net";
 
 /// Files allowed to touch `std::fs` wholesale: the storage backends and the
 /// WAL are the durable layer, and the linter itself must read the tree.
@@ -85,6 +96,20 @@ const HASH_ITER_METHODS: [&str; 7] = [
     "drain",
 ];
 
+/// `std::net` items that are plain address/port values with no socket
+/// behaviour: allowed everywhere, because they are the vocabulary callers
+/// use to talk to `pref_net`'s own API.
+const RAW_NET_ADDR_TYPES: [&str; 8] = [
+    "SocketAddr",
+    "SocketAddrV4",
+    "SocketAddrV6",
+    "IpAddr",
+    "Ipv4Addr",
+    "Ipv6Addr",
+    "AddrParseError",
+    "ToSocketAddrs",
+];
+
 /// One linter finding, rendered `path:line: rule: message`.
 pub struct Diagnostic {
     pub path: String,
@@ -109,6 +134,8 @@ pub fn lint_file_ctx(cx: &FileCtx) -> Vec<Diagnostic> {
     let mut out = classic(cx);
     out.extend(hash_iter(cx));
     out.extend(durability_order(cx));
+    out.extend(raw_net(cx));
+    out.extend(net_discipline(cx));
     out
 }
 
@@ -436,6 +463,104 @@ fn hash_names(cx: &FileCtx) -> BTreeSet<String> {
         }
     }
     names
+}
+
+/// Sockets live behind the front door: `std::net` outside `crates/net` is a
+/// second wire path with no framing, checksums or admission control (see
+/// module docs). Address types pass; test code is exempt like the other
+/// scoped rules (unit tests that want a real socket should still exercise
+/// the real server, but the rule does not force it).
+pub fn raw_net(cx: &FileCtx) -> Vec<Diagnostic> {
+    let path = &cx.path;
+    if path_in(path, "crates/net") || is_test_file(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<u32> = BTreeSet::new();
+    for si in 0..cx.sig_len() {
+        if !matches_path(cx, si, &["std", "net"]) {
+            continue;
+        }
+        // `std::net::SocketAddr` and friends carry no I/O
+        if is_path_sep(cx, si + 4) && RAW_NET_ADDR_TYPES.iter().any(|t| cx.is_ident(si + 6, t)) {
+            continue;
+        }
+        let line = cx.sline(si);
+        if cx.in_tests(line) || !seen.insert(line) {
+            continue;
+        }
+        if !has_exception(&cx.lines, line, RULE_NO_RAW_NET) {
+            out.push(diag(
+                path,
+                line,
+                RULE_NO_RAW_NET,
+                "`std::net` outside crates/net — every wire byte goes through the framed, \
+                 admission-controlled front door (`pref_net`); address types like \
+                 `std::net::SocketAddr` are allowed, sockets are not. Annotate a deliberate \
+                 exception with `// lint: allow(no-raw-net) -- <reason>`"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// `no-raw-sync` + `no-unwrap` for `crates/net` library code. A separate
+/// pass rather than a scope change in [`classic`]: the legacy line scanner
+/// predates the crate, and the equivalence sweep pins `classic` to it
+/// byte-for-byte.
+pub fn net_discipline(cx: &FileCtx) -> Vec<Diagnostic> {
+    let path = &cx.path;
+    if !path_in(path, "crates/net") || is_test_file(path) {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    let mut seen: BTreeSet<(u32, &str)> = BTreeSet::new();
+    for si in 0..cx.sig_len() {
+        for (name, segs) in RAW_SYNC_PATHS {
+            if !matches_path(cx, si, segs) {
+                continue;
+            }
+            let line = cx.sline(si);
+            if cx.in_tests(line) || !seen.insert((line, name)) {
+                continue;
+            }
+            if !has_exception(&cx.lines, line, RULE_NO_RAW_SYNC) {
+                out.push(diag(
+                    path,
+                    line,
+                    RULE_NO_RAW_SYNC,
+                    format!(
+                        "`{name}` in crates/net library code — use the `pref_sync` shim \
+                         (admission and shutdown must stay model-checkable)"
+                    ),
+                ));
+            }
+        }
+        let pattern = if method_call(cx, si, "unwrap") && cx.is_punct(si + 3, ')') {
+            ".unwrap()"
+        } else if method_call(cx, si, "expect") {
+            ".expect("
+        } else {
+            continue;
+        };
+        let line = cx.sline(si);
+        if cx.in_tests(line) || !seen.insert((line, pattern)) {
+            continue;
+        }
+        if !has_exception(&cx.lines, line, RULE_NO_UNWRAP) {
+            out.push(diag(
+                path,
+                line,
+                RULE_NO_UNWRAP,
+                format!(
+                    "`{pattern}` in library code — propagate the error or annotate the \
+                     invariant with `// lint: allow(no-unwrap) -- <reason>`"
+                ),
+            ));
+        }
+    }
+    out
 }
 
 /// WAL-before-publish, statically (see module docs).
@@ -971,6 +1096,84 @@ mod tests {
                        cell.publish(snap(b));\n\
                    }\n";
         assert!(findings(DUR_PATH, src).is_empty());
+    }
+
+    // -- no-raw-net -------------------------------------------------------
+
+    #[test]
+    fn raw_sockets_outside_the_front_door_are_flagged() {
+        let src = "use std::net::TcpStream;\n\
+                   fn f() { let _ = std::net::TcpListener::bind(\"127.0.0.1:0\"); }\n";
+        let found = findings("crates/service/src/m.rs", src);
+        assert_eq!(found.len(), 2, "{found:?}");
+        assert!(
+            found[0].starts_with("crates/service/src/m.rs:1: no-raw-net:"),
+            "{}",
+            found[0]
+        );
+        // the front door itself is the allowed home for sockets
+        assert!(findings("crates/net/src/server.rs", src).is_empty());
+        // brace imports mixing an address type with a socket type still flag
+        let mixed = "use std::net::{SocketAddr, TcpStream};\n";
+        assert_eq!(findings("crates/bench/src/m.rs", mixed).len(), 1);
+    }
+
+    #[test]
+    fn address_types_are_not_sockets() {
+        for ty in ["SocketAddr", "Ipv4Addr", "IpAddr", "ToSocketAddrs"] {
+            let src = format!("use std::net::{ty};\nfn f(a: std::net::{ty}) {{ let _ = a; }}\n");
+            assert!(
+                findings("crates/bench/src/m.rs", &src).is_empty(),
+                "std::net::{ty} is a value type, not a socket"
+            );
+        }
+    }
+
+    #[test]
+    fn raw_net_exception_and_test_exemptions() {
+        let annotated = "// lint: allow(no-raw-net) -- probe the listener without a client\n\
+                         use std::net::TcpStream;\n";
+        assert!(findings("crates/service/src/m.rs", annotated).is_empty());
+        let in_tests =
+            "#[cfg(test)]\nmod tests {\n    fn f() { std::net::TcpStream::connect(\"x\").ok(); }\n}\n";
+        assert!(findings("crates/service/src/m.rs", in_tests).is_empty());
+        assert!(findings(
+            "crates/service/src/net_tests.rs",
+            "use std::net::TcpStream;\n"
+        )
+        .is_empty());
+        // a string literal naming the module is not a use of it
+        let in_string = "const HELP: &str = \"std::net is banned here\";\n";
+        assert!(findings("crates/service/src/m.rs", in_string).is_empty());
+    }
+
+    // -- net-discipline (no-raw-sync / no-unwrap in crates/net) -----------
+
+    #[test]
+    fn the_front_door_is_held_to_the_shim_and_unwrap_discipline() {
+        let sync_src = "use std::thread;\n";
+        let found = findings("crates/net/src/server.rs", sync_src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(
+            found[0].starts_with("crates/net/src/server.rs:1: no-raw-sync:"),
+            "{}",
+            found[0]
+        );
+        let unwrap_src = "fn f() { g().unwrap(); }\n";
+        let found = findings("crates/net/src/client.rs", unwrap_src);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert!(found[0].contains(": no-unwrap:"), "{}", found[0]);
+        // Arc stays allowed, as in crates/service
+        assert!(findings("crates/net/src/server.rs", "use std::sync::Arc;\n").is_empty());
+        // test modules and test files drive real threads and unwrap freely
+        let test_src =
+            "#[cfg(test)]\nmod tests {\n    use std::thread;\n    fn f() { g().unwrap(); }\n}\n";
+        assert!(findings("crates/net/src/server.rs", test_src).is_empty());
+        assert!(findings("crates/net/src/model_tests.rs", sync_src).is_empty());
+        // and the exception grammar names the same rules
+        let annotated = "// lint: allow(no-unwrap) -- poisoned registry is unreachable\n\
+                         fn f() { g().unwrap(); }\n";
+        assert!(findings("crates/net/src/server.rs", annotated).is_empty());
     }
 
     #[test]
